@@ -1,0 +1,175 @@
+// Figure 10 reproduction (sensitivity analysis, §5.4) + the acquisition
+// ablation (§5.1's PaMO_{qUCB/qSR/qEI} variants).
+//
+// (a) Baseline internal-weight sweep 0.05→5 at n5v8 and n6v10: however
+//     JCAB/FACT tune their scalarization weights, they stay below
+//     PaMO/PaMO+ under the (uniform) true preference.
+// (b) Termination-threshold sweep δ = 0.02→0.2 for all methods: PaMO
+//     should be flat; baselines fluctuate.
+// (c) Acquisition-function ablation: qNEI vs qUCB/qSR/qEI inside PaMO.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+using namespace pamo;
+using bench::Method;
+
+struct Setting {
+  std::size_t videos;
+  std::size_t servers;
+  const char* label;
+};
+
+constexpr Setting kSettings[] = {{8, 5, "n5v8"}, {10, 6, "n6v10"}};
+
+}  // namespace
+
+int main() {
+  const std::array<double, eva::kNumObjectives> uniform{1, 1, 1, 1, 1};
+  const pref::BenefitFunction benefit(uniform);
+  const std::size_t reps = bench::repetitions();
+
+  // Reference PaMO+ / PaMO per setting (fixed δ = 0.02).
+  std::array<double, 2> u_plus{};
+  std::array<double, 2> pamo_norm{};
+  for (std::size_t s = 0; s < 2; ++s) {
+    RunningStat plus_stat, pamo_stat;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const eva::Workload w = eva::make_workload(
+          kSettings[s].videos, kSettings[s].servers, 1000 + rep);
+      const auto plus =
+          bench::run_method(Method::kPamoPlus, w, uniform, 10100 + rep);
+      const auto pamo =
+          bench::run_method(Method::kPamo, w, uniform, 10200 + rep);
+      if (plus.feasible) plus_stat.add(plus.score.benefit);
+      if (pamo.feasible) pamo_stat.add(pamo.score.benefit);
+    }
+    u_plus[s] = plus_stat.mean();
+    pamo_norm[s] =
+        core::normalized_benefit(pamo_stat.mean(), u_plus[s], benefit);
+  }
+
+  // ---- Panel (a): baseline weight sweep. ----
+  {
+    const std::vector<double> sweep{0.05, 0.1, 0.2, 0.5, 0.8, 1.0, 2.0, 5.0};
+    TablePrinter table({"weight", "JCAB n5v8", "FACT n5v8", "JCAB n6v10",
+                        "FACT n6v10", "PaMO n5v8", "PaMO+ n5v8"});
+    for (double wv : sweep) {
+      std::vector<std::string> row{format_double(wv, 2)};
+      std::array<std::array<double, 2>, 2> cells{};  // [method][setting]
+      for (std::size_t s = 0; s < 2; ++s) {
+        RunningStat jcab_stat, fact_stat;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const eva::Workload w = eva::make_workload(
+              kSettings[s].videos, kSettings[s].servers, 1000 + rep);
+          // Sweep the baselines' own scalarization weight: JCAB's energy
+          // weight and FACT's latency weight (accuracy weight stays 1).
+          baselines::JcabOptions jcab;
+          jcab.w_energy = wv;
+          const auto jr = baselines::run_jcab(w, jcab);
+          baselines::FactOptions fact;
+          fact.w_latency = wv;
+          const auto fr = baselines::run_fact(w, fact);
+          const eva::OutcomeNormalizer norm =
+              eva::OutcomeNormalizer::for_workload(w);
+          if (jr.feasible) {
+            const auto score = core::evaluate_solution(
+                w, jr.config, jr.schedule, norm, benefit);
+            if (score) jcab_stat.add(score->benefit);
+          }
+          if (fr.feasible) {
+            const auto score = core::evaluate_solution(
+                w, fr.config, fr.schedule, norm, benefit);
+            if (score) fact_stat.add(score->benefit);
+          }
+        }
+        cells[0][s] =
+            core::normalized_benefit(jcab_stat.mean(), u_plus[s], benefit);
+        cells[1][s] =
+            core::normalized_benefit(fact_stat.mean(), u_plus[s], benefit);
+      }
+      row.push_back(format_double(cells[0][0], 4));
+      row.push_back(format_double(cells[1][0], 4));
+      row.push_back(format_double(cells[0][1], 4));
+      row.push_back(format_double(cells[1][1], 4));
+      row.push_back(format_double(pamo_norm[0], 4));
+      row.push_back(format_double(1.0, 4));
+      table.add_row(row);
+    }
+    table.print(std::cout,
+                "Figure 10(a) — baseline internal-weight sweep (PaMO is "
+                "weight-independent)");
+    bench::maybe_export_csv(table, "fig10a_weight_sweep");
+    std::cout << '\n';
+  }
+
+  // ---- Panel (b): termination-threshold sweep. ----
+  {
+    const std::vector<double> thresholds{0.02, 0.04, 0.06, 0.08, 0.1, 0.2};
+    TablePrinter table({"delta", "JCAB n5v8", "FACT n5v8", "PaMO n5v8",
+                        "PaMO+ n5v8"});
+    for (double delta : thresholds) {
+      std::array<RunningStat, 4> stats;
+      const Method methods[4] = {Method::kJcab, Method::kFact, Method::kPamo,
+                                 Method::kPamoPlus};
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const eva::Workload w = eva::make_workload(8, 5, 1000 + rep);
+        for (std::size_t m = 0; m < 4; ++m) {
+          const auto run = bench::run_method(methods[m], w, uniform,
+                                             10300 + rep * 7 + m, delta);
+          if (run.feasible) stats[m].add(run.score.benefit);
+        }
+      }
+      std::vector<std::string> row{format_double(delta, 2)};
+      for (std::size_t m = 0; m < 4; ++m) {
+        row.push_back(format_double(
+            core::normalized_benefit(stats[m].mean(), u_plus[0], benefit),
+            4));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout,
+                "Figure 10(b) — termination-threshold sweep (n5v8)");
+    bench::maybe_export_csv(table, "fig10b_threshold_sweep");
+    std::cout << '\n';
+  }
+
+  // ---- Panel (c): acquisition-function ablation. ----
+  {
+    const bo::AcquisitionType types[4] = {
+        bo::AcquisitionType::kQNEI, bo::AcquisitionType::kQEI,
+        bo::AcquisitionType::kQUCB, bo::AcquisitionType::kQSR};
+    TablePrinter table({"acquisition", "normalized benefit (n5v8)",
+                        "mean iterations"});
+    const std::size_t ablation_reps = reps * 2;
+    std::array<RunningStat, 4> stat, iters;
+    for (std::size_t rep = 0; rep < ablation_reps; ++rep) {
+      const eva::Workload w = eva::make_workload(8, 5, 1400 + rep * 3);
+      // Per-workload PaMO+ reference so normalization is apples-to-apples.
+      const auto plus = bench::run_method(Method::kPamoPlus, w, uniform,
+                                          10900 + rep * 29);
+      if (!plus.feasible) continue;
+      for (std::size_t t = 0; t < 4; ++t) {
+        const auto run = bench::run_method(Method::kPamo, w, uniform,
+                                           10400 + rep * 29, 0.02, types[t]);
+        if (run.feasible) {
+          stat[t].add(core::normalized_benefit(run.score.benefit,
+                                               plus.score.benefit, benefit));
+          iters[t].add(static_cast<double>(run.iterations));
+        }
+      }
+    }
+    for (std::size_t t = 0; t < 4; ++t) {
+      table.add_row({bo::acquisition_name(types[t]),
+                     format_double(stat[t].mean(), 4),
+                     format_double(iters[t].mean(), 2)});
+    }
+    table.print(std::cout,
+                "acquisition ablation — PaMO with qNEI/qEI/qUCB/qSR");
+    bench::maybe_export_csv(table, "fig10c_acquisition_ablation");
+  }
+  return 0;
+}

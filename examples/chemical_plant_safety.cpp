@@ -1,0 +1,85 @@
+// Scenario: chemical-workshop safety monitoring (§1 of the paper).
+// Detection accuracy is safety-critical, so the plant's pricing weights it
+// heavily — but the decision-maker answering comparison questions is a
+// busy human who occasionally answers inconsistently. This example shows
+// preference learning converging despite a noisy oracle, and how the
+// learned model's pairwise accuracy grows with the number of questions.
+//
+// Build & run:  cmake --build build && ./build/examples/chemical_plant_safety
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "core/pamo.hpp"
+#include "pref/learner.hpp"
+
+int main() {
+  using namespace pamo;
+
+  // Accuracy weighs 5×; the oracle answers with probit noise.
+  const pref::BenefitFunction benefit({1.0, 5.0, 1.0, 1.0, 1.0});
+
+  // ---- Part 1: preference learning curve under a noisy human. ----
+  Rng rng(31337);
+  std::vector<std::vector<double>> pool;
+  for (int i = 0; i < 28; ++i) {
+    std::vector<double> y(eva::kNumObjectives);
+    for (auto& v : y) v = rng.uniform();
+    pool.push_back(std::move(y));
+  }
+  pref::OracleOptions noisy;
+  noisy.response_noise = 0.3;  // occasionally flips close comparisons
+
+  TablePrinter curve({"questions asked", "pairwise accuracy"});
+  pref::PreferenceLearner learner(pool, {}, 404);
+  pref::PreferenceOracle oracle(benefit, noisy, 911);
+  std::size_t asked = 0;
+  for (std::size_t batch : {3u, 3u, 6u, 6u, 9u}) {
+    learner.run(oracle, batch);
+    asked += batch;
+    // Measure ordering accuracy on fresh random outcome pairs.
+    Rng test_rng(777);
+    int correct = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<double> y1(eva::kNumObjectives), y2(eva::kNumObjectives);
+      for (auto& v : y1) v = test_rng.uniform();
+      for (auto& v : y2) v = test_rng.uniform();
+      if ((benefit.value(y1) > benefit.value(y2)) ==
+          (learner.model().utility_mean(y1) >
+           learner.model().utility_mean(y2))) {
+        ++correct;
+      }
+    }
+    curve.add_row({std::to_string(asked),
+                   format_double(static_cast<double>(correct) / trials, 3)});
+  }
+  curve.print(std::cout,
+              "learning the plant's accuracy-heavy pricing from a noisy "
+              "decision-maker");
+
+  // ---- Part 2: schedule the plant's cameras with the learned loop. ----
+  const eva::Workload workload = eva::make_workload(8, 5, 1868);
+  core::PamoOptions options;
+  options.seed = 42;
+  options.max_iters = 6;
+  core::PamoScheduler pamo(workload, options);
+  pref::PreferenceOracle plant_oracle(benefit, noisy, 912);
+  const auto result = pamo.run(plant_oracle);
+  if (!result.feasible) {
+    std::cerr << "no feasible schedule\n";
+    return 1;
+  }
+  const eva::OutcomeNormalizer normalizer =
+      eva::OutcomeNormalizer::for_workload(workload);
+  const auto score = core::evaluate_solution(
+      workload, result.best_config, result.best_schedule, normalizer,
+      benefit);
+  std::cout << "\nscheduled " << workload.num_streams() << " cameras on "
+            << workload.num_servers() << " servers; mean mAP = "
+            << eva::at(score->raw_outcomes, eva::Objective::kAccuracy)
+            << ", benefit U = " << score->benefit << '\n';
+  std::cout << "(the accuracy-heavy preference pushes PaMO toward higher "
+               "resolutions than a uniform preference would)\n";
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Command-line front end: run any scheduler on a synthetic workload and
+// print the decision and its ground-truth score. Useful for quick
+// experiments without writing code.
+//
+// Usage:
+//   pamo_cli [--streams N] [--servers N] [--seed S]
+//            [--method pamo|pamo+|jcab|fact|equal|roc|ranksum|pseudo]
+//            [--weights w_lct,w_acc,w_net,w_com,w_eng]
+//            [--delta D] [--verbose]
+//
+// Example:
+//   ./build/examples/pamo_cli --streams 8 --servers 5 --method pamo
+//       --weights 3,1,1,1,1
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baselines/fact.hpp"
+#include "baselines/jcab.hpp"
+#include "baselines/scalarizers.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+#include "core/pamo.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pamo;
+
+struct CliArgs {
+  std::size_t streams = 8;
+  std::size_t servers = 5;
+  std::uint64_t seed = 42;
+  std::string method = "pamo";
+  std::array<double, eva::kNumObjectives> weights{1, 1, 1, 1, 1};
+  double delta = 0.02;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--streams N] [--servers N] [--seed S]\n"
+         "       [--method pamo|pamo+|jcab|fact|equal|roc|ranksum|pseudo]\n"
+         "       [--weights w_lct,w_acc,w_net,w_com,w_eng] [--delta D]\n"
+         "       [--verbose]\n";
+  std::exit(2);
+}
+
+CliArgs parse(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--streams") {
+      args.streams = std::stoul(next());
+    } else if (flag == "--servers") {
+      args.servers = std::stoul(next());
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (flag == "--method") {
+      args.method = next();
+    } else if (flag == "--delta") {
+      args.delta = std::stod(next());
+    } else if (flag == "--weights") {
+      std::stringstream ss(next());
+      std::string cell;
+      std::size_t k = 0;
+      while (std::getline(ss, cell, ',') && k < eva::kNumObjectives) {
+        args.weights[k++] = std::stod(cell);
+      }
+      if (k != eva::kNumObjectives) usage(argv[0]);
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (args.streams == 0 || args.servers == 0) usage(argv[0]);
+  return args;
+}
+
+struct Decision {
+  bool feasible = false;
+  eva::JointConfig config;
+  sched::ScheduleResult schedule;
+};
+
+Decision decide(const CliArgs& args, const eva::Workload& workload) {
+  Decision d;
+  const pref::BenefitFunction benefit(args.weights);
+  if (args.method == "pamo" || args.method == "pamo+") {
+    core::PamoOptions options;
+    options.seed = args.seed;
+    options.delta = args.delta;
+    options.use_true_preference = args.method == "pamo+";
+    core::PamoScheduler scheduler(workload, options);
+    pref::PreferenceOracle oracle(benefit, {}, args.seed + 1);
+    const auto result = scheduler.run(oracle);
+    if (!result.feasible) return d;
+    d = {true, result.best_config, result.best_schedule};
+  } else if (args.method == "jcab") {
+    baselines::JcabOptions options;
+    options.w_accuracy =
+        args.weights[static_cast<std::size_t>(eva::Objective::kAccuracy)];
+    options.w_energy =
+        args.weights[static_cast<std::size_t>(eva::Objective::kEnergy)];
+    options.delta = args.delta;
+    const auto result = baselines::run_jcab(workload, options);
+    if (!result.feasible) return d;
+    d = {true, result.config, result.schedule};
+  } else if (args.method == "fact") {
+    baselines::FactOptions options;
+    options.w_latency =
+        args.weights[static_cast<std::size_t>(eva::Objective::kLatency)];
+    options.w_accuracy =
+        args.weights[static_cast<std::size_t>(eva::Objective::kAccuracy)];
+    options.delta = args.delta;
+    const auto result = baselines::run_fact(workload, options);
+    if (!result.feasible) return d;
+    d = {true, result.config, result.schedule};
+  } else {
+    baselines::ScalarizerOptions options;
+    options.seed = args.seed;
+    if (args.method == "equal") {
+      options.scheme = baselines::WeightScheme::kEqual;
+    } else if (args.method == "roc") {
+      options.scheme = baselines::WeightScheme::kRoc;
+    } else if (args.method == "ranksum") {
+      options.scheme = baselines::WeightScheme::kRankSum;
+    } else if (args.method == "pseudo") {
+      options.scheme = baselines::WeightScheme::kPseudo;
+    } else {
+      std::cerr << "unknown method: " << args.method << '\n';
+      std::exit(2);
+    }
+    const auto result = baselines::run_scalarizer(workload, options);
+    if (!result.feasible) return d;
+    d = {true, result.config, result.schedule};
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = parse(argc, argv);
+  const eva::Workload workload =
+      eva::make_workload(args.streams, args.servers, args.seed);
+
+  std::cout << "workload: " << args.streams << " streams, " << args.servers
+            << " servers (uplinks Mbps:";
+  for (double b : workload.uplink_mbps) std::cout << ' ' << b;
+  std::cout << "), method = " << args.method << "\n\n";
+
+  const Decision decision = decide(args, workload);
+  if (!decision.feasible) {
+    std::cerr << "no feasible schedule found\n";
+    return 1;
+  }
+
+  TablePrinter table({"stream", "resolution", "fps", "server(s)"});
+  for (std::size_t i = 0; i < decision.config.size(); ++i) {
+    std::string servers;
+    for (std::size_t j = 0; j < decision.schedule.streams.size(); ++j) {
+      if (decision.schedule.streams[j].parent == i) {
+        if (!servers.empty()) servers += ",";
+        servers += std::to_string(decision.schedule.assignment[j]);
+      }
+    }
+    table.add_row({std::to_string(i),
+                   std::to_string(decision.config[i].resolution),
+                   std::to_string(decision.config[i].fps), servers});
+  }
+  table.print(std::cout, "decision");
+
+  const eva::OutcomeNormalizer normalizer =
+      eva::OutcomeNormalizer::for_workload(workload);
+  const pref::BenefitFunction benefit(args.weights);
+  const auto score = core::evaluate_solution(
+      workload, decision.config, decision.schedule, normalizer, benefit);
+  std::cout << "\nbenefit U = " << score->benefit << "\noutcomes:";
+  for (const auto objective : eva::kAllObjectives) {
+    std::cout << "  " << eva::objective_name(objective) << "="
+              << eva::at(score->raw_outcomes, objective);
+  }
+  std::cout << '\n';
+
+  if (args.verbose) {
+    const auto report = sim::simulate(workload, decision.schedule);
+    std::cout << "simulated " << report.total_frames
+              << " frames: mean latency " << report.mean_latency
+              << " s, max jitter " << report.max_jitter
+              << " s, queue delay " << report.total_queue_delay << " s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scenario: a close look at the zero-jitter scheduling machinery
+// (Algorithm 1 and Theorems 1–3) without any learning — useful when
+// adopting just the `sched` + `sim` libraries.
+//
+// Shows the group packing, the Hungarian server assignment, the staggered
+// start offsets, and the simulated frame timeline proving zero queueing,
+// then contrasts with a naive placement of the same configuration.
+//
+// Build & run:  cmake --build build && ./build/examples/zero_jitter_demo
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sched/constraints.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace pamo;
+
+  const eva::Workload workload = eva::make_workload(6, 3, /*seed=*/555);
+  // A mix of frame rates with interesting divisibility: periods 1, 2, 3,
+  // 5, 6 ticks.
+  eva::JointConfig config{{960, 30}, {960, 15}, {720, 10},
+                          {720, 6},  {480, 5},  {480, 15}};
+
+  const auto schedule = sched::schedule_zero_jitter(workload, config);
+  if (!schedule.feasible) {
+    std::cerr << "configuration not schedulable under Const2\n";
+    return 1;
+  }
+
+  TablePrinter table({"sub-stream", "parent", "period (ticks)", "proc (ms)",
+                      "server", "phase (ms)"});
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    const auto& s = schedule.streams[i];
+    table.add_row({std::to_string(i), std::to_string(s.parent),
+                   std::to_string(s.period_ticks),
+                   format_double(s.proc_time * 1e3, 2),
+                   std::to_string(schedule.assignment[i]),
+                   format_double(schedule.phase[i] * 1e3, 2)});
+  }
+  table.print(std::cout, "Algorithm 1 schedule (groups share a server)");
+
+  std::cout << "\nConst1 holds: "
+            << sched::const1_holds(schedule.streams, schedule.assignment,
+                                   workload.num_servers(),
+                                   workload.space.clock())
+            << ", Const2 holds: "
+            << sched::const2_holds(schedule.streams, schedule.assignment,
+                                   workload.num_servers(),
+                                   workload.space.clock())
+            << '\n';
+
+  const auto report = sim::simulate(workload, schedule);
+  std::cout << "simulated " << report.total_frames
+            << " frames: max jitter = " << report.max_jitter
+            << " s, total queue delay = " << report.total_queue_delay
+            << " s\n";
+
+  // Contrast: everything on server 0.
+  const auto naive = sched::schedule_fixed_assignment(
+      workload, config, std::vector<std::size_t>(6, 0));
+  const auto naive_report = sim::simulate(workload, naive);
+  std::cout << "\nnaive single-server placement of the same configs: "
+            << "max jitter = " << naive_report.max_jitter
+            << " s, queue delay = " << naive_report.total_queue_delay
+            << " s, mean latency " << naive_report.mean_latency << " s vs "
+            << report.mean_latency << " s under Algorithm 1\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Shared result type of the baseline schedulers (§5.1).
+#pragma once
+
+#include "eva/workload.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::baselines {
+
+struct BaselineResult {
+  bool feasible = false;
+  eva::JointConfig config;
+  sched::ScheduleResult schedule;
+  std::size_t iterations = 0;
+};
+
+}  // namespace pamo::baselines

@@ -1,0 +1,174 @@
+#include "baselines/fact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pamo::baselines {
+
+namespace {
+
+struct StreamTables {
+  // Indexed by resolution knob.
+  std::vector<double> accuracy;   // at the fixed fps
+  std::vector<double> proc_time;  // p(r)
+  std::vector<double> bits;       // θ_bit(r)
+  double acc_lo = 0, acc_hi = 0;
+  double lat_lo = 0, lat_hi = 0;  // latency bounds for normalization
+};
+
+}  // namespace
+
+BaselineResult run_fact(const eva::Workload& workload,
+                        const FactOptions& options) {
+  const auto& space = workload.space;
+  const std::size_t num_streams = workload.num_streams();
+  const std::size_t num_servers = workload.num_servers();
+  const std::size_t num_res = space.resolutions().size();
+  PAMO_CHECK(std::find(space.fps_knobs().begin(), space.fps_knobs().end(),
+                       options.fixed_fps) != space.fps_knobs().end(),
+             "fixed_fps must be one of the workload's fps knobs");
+
+  const double b_min =
+      *std::min_element(workload.uplink_mbps.begin(), workload.uplink_mbps.end());
+  const double b_max =
+      *std::max_element(workload.uplink_mbps.begin(), workload.uplink_mbps.end());
+
+  std::vector<StreamTables> tables(num_streams);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    const auto& clip = workload.clips[i];
+    auto& t = tables[i];
+    t.acc_lo = 1e300;
+    t.acc_hi = -1e300;
+    t.lat_lo = 1e300;
+    t.lat_hi = -1e300;
+    for (auto r : space.resolutions()) {
+      const double acc = clip.accuracy(r, options.fixed_fps);
+      const double p = clip.proc_time(r);
+      const double bits = clip.bits_per_frame(r);
+      t.accuracy.push_back(acc);
+      t.proc_time.push_back(p);
+      t.bits.push_back(bits);
+      t.acc_lo = std::min(t.acc_lo, acc);
+      t.acc_hi = std::max(t.acc_hi, acc);
+      t.lat_lo = std::min(t.lat_lo, p + bits / (b_max * 1e6));
+      t.lat_hi = std::max(t.lat_hi, p + bits / (b_min * 1e6));
+    }
+  }
+
+  auto unit = [](double v, double lo, double hi) {
+    return hi > lo ? std::clamp((v - lo) / (hi - lo), 0.0, 1.0) : 0.0;
+  };
+
+  // Per-stream objective term for resolution knob k on a server of uplink B.
+  auto term = [&](std::size_t i, std::size_t k, double uplink) {
+    const auto& t = tables[i];
+    const double latency = t.proc_time[k] + t.bits[k] / (uplink * 1e6);
+    return options.w_latency * unit(latency, t.lat_lo, t.lat_hi) +
+           options.w_accuracy *
+               (1.0 - unit(t.accuracy[k], t.acc_lo, t.acc_hi));
+  };
+
+  // State: resolution knob per stream and server per stream.
+  std::vector<std::size_t> res_knob(num_streams, num_res / 2);
+  std::vector<std::size_t> server_of(num_streams, 0);
+
+  // Initial allocation: sort by bits descending, place on the server with
+  // the lowest (load, then transfer) among feasible ones.
+  const double fps = options.fixed_fps;
+  auto reallocate = [&]() {
+    std::vector<std::size_t> order(num_streams);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return tables[a].bits[res_knob[a]] >
+                              tables[b].bits[res_knob[b]];
+                     });
+    std::vector<double> load(num_servers, 0.0);
+    for (std::size_t idx : order) {
+      const double util = tables[idx].proc_time[res_knob[idx]] * fps;
+      double best_cost = std::numeric_limits<double>::max();
+      std::size_t best_server = 0;
+      for (std::size_t server = 0; server < num_servers; ++server) {
+        const bool fits = load[server] + util <= 1.0 + 1e-12;
+        const double transfer = tables[idx].bits[res_knob[idx]] /
+                                (workload.uplink_mbps[server] * 1e6);
+        // Overloaded servers get a large penalty instead of a hard reject
+        // so the method always returns *some* allocation.
+        const double cost =
+            transfer + load[server] * 0.01 + (fits ? 0.0 : 10.0 + load[server]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_server = server;
+        }
+      }
+      server_of[idx] = best_server;
+      load[best_server] += util;
+    }
+  };
+  reallocate();
+
+  auto total_objective = [&]() {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < num_streams; ++i) {
+      sum += term(i, res_knob[i], workload.uplink_mbps[server_of[i]]);
+    }
+    return sum;
+  };
+
+  BaselineResult result;
+  double prev = std::numeric_limits<double>::max();
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.iterations;
+
+    // Block 1: per-stream resolution given the allocation, respecting each
+    // server's Const1 budget.
+    std::vector<double> load(num_servers, 0.0);
+    for (std::size_t i = 0; i < num_streams; ++i) {
+      load[server_of[i]] += tables[i].proc_time[res_knob[i]] * fps;
+    }
+    for (std::size_t i = 0; i < num_streams; ++i) {
+      const std::size_t server = server_of[i];
+      const double budget =
+          1.0 - (load[server] - tables[i].proc_time[res_knob[i]] * fps);
+      double best_value = std::numeric_limits<double>::max();
+      std::size_t best_k = res_knob[i];
+      for (std::size_t k = 0; k < num_res; ++k) {
+        if (tables[i].proc_time[k] * fps > budget + 1e-12) continue;
+        const double value = term(i, k, workload.uplink_mbps[server]);
+        if (value < best_value) {
+          best_value = value;
+          best_k = k;
+        }
+      }
+      load[server] += (tables[i].proc_time[best_k] -
+                       tables[i].proc_time[res_knob[i]]) * fps;
+      res_knob[i] = best_k;
+    }
+
+    // Block 2: reallocation given the resolutions.
+    reallocate();
+
+    const double objective = total_objective();
+    if (round > 0 &&
+        std::fabs(prev - objective) <
+            options.delta * static_cast<double>(num_streams)) {
+      break;
+    }
+    prev = objective;
+  }
+
+  result.config.resize(num_streams);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    result.config[i] = {space.resolutions()[res_knob[i]], options.fixed_fps};
+  }
+  result.schedule =
+      sched::schedule_fixed_assignment(workload, result.config, server_of);
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace pamo::baselines

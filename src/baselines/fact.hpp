@@ -1,0 +1,30 @@
+// FACT baseline (Liu et al., INFOCOM 2018 — reference [19]).
+//
+// FACT ("an edge network orchestrator for mobile augmented reality")
+// minimizes the weighted sum of end-to-end latency and accuracy loss by
+// block coordinate descent over (a) each stream's resolution and (b) the
+// stream→server allocation. It does not adapt frame rate and ignores
+// energy and bandwidth consumption — a single-objective method with a
+// different blind spot than JCAB.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.hpp"
+
+namespace pamo::baselines {
+
+struct FactOptions {
+  double w_latency = 1.0;
+  double w_accuracy = 1.0;
+  /// Frame rate used for every stream (FACT does not adapt fps).
+  std::uint32_t fixed_fps = 10;
+  std::size_t max_rounds = 30;
+  /// BCD termination threshold on the objective change (Fig. 10b knob).
+  double delta = 0.02;
+};
+
+BaselineResult run_fact(const eva::Workload& workload,
+                        const FactOptions& options);
+
+}  // namespace pamo::baselines

@@ -1,0 +1,142 @@
+#include "baselines/jcab.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "eva/profiler.hpp"
+
+namespace pamo::baselines {
+
+namespace {
+
+/// Per-clip knob-grid profile with per-metric min/max for normalization.
+struct ClipGrid {
+  std::vector<eva::StreamConfig> knobs;
+  std::vector<double> accuracy, energy, utilization, bandwidth;
+  double acc_lo = 0, acc_hi = 0, eng_lo = 0, eng_hi = 0;
+};
+
+ClipGrid profile_clip(const eva::Workload& workload,
+                      const eva::ClipProfile& clip) {
+  ClipGrid grid;
+  grid.acc_lo = 1e300;
+  grid.acc_hi = -1e300;
+  grid.eng_lo = 1e300;
+  grid.eng_hi = -1e300;
+  for (auto r : workload.space.resolutions()) {
+    for (auto s : workload.space.fps_knobs()) {
+      grid.knobs.push_back({r, s});
+      const double acc = clip.accuracy(r, s);
+      const double eng = clip.power_watts(r, s);
+      grid.accuracy.push_back(acc);
+      grid.energy.push_back(eng);
+      grid.utilization.push_back(clip.proc_time(r) * s);
+      grid.bandwidth.push_back(clip.bandwidth_mbps(r, s));
+      grid.acc_lo = std::min(grid.acc_lo, acc);
+      grid.acc_hi = std::max(grid.acc_hi, acc);
+      grid.eng_lo = std::min(grid.eng_lo, eng);
+      grid.eng_hi = std::max(grid.eng_hi, eng);
+    }
+  }
+  return grid;
+}
+
+double unit(double v, double lo, double hi) {
+  return hi > lo ? (v - lo) / (hi - lo) : 0.0;
+}
+
+}  // namespace
+
+BaselineResult run_jcab(const eva::Workload& workload,
+                        const JcabOptions& options) {
+  PAMO_CHECK(options.lyapunov_v > 0, "Lyapunov V must be positive");
+  const std::size_t num_streams = workload.num_streams();
+  const std::size_t num_servers = workload.num_servers();
+
+  std::vector<ClipGrid> grids;
+  grids.reserve(num_streams);
+  for (const auto& clip : workload.clips) {
+    grids.push_back(profile_clip(workload, clip));
+  }
+
+  // Long-term capacities the virtual queues guard: total compute slots and
+  // total uplink bandwidth (with a stability margin).
+  const double compute_capacity = 0.9 * static_cast<double>(num_servers);
+  double bandwidth_capacity = 0.0;
+  for (double b : workload.uplink_mbps) bandwidth_capacity += b;
+  bandwidth_capacity *= 0.9;
+
+  double q_compute = 0.0;  // virtual queue: compute backlog
+  double q_bandwidth = 0.0;
+
+  BaselineResult result;
+  double prev_objective = std::numeric_limits<double>::lowest();
+
+  eva::JointConfig config(num_streams);
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.iterations;
+    // Drift-plus-penalty configuration choice per stream.
+    double objective = 0.0;
+    double total_util = 0.0;
+    double total_bw = 0.0;
+    for (std::size_t i = 0; i < num_streams; ++i) {
+      const ClipGrid& grid = grids[i];
+      double best_score = std::numeric_limits<double>::lowest();
+      std::size_t best_knob = 0;
+      for (std::size_t k = 0; k < grid.knobs.size(); ++k) {
+        const double penalty =
+            options.w_accuracy *
+                unit(grid.accuracy[k], grid.acc_lo, grid.acc_hi) -
+            options.w_energy * unit(grid.energy[k], grid.eng_lo, grid.eng_hi);
+        const double score = options.lyapunov_v * penalty -
+                             q_compute * grid.utilization[k] -
+                             q_bandwidth * grid.bandwidth[k];
+        if (score > best_score) {
+          best_score = score;
+          best_knob = k;
+        }
+      }
+      config[i] = grid.knobs[best_knob];
+      objective +=
+          options.w_accuracy *
+              unit(grid.accuracy[best_knob], grid.acc_lo, grid.acc_hi) -
+          options.w_energy *
+              unit(grid.energy[best_knob], grid.eng_lo, grid.eng_hi);
+      total_util += grid.utilization[best_knob];
+      total_bw += grid.bandwidth[best_knob];
+    }
+
+    // First-Fit placement (Const1 only — JCAB does not know Const2).
+    // Lyapunov scheduling acts per time slot: the *latest* feasible
+    // decision is the one deployed (so an early termination threshold
+    // genuinely changes the outcome).
+    sched::ScheduleResult schedule =
+        sched::schedule_first_fit(workload, config);
+    if (schedule.feasible) {
+      result.config = config;
+      result.schedule = std::move(schedule);
+      result.feasible = true;
+    }
+    if (!schedule.feasible) {
+      // Couldn't even fit on Const1: pressure the compute queue hard so
+      // the next round backs off.
+      q_compute += static_cast<double>(num_servers);
+    }
+
+    // Virtual queue dynamics.
+    q_compute = std::max(0.0, q_compute + total_util - compute_capacity);
+    q_bandwidth = std::max(0.0, q_bandwidth + total_bw - bandwidth_capacity);
+
+    if (round > 0 && result.feasible &&
+        std::fabs(objective - prev_objective) <
+            options.delta * static_cast<double>(num_streams)) {
+      break;
+    }
+    prev_objective = objective;
+  }
+  return result;
+}
+
+}  // namespace pamo::baselines

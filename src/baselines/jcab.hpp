@@ -1,0 +1,33 @@
+// JCAB baseline (Zhang et al., IEEE/ACM ToN 2021 — reference [34]).
+//
+// JCAB makes video configuration (resolution, fps) and placement decisions
+// with Lyapunov optimization: a drift-plus-penalty rule trades the
+// single-slot penalty V·(w_acc·accuracy − w_eng·energy) against virtual
+// queues that enforce the long-term compute and bandwidth capacity
+// constraints. Placement is First-Fit. It is a *single-objective*
+// scheduler with fixed linear weights: latency, bandwidth cost, and the
+// zero-jitter constraint are outside its objective — exactly the blind
+// spot the paper's evaluation exposes.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/baseline.hpp"
+
+namespace pamo::baselines {
+
+struct JcabOptions {
+  double w_accuracy = 1.0;
+  double w_energy = 1.0;
+  /// Lyapunov penalty weight V (higher = more aggressive on the objective,
+  /// slower queue convergence).
+  double lyapunov_v = 8.0;
+  std::size_t max_rounds = 24;
+  /// Termination threshold on the objective change (Fig. 10b knob).
+  double delta = 0.02;
+};
+
+BaselineResult run_jcab(const eva::Workload& workload,
+                        const JcabOptions& options);
+
+}  // namespace pamo::baselines

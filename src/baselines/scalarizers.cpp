@@ -1,0 +1,180 @@
+#include "baselines/scalarizers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "eva/outcomes.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::baselines {
+
+const char* weight_scheme_name(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kEqual: return "Equal";
+    case WeightScheme::kRoc: return "ROC";
+    case WeightScheme::kRankSum: return "RankSum";
+    case WeightScheme::kPseudo: return "Pseudo";
+  }
+  return "?";
+}
+
+std::array<double, eva::kNumObjectives> scheme_weights(
+    WeightScheme scheme,
+    const std::array<eva::Objective, eva::kNumObjectives>& ranking) {
+  constexpr std::size_t k = eva::kNumObjectives;
+  std::array<double, k> weights{};
+  switch (scheme) {
+    case WeightScheme::kEqual: {
+      weights.fill(1.0 / static_cast<double>(k));
+      break;
+    }
+    case WeightScheme::kRoc: {
+      for (std::size_t rank = 0; rank < k; ++rank) {
+        double sum = 0.0;
+        for (std::size_t j = rank; j < k; ++j) {
+          sum += 1.0 / static_cast<double>(j + 1);
+        }
+        weights[static_cast<std::size_t>(ranking[rank])] =
+            sum / static_cast<double>(k);
+      }
+      break;
+    }
+    case WeightScheme::kRankSum: {
+      for (std::size_t rank = 0; rank < k; ++rank) {
+        weights[static_cast<std::size_t>(ranking[rank])] =
+            2.0 * static_cast<double>(k - rank) /
+            (static_cast<double>(k) * static_cast<double>(k + 1));
+      }
+      break;
+    }
+    case WeightScheme::kPseudo:
+      throw Error("Pseudo-weights are sample-derived; use run_scalarizer");
+  }
+  return weights;
+}
+
+namespace {
+
+/// Scalarized loss of a feasible solution: Σ w_i ŷ_i (lower is better).
+double scalarized_loss(const std::array<double, eva::kNumObjectives>& weights,
+                       const eva::OutcomeVector& normalized) {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < eva::kNumObjectives; ++i) {
+    loss += weights[i] * normalized[i];
+  }
+  return loss;
+}
+
+/// Evaluate a configuration: Algorithm 1 schedule + normalized outcomes.
+std::optional<eva::OutcomeVector> evaluate(
+    const eva::Workload& workload, const eva::OutcomeNormalizer& normalizer,
+    const eva::JointConfig& config, sched::ScheduleResult* schedule_out) {
+  sched::ScheduleResult schedule =
+      sched::schedule_zero_jitter(workload, config);
+  if (!schedule.feasible) return std::nullopt;
+  const eva::OutcomeVector raw =
+      eva::true_outcomes(workload, config, schedule.uplink_per_parent);
+  if (schedule_out != nullptr) *schedule_out = std::move(schedule);
+  return normalizer.normalize(raw);
+}
+
+std::array<double, eva::kNumObjectives> pseudo_weights_from_samples(
+    const eva::Workload& workload, const eva::OutcomeNormalizer& normalizer,
+    std::size_t num_samples, Rng& rng) {
+  // Pseudo-weights: w_i ∝ (worst_i − observed best_i) over a sample of
+  // feasible solutions — objectives with more headroom get more weight.
+  std::array<double, eva::kNumObjectives> best{};
+  best.fill(1.0);
+  std::size_t found = 0;
+  for (std::size_t trial = 0; trial < num_samples * 4 && found < num_samples;
+       ++trial) {
+    eva::JointConfig config;
+    for (std::size_t i = 0; i < workload.num_streams(); ++i) {
+      config.push_back(workload.space.sample(rng));
+    }
+    const auto normalized = evaluate(workload, normalizer, config, nullptr);
+    if (!normalized) continue;
+    ++found;
+    for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+      best[k] = std::min(best[k], (*normalized)[k]);
+    }
+  }
+  std::array<double, eva::kNumObjectives> weights{};
+  double total = 0.0;
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    weights[k] = 1.0 - best[k];  // headroom below the worst (=1)
+    total += weights[k];
+  }
+  if (total <= 0) {
+    weights.fill(1.0 / eva::kNumObjectives);
+  } else {
+    for (auto& w : weights) w /= total;
+  }
+  return weights;
+}
+
+}  // namespace
+
+BaselineResult run_scalarizer(const eva::Workload& workload,
+                              const ScalarizerOptions& options) {
+  const eva::OutcomeNormalizer normalizer =
+      eva::OutcomeNormalizer::for_workload(workload);
+  Rng rng(options.seed);
+
+  std::array<double, eva::kNumObjectives> weights{};
+  if (options.explicit_weights.has_value()) {
+    weights = *options.explicit_weights;
+  } else if (options.scheme == WeightScheme::kPseudo) {
+    weights = pseudo_weights_from_samples(workload, normalizer,
+                                          options.pseudo_samples, rng);
+  } else {
+    weights = scheme_weights(options.scheme, options.ranking);
+  }
+
+  BaselineResult result;
+  // Start from the most frugal configuration (always schedulable if
+  // anything is) and coordinate-descend per stream.
+  eva::JointConfig config(workload.num_streams(),
+                          {workload.space.resolutions().front(),
+                           workload.space.fps_knobs().front()});
+  auto current = evaluate(workload, normalizer, config, &result.schedule);
+  if (!current) return result;  // even the minimum is unschedulable
+  double current_loss = scalarized_loss(weights, *current);
+  result.config = config;
+  result.feasible = true;
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++result.iterations;
+    bool improved = false;
+    for (std::size_t i = 0; i < workload.num_streams(); ++i) {
+      const eva::StreamConfig original = config[i];
+      eva::StreamConfig best_knob = original;
+      for (auto r : workload.space.resolutions()) {
+        for (auto s : workload.space.fps_knobs()) {
+          if (eva::StreamConfig{r, s} == original) continue;
+          config[i] = {r, s};
+          sched::ScheduleResult schedule;
+          const auto normalized =
+              evaluate(workload, normalizer, config, &schedule);
+          if (!normalized) continue;
+          const double loss = scalarized_loss(weights, *normalized);
+          if (loss < current_loss - 1e-12) {
+            current_loss = loss;
+            best_knob = {r, s};
+            result.schedule = std::move(schedule);
+            improved = true;
+          }
+        }
+      }
+      config[i] = best_knob;
+    }
+    result.config = config;
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace pamo::baselines

@@ -1,0 +1,64 @@
+// Classical fixed-weight scalarization schedulers (§1 and §6 of the
+// paper): Equal weights, Rank-Order-Centroid (ROC) weights, Rank-Sum (RS)
+// weights, and Pseudo-weights. Each turns the multi-objective problem into
+// a single weighted sum over *normalized* objectives and greedily searches
+// the configuration space under the zero-jitter scheduler.
+//
+// These are the "not flexible enough" strawmen the paper contrasts with
+// preference learning: the weight vector is fixed by a formula over an
+// assumed objective *ranking*, not by the system's actual pricing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "baselines/baseline.hpp"
+#include "eva/types.hpp"
+
+namespace pamo::baselines {
+
+enum class WeightScheme {
+  kEqual,   // w_i = 1/k
+  kRoc,     // w_i = (1/k) Σ_{j=i..k} 1/j over the assumed ranking
+  kRankSum, // w_i = 2(k + 1 - i) / (k (k + 1))
+  kPseudo,  // weights ∝ distance of each objective from its worst value,
+            // estimated from a sample of feasible solutions
+};
+
+const char* weight_scheme_name(WeightScheme scheme);
+
+/// Materialize the scheme's weight vector. `ranking[r]` is the objective
+/// assumed to be the r-th most important (used by ROC and RankSum; Equal
+/// ignores it). For kPseudo, weights must come from
+/// pseudo_weights_from_samples instead.
+std::array<double, eva::kNumObjectives> scheme_weights(
+    WeightScheme scheme,
+    const std::array<eva::Objective, eva::kNumObjectives>& ranking);
+
+struct ScalarizerOptions {
+  WeightScheme scheme = WeightScheme::kEqual;
+  /// When set, overrides the scheme with explicit weights — the "oracle
+  /// scalarizer" that knows the true preference. Benches use it to isolate
+  /// the cost of weight misspecification from optimizer power.
+  std::optional<std::array<double, eva::kNumObjectives>> explicit_weights;
+  /// Assumed importance ranking (most important first). Default: the
+  /// paper's objective order.
+  std::array<eva::Objective, eva::kNumObjectives> ranking = {
+      eva::Objective::kLatency, eva::Objective::kAccuracy,
+      eva::Objective::kNetwork, eva::Objective::kCompute,
+      eva::Objective::kEnergy};
+  /// Feasible-solution samples used to estimate Pseudo-weights.
+  std::size_t pseudo_samples = 64;
+  /// Coordinate-descent passes over the streams.
+  std::size_t max_passes = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Run the fixed-weight scalarizer: greedy coordinate descent over each
+/// stream's (resolution, fps), scoring candidates with the scheme's fixed
+/// weights over normalized outcomes, scheduling with Algorithm 1.
+BaselineResult run_scalarizer(const eva::Workload& workload,
+                              const ScalarizerOptions& options);
+
+}  // namespace pamo::baselines

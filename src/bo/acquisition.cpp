@@ -1,0 +1,100 @@
+#include "bo/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pamo::bo {
+
+const char* acquisition_name(AcquisitionType type) {
+  switch (type) {
+    case AcquisitionType::kQNEI: return "qNEI";
+    case AcquisitionType::kQEI: return "qEI";
+    case AcquisitionType::kQUCB: return "qUCB";
+    case AcquisitionType::kQSR: return "qSR";
+  }
+  return "?";
+}
+
+std::vector<double> acquisition_scores(const AcquisitionOptions& options,
+                                       const la::Matrix& z_pool,
+                                       const la::Matrix* z_observed,
+                                       double best_observed) {
+  const std::size_t num_samples = z_pool.rows();
+  const std::size_t num_candidates = z_pool.cols();
+  PAMO_CHECK(num_samples > 0 && num_candidates > 0,
+             "acquisition needs a non-empty sample matrix");
+
+  std::vector<double> scores(num_candidates, 0.0);
+  const double inv_s = 1.0 / static_cast<double>(num_samples);
+
+  switch (options.type) {
+    case AcquisitionType::kQNEI: {
+      PAMO_CHECK(z_observed != nullptr && z_observed->cols() > 0,
+                 "qNEI requires incumbent samples");
+      PAMO_CHECK(z_observed->rows() == num_samples,
+                 "incumbent samples must share the scenario dimension");
+      for (std::size_t s = 0; s < num_samples; ++s) {
+        double baseline = (*z_observed)(s, 0);
+        for (std::size_t j = 1; j < z_observed->cols(); ++j) {
+          baseline = std::max(baseline, (*z_observed)(s, j));
+        }
+        for (std::size_t c = 0; c < num_candidates; ++c) {
+          scores[c] += std::max(0.0, z_pool(s, c) - baseline) * inv_s;
+        }
+      }
+      break;
+    }
+    case AcquisitionType::kQEI: {
+      for (std::size_t s = 0; s < num_samples; ++s) {
+        for (std::size_t c = 0; c < num_candidates; ++c) {
+          scores[c] += std::max(0.0, z_pool(s, c) - best_observed) * inv_s;
+        }
+      }
+      break;
+    }
+    case AcquisitionType::kQUCB: {
+      // BoTorch MC form: E[μ + sqrt(βπ/2) |z − μ|].
+      const double scale = std::sqrt(options.ucb_beta * M_PI / 2.0);
+      std::vector<double> mean(num_candidates, 0.0);
+      for (std::size_t s = 0; s < num_samples; ++s) {
+        for (std::size_t c = 0; c < num_candidates; ++c) {
+          mean[c] += z_pool(s, c) * inv_s;
+        }
+      }
+      for (std::size_t s = 0; s < num_samples; ++s) {
+        for (std::size_t c = 0; c < num_candidates; ++c) {
+          scores[c] +=
+              (mean[c] + scale * std::fabs(z_pool(s, c) - mean[c])) * inv_s;
+        }
+      }
+      break;
+    }
+    case AcquisitionType::kQSR: {
+      for (std::size_t s = 0; s < num_samples; ++s) {
+        for (std::size_t c = 0; c < num_candidates; ++c) {
+          scores[c] += z_pool(s, c) * inv_s;
+        }
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+std::vector<std::size_t> select_top_batch(const std::vector<double>& scores,
+                                          std::size_t batch_size) {
+  PAMO_CHECK(batch_size > 0, "batch size must be positive");
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  order.resize(std::min(batch_size, order.size()));
+  return order;
+}
+
+}  // namespace pamo::bo

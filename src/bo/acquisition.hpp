@@ -1,0 +1,54 @@
+// Monte-Carlo batch acquisition functions (§4.3).
+//
+// All four acquisitions the paper evaluates (qNEI and the qUCB/qSR/qEI
+// ablation variants, §5.1) are implemented over the same interface: a
+// matrix Z of Monte-Carlo samples of the composite objective z = g(f(x))
+// — rows are MC scenarios, columns are candidate points; the scenarios are
+// drawn *jointly* across candidates (and, for qNEI, jointly with the
+// already-observed incumbents), which is what lets qNEI cancel model noise:
+// the incumbent baseline max_j Z_obs[s][j] is re-sampled inside every
+// scenario s instead of being a fixed (noise-contaminated) number.
+//
+// Batch selection is sequential-greedy on per-candidate marginal scores
+// (the standard cheap approximation of joint q-point optimization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace pamo::bo {
+
+enum class AcquisitionType {
+  kQNEI,  // batch noisy expected improvement (the PaMO default, Eq. 12)
+  kQEI,   // batch expected improvement
+  kQUCB,  // batch upper confidence bound
+  kQSR,   // batch simple regret
+};
+
+const char* acquisition_name(AcquisitionType type);
+
+struct AcquisitionOptions {
+  AcquisitionType type = AcquisitionType::kQNEI;
+  /// Exploration coefficient β for qUCB.
+  double ucb_beta = 0.5;
+};
+
+/// Per-candidate acquisition scores.
+///
+/// @param z_pool      (S × C) MC samples of z at the C pool candidates.
+/// @param z_observed  (S × B) MC samples of z at the B observed incumbents
+///                    (required for kQNEI; ignored otherwise).
+/// @param best_observed  plug-in incumbent value z* (used by kQEI).
+std::vector<double> acquisition_scores(const AcquisitionOptions& options,
+                                       const la::Matrix& z_pool,
+                                       const la::Matrix* z_observed,
+                                       double best_observed);
+
+/// Indices of the `batch_size` highest-scoring candidates (descending).
+std::vector<std::size_t> select_top_batch(const std::vector<double>& scores,
+                                          std::size_t batch_size);
+
+}  // namespace pamo::bo

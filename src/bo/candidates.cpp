@@ -1,0 +1,42 @@
+#include "bo/candidates.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/quasi.hpp"
+
+namespace pamo::bo {
+
+std::vector<std::vector<double>> make_candidate_pool(
+    std::size_t dim, const std::vector<std::vector<double>>& incumbents,
+    const PoolOptions& options, Rng& rng) {
+  PAMO_CHECK(dim >= 1, "pool dimension must be >= 1");
+  std::vector<std::vector<double>> pool;
+  pool.reserve(options.num_quasi_random +
+               incumbents.size() * options.mutations_per_incumbent);
+
+  HaltonSequence halton(dim, rng.next_u64());
+  for (std::size_t i = 0; i < options.num_quasi_random; ++i) {
+    pool.push_back(halton.next());
+  }
+
+  for (const auto& incumbent : incumbents) {
+    PAMO_CHECK(incumbent.size() == dim, "incumbent dimension mismatch");
+    for (std::size_t k = 0; k < options.mutations_per_incumbent; ++k) {
+      std::vector<double> candidate = incumbent;
+      // Perturb a random subset of coordinates; keep the rest — local moves
+      // in a product space should change only a few streams at a time.
+      const std::size_t num_mutated = 1 + rng.uniform_index(std::max<std::size_t>(1, dim / 2));
+      for (std::size_t m = 0; m < num_mutated; ++m) {
+        const std::size_t coord = rng.uniform_index(dim);
+        candidate[coord] = std::clamp(
+            candidate[coord] + rng.normal(0.0, options.mutation_sigma), 0.0,
+            1.0);
+      }
+      pool.push_back(std::move(candidate));
+    }
+  }
+  return pool;
+}
+
+}  // namespace pamo::bo

@@ -1,0 +1,30 @@
+// Candidate-pool generation for the BO inner search.
+//
+// The joint decision space (N · C_r · C_f)^M is exponential (§1), so the
+// acquisition is maximized over a pool: space-filling quasi-random points
+// covering the cube plus local mutations of the incumbents (the standard
+// "random restarts + local perturbation" pool of discrete BO).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pamo::bo {
+
+struct PoolOptions {
+  std::size_t num_quasi_random = 192;
+  /// Mutations generated around *each* incumbent.
+  std::size_t mutations_per_incumbent = 24;
+  /// Gaussian mutation scale in the unit cube.
+  double mutation_sigma = 0.18;
+};
+
+/// Build a candidate pool in [0,1]^dim from quasi-random coverage and
+/// mutations of `incumbents` (each of dimension `dim`).
+std::vector<std::vector<double>> make_candidate_pool(
+    std::size_t dim, const std::vector<std::vector<double>>& incumbents,
+    const PoolOptions& options, Rng& rng);
+
+}  // namespace pamo::bo

@@ -1,0 +1,145 @@
+#include "bo/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/quasi.hpp"
+
+namespace pamo::bo {
+
+namespace {
+
+std::vector<double> from_unit(const opt::Box& box,
+                              const std::vector<double>& u) {
+  std::vector<double> x(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    x[i] = box.lo[i] + u[i] * (box.hi[i] - box.lo[i]);
+  }
+  return x;
+}
+
+}  // namespace
+
+BoResult maximize(const std::function<double(const std::vector<double>&)>& f,
+                  const opt::Box& box, const BoOptimizerOptions& options) {
+  const std::size_t dim = box.dim();
+  PAMO_CHECK(dim >= 1, "BO requires dimension >= 1");
+  PAMO_CHECK(options.init_samples >= 2, "BO needs >= 2 initial samples");
+  for (std::size_t i = 0; i < dim; ++i) {
+    PAMO_CHECK(box.lo[i] < box.hi[i], "box must have positive width");
+  }
+
+  Rng rng(options.seed);
+  BoResult result;
+
+  // Observations in unit coordinates (the GP input space).
+  std::vector<std::vector<double>> observed_u;
+  std::vector<double> observed_z;
+  auto observe = [&](const std::vector<double>& u) {
+    const double z = f(from_unit(box, u));
+    PAMO_CHECK(std::isfinite(z), "objective returned a non-finite value");
+    observed_u.push_back(u);
+    observed_z.push_back(z);
+    ++result.evaluations;
+    return z;
+  };
+
+  {
+    HaltonSequence halton(dim, rng.next_u64());
+    for (std::size_t i = 0; i < options.init_samples; ++i) {
+      observe(halton.next());
+    }
+  }
+
+  gp::GpRegressor model(options.gp);
+  model.fit(observed_u, observed_z);
+
+  double incumbent = *std::max_element(observed_z.begin(), observed_z.end());
+  std::size_t stall = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    ++result.iterations;
+
+    // Incumbent-centred candidate pool.
+    std::vector<std::vector<double>> incumbents;
+    {
+      std::vector<std::size_t> order(observed_z.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return observed_z[a] > observed_z[b];
+                       });
+      for (std::size_t i = 0; i < std::min<std::size_t>(3, order.size());
+           ++i) {
+        incumbents.push_back(observed_u[order[i]]);
+      }
+    }
+    const auto pool = make_candidate_pool(dim, incumbents, options.pool, rng);
+
+    // Joint GP scenarios over pool ∪ observed (shared scenarios are what
+    // lets qNEI subtract the resampled incumbent baseline).
+    std::vector<std::vector<double>> joint = pool;
+    joint.insert(joint.end(), observed_u.begin(), observed_u.end());
+    const la::Matrix samples =
+        model.sample_joint(joint, options.mc_samples, rng);
+    la::Matrix z_pool(options.mc_samples, pool.size());
+    la::Matrix z_obs(options.mc_samples, observed_u.size());
+    for (std::size_t s = 0; s < options.mc_samples; ++s) {
+      for (std::size_t c = 0; c < pool.size(); ++c) {
+        z_pool(s, c) = samples(s, c);
+      }
+      for (std::size_t c = 0; c < observed_u.size(); ++c) {
+        z_obs(s, c) = samples(s, pool.size() + c);
+      }
+    }
+
+    const auto scores =
+        acquisition_scores(options.acquisition, z_pool, &z_obs, incumbent);
+    const auto batch = select_top_batch(scores, options.batch_size);
+
+    std::vector<std::vector<double>> new_u;
+    std::vector<double> new_z;
+    for (const std::size_t c : batch) {
+      new_u.push_back(pool[c]);
+      new_z.push_back(observe(pool[c]));
+    }
+    const bool remle = options.remle_every > 0 &&
+                       (iter + 1) % options.remle_every == 0;
+    model.update(new_u, new_z, remle);
+
+    const double new_incumbent =
+        *std::max_element(observed_z.begin(), observed_z.end());
+    result.trace.push_back(new_incumbent);
+    if (options.convergence_delta > 0.0) {
+      if (new_incumbent - incumbent < options.convergence_delta) {
+        if (++stall >= 2) {
+          incumbent = new_incumbent;
+          break;
+        }
+      } else {
+        stall = 0;
+      }
+    }
+    incumbent = new_incumbent;
+  }
+
+  const auto best_it =
+      std::max_element(observed_z.begin(), observed_z.end());
+  const auto best_idx =
+      static_cast<std::size_t>(std::distance(observed_z.begin(), best_it));
+  result.best_value = *best_it;
+  result.best_x = from_unit(box, observed_u[best_idx]);
+  return result;
+}
+
+BoResult minimize(const std::function<double(const std::vector<double>&)>& f,
+                  const opt::Box& box, const BoOptimizerOptions& options) {
+  BoResult result = maximize(
+      [&f](const std::vector<double>& x) { return -f(x); }, box, options);
+  result.best_value = -result.best_value;
+  for (auto& v : result.trace) v = -v;
+  return result;
+}
+
+}  // namespace pamo::bo

@@ -1,0 +1,62 @@
+// Generic single-objective Bayesian optimizer over a box domain.
+//
+// This is the reusable face of the BO substrate: fit a GP to (x, f(x))
+// observations, score a quasi-random + incumbent-mutation candidate pool
+// with a Monte-Carlo batch acquisition (qNEI by default, sampled *jointly*
+// with the observed incumbents), evaluate the best batch, repeat. PaMO's
+// Algorithm 2 is a domain-specialized sibling of this loop (composite
+// objective through outcome models + preference model); this optimizer is
+// what a downstream user reaches for to tune anything else.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bo/acquisition.hpp"
+#include "bo/candidates.hpp"
+#include "gp/gp_regressor.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace pamo::bo {
+
+struct BoOptimizerOptions {
+  std::size_t init_samples = 8;    // quasi-random initial design
+  std::size_t max_iters = 20;      // BO iterations
+  std::size_t batch_size = 1;      // evaluations per iteration
+  std::size_t mc_samples = 48;     // MC scenarios for the acquisition
+  AcquisitionOptions acquisition;  // qNEI by default
+  PoolOptions pool;
+  gp::GpOptions gp = [] {
+    gp::GpOptions g;
+    g.mle_restarts = 2;
+    g.mle_max_evals = 120;
+    return g;
+  }();
+  /// Re-run hyperparameter MLE every `remle_every` iterations (0 = once).
+  std::size_t remle_every = 5;
+  /// Stop early when the incumbent improves by less than this for two
+  /// consecutive iterations (0 disables early stopping).
+  double convergence_delta = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct BoResult {
+  std::vector<double> best_x;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t iterations = 0;
+  /// Incumbent best value after each iteration.
+  std::vector<double> trace;
+};
+
+/// Maximize `f` over `box`. `f` may be noisy; the final best_x/best_value
+/// report the best *observed* evaluation.
+BoResult maximize(const std::function<double(const std::vector<double>&)>& f,
+                  const opt::Box& box, const BoOptimizerOptions& options);
+
+/// Convenience: minimize by negating.
+BoResult minimize(const std::function<double(const std::vector<double>&)>& f,
+                  const opt::Box& box, const BoOptimizerOptions& options);
+
+}  // namespace pamo::bo

@@ -1,0 +1,51 @@
+// Error handling primitives shared by every pamo library.
+//
+// Invariant violations inside the libraries throw pamo::Error (a
+// std::runtime_error) so callers can distinguish library failures from
+// standard-library failures. PAMO_CHECK is for recoverable precondition
+// violations on public API boundaries; PAMO_ASSERT is for internal
+// invariants and compiles to a check in all build types (the cost is
+// negligible next to the numerical work).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pamo {
+
+/// Exception type thrown on precondition or invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace pamo
+
+#define PAMO_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pamo::detail::raise("precondition", #cond, __FILE__, __LINE__,     \
+                            (msg));                                        \
+    }                                                                      \
+  } while (false)
+
+#define PAMO_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pamo::detail::raise("invariant", #cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)

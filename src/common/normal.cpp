@@ -1,0 +1,36 @@
+#include "common/normal.hpp"
+
+#include <cmath>
+
+namespace pamo {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+}  // namespace
+
+double normal_pdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
+
+double log_normal_cdf(double z) {
+  if (z > -8.0) {
+    return std::log(normal_cdf(z));
+  }
+  // Asymptotic: Φ(z) ≈ φ(z)/|z| · (1 - 1/z² + 3/z⁴) for z << 0.
+  const double z2 = z * z;
+  const double series = 1.0 - 1.0 / z2 + 3.0 / (z2 * z2);
+  return -0.5 * z2 - 0.5 * std::log(2.0 * M_PI) - std::log(-z) +
+         std::log(series);
+}
+
+double normal_hazard(double z) {
+  if (z > -8.0) {
+    return normal_pdf(z) / normal_cdf(z);
+  }
+  // φ/Φ → -z + 1/(-z) · (1 + o(1)) for z << 0; three-term continued fraction.
+  const double t = -z;
+  return t + 1.0 / (t + 2.0 / (t + 3.0 / t));
+}
+
+}  // namespace pamo

@@ -1,0 +1,19 @@
+// Standard normal pdf/cdf helpers (shared by the probit preference
+// likelihood and the expected-improvement acquisition functions).
+#pragma once
+
+namespace pamo {
+
+/// Standard normal density φ(z).
+double normal_pdf(double z);
+
+/// Standard normal CDF Φ(z) via erfc (accurate in both tails).
+double normal_cdf(double z);
+
+/// log Φ(z), numerically stable for z << 0 (asymptotic expansion).
+double log_normal_cdf(double z);
+
+/// Hazard ratio φ(z)/Φ(z), stable for z << 0.
+double normal_hazard(double z);
+
+}  // namespace pamo

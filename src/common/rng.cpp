@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Rng Rng::fork(std::uint64_t index) const {
+  // Mix the current state with the stream index through SplitMix64 so that
+  // distinct indices give well-separated streams.
+  SplitMix64 sm(s_[0] ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  Rng child(0);
+  for (auto& s : child.s_) s = sm.next();
+  return child;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PAMO_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  PAMO_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^24.
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  spare_ = mag * std::sin(two_pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  PAMO_CHECK(stddev >= 0.0, "normal stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+}  // namespace pamo

@@ -1,0 +1,77 @@
+// Deterministic, forkable random number generation.
+//
+// Every stochastic component in pamo receives an explicit Rng (or a seed) —
+// there is no global generator. Rng wraps xoshiro256**, seeded through
+// SplitMix64 as recommended by its authors. Rng::fork(i) derives an
+// independent stream for parallel work: results are identical regardless of
+// the number of worker threads because each logical work item gets the
+// stream derived from its *index*, not from its thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pamo {
+
+/// SplitMix64 — used for seeding and stream derivation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Derive an independent stream for work item `index`. Deterministic:
+  /// fork(i) of equal-state Rngs yields equal streams.
+  [[nodiscard]] Rng fork(std::uint64_t index) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  /// Standard normal via Box–Muller (cached spare).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // UniformRandomBitGenerator interface (for std::shuffle interop).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace pamo

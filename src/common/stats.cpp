@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const {
+  PAMO_CHECK(n_ > 0, "mean of empty RunningStat");
+  return mean_;
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  PAMO_CHECK(n_ > 0, "min of empty RunningStat");
+  return min_;
+}
+
+double RunningStat::max() const {
+  PAMO_CHECK(n_ > 0, "max of empty RunningStat");
+  return max_;
+}
+
+double quantile(std::vector<double> values, double q) {
+  PAMO_CHECK(!values.empty(), "quantile of empty sample");
+  PAMO_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  PAMO_CHECK(!values.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev_of(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean_of(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& predicted) {
+  PAMO_CHECK(truth.size() == predicted.size() && !truth.empty(),
+             "r_squared requires equal-length non-empty inputs");
+  const double m = mean_of(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot <= 1e-300) return ss_res <= 1e-300 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace pamo

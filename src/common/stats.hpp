@@ -1,0 +1,44 @@
+// Small statistics helpers used by the simulator and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pamo {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample. q in [0, 1].
+double quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean; requires a non-empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev_of(const std::vector<double>& values);
+
+/// Coefficient of determination R² = 1 - SS_res / SS_tot.
+/// Returns 1.0 when SS_tot is ~0 and predictions match, else can be < 0.
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& predicted);
+
+}  // namespace pamo

@@ -1,0 +1,85 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pamo {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PAMO_CHECK(!headers_.empty(), "table requires at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  PAMO_CHECK(cells.size() == headers_.size(),
+             "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row_values(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(format_double(c, precision));
+  add_row(std::move(formatted));
+}
+
+void TablePrinter::write_csv(std::ostream& os) const {
+  auto write_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char c : cell) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      write_cell(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  os.flush();
+}
+
+void TablePrinter::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+}  // namespace pamo

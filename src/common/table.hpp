@@ -1,0 +1,41 @@
+// ASCII table printing for the benchmark harnesses.
+//
+// Every figure/table bench prints its series through TablePrinter so the
+// output can be diffed against EXPERIMENTS.md and eyeballed next to the
+// paper's plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pamo {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  void add_row_values(const std::vector<double>& cells, int precision = 4);
+
+  /// Render with column alignment, a header rule, and an optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Write RFC-4180-style CSV (quoting fields containing commas, quotes,
+  /// or newlines) — for plotting bench output.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for mixed-type rows).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace pamo

@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace pamo {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_blocks =
+      std::min<std::size_t>(n, std::max<std::size_t>(1, size()) * 4);
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+
+  // Single-threaded pools (or tiny n) run inline — no synchronization cost.
+  if (size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  std::size_t launched = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t begin = 0; begin < n; begin += block) {
+      const std::size_t end = std::min(n, begin + block);
+      ++launched;
+      tasks_.emplace([&, begin, end] {
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            launched) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] {
+    return remaining.load(std::memory_order_acquire) == launched;
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace pamo

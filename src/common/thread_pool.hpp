@@ -1,0 +1,50 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// parallel_for(n, fn) partitions [0, n) into contiguous blocks and runs
+// fn(i) for every index. Work items must not depend on execution order;
+// all pamo call sites derive per-index RNG streams (Rng::fork) so results
+// are bit-identical for any thread count, including 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pamo {
+
+class ThreadPool {
+ public:
+  /// @param num_threads  0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for every i in [0, n); blocks until all complete.
+  /// Exceptions thrown by fn are captured and the first one rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience: parallel_for on the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace pamo

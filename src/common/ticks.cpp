@@ -1,0 +1,64 @@
+#include "common/ticks.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pamo {
+
+std::uint64_t gcd_of(const std::vector<std::uint64_t>& values) {
+  PAMO_CHECK(!values.empty(), "gcd_of requires a non-empty list");
+  std::uint64_t g = 0;
+  for (std::uint64_t v : values) {
+    PAMO_CHECK(v > 0, "gcd_of requires positive values");
+    g = std::gcd(g, v);
+  }
+  return g;
+}
+
+std::uint64_t lcm_of(const std::vector<std::uint64_t>& values) {
+  PAMO_CHECK(!values.empty(), "lcm_of requires a non-empty list");
+  std::uint64_t l = 1;
+  for (std::uint64_t v : values) {
+    PAMO_CHECK(v > 0, "lcm_of requires positive values");
+    const std::uint64_t g = std::gcd(l, v);
+    const std::uint64_t factor = v / g;
+    PAMO_CHECK(l <= std::numeric_limits<std::uint64_t>::max() / factor,
+               "lcm_of overflow");
+    l *= factor;
+  }
+  return l;
+}
+
+TickClock::TickClock(const std::vector<std::uint32_t>& fps_knobs) {
+  PAMO_CHECK(!fps_knobs.empty(), "TickClock requires at least one fps knob");
+  std::vector<std::uint64_t> v;
+  v.reserve(fps_knobs.size());
+  for (auto f : fps_knobs) {
+    PAMO_CHECK(f > 0, "fps knobs must be positive");
+    v.push_back(f);
+  }
+  tps_ = lcm_of(v);
+}
+
+std::uint64_t TickClock::period_ticks(std::uint32_t fps) const {
+  PAMO_CHECK(fps > 0, "fps must be positive");
+  PAMO_CHECK(tps_ % fps == 0,
+             "fps is not compatible with this TickClock (tps % fps != 0)");
+  return tps_ / fps;
+}
+
+double TickClock::to_seconds(std::uint64_t ticks) const {
+  return static_cast<double>(ticks) / static_cast<double>(tps_);
+}
+
+std::uint64_t TickClock::ceil_ticks(double seconds) const {
+  PAMO_CHECK(seconds >= 0.0, "duration must be non-negative");
+  const double ticks = seconds * static_cast<double>(tps_);
+  PAMO_CHECK(ticks < 9.2e18, "duration too large for tick representation");
+  return static_cast<std::uint64_t>(std::ceil(ticks - 1e-9));
+}
+
+}  // namespace pamo

@@ -1,0 +1,49 @@
+#include "core/evaluation.hpp"
+
+#include "common/error.hpp"
+#include "eva/profiler.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::core {
+
+std::optional<SolutionScore> evaluate_solution(
+    const eva::Workload& workload, const eva::JointConfig& config,
+    const sched::ScheduleResult& schedule,
+    const eva::OutcomeNormalizer& normalizer,
+    const pref::BenefitFunction& benefit) {
+  if (!schedule.feasible) return std::nullopt;
+  PAMO_CHECK(config.size() == workload.num_streams(),
+             "config size does not match stream count");
+
+  // Latency from the simulator: contention-free schedules reproduce Eq. 5;
+  // Const2 violators pay their queueing delay here.
+  const sim::SimReport report = sim::simulate(workload, schedule);
+
+  std::vector<eva::StreamMeasurement> measurements;
+  measurements.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    measurements.push_back(
+        eva::Profiler::ground_truth(workload.clips[i], config[i]));
+  }
+
+  SolutionScore score;
+  score.raw_outcomes =
+      eva::aggregate_outcomes(measurements, report.latency_per_parent);
+  score.normalized_outcomes = normalizer.normalize(score.raw_outcomes);
+  score.benefit = benefit.value(score.normalized_outcomes);
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    score.weighted_losses[k] =
+        benefit.weights()[k] * score.normalized_outcomes[k];
+  }
+  return score;
+}
+
+double normalized_benefit(double u, double u_max,
+                          const pref::BenefitFunction& benefit) {
+  const double u_min = -0.5 * benefit.weight_sum();
+  const double width = u_max - u_min;
+  if (width <= 0) return 1.0;
+  return (u - u_min) / width;
+}
+
+}  // namespace pamo::core

@@ -1,0 +1,45 @@
+// Ground-truth evaluation of a scheduling solution.
+//
+// Every method (PaMO, PaMO+, JCAB, FACT) is scored the same way: its
+// configuration + schedule are run through the discrete-event simulator
+// (so queueing delay and jitter from Const2 violations show up in the
+// latency objective, exactly as on the paper's testbed), outcomes are
+// aggregated (Eqs. 2–5), normalized, and priced by the true benefit
+// function (Eq. 13). Normalized benefit follows footnote 2 of the paper
+// with min(U) = −½ Σ w_i. (The footnote's printed formula maps the best
+// solution to 0 — an obvious sign typo; we use the orientation of the
+// figures, where PaMO+ sits at 1.)
+#pragma once
+
+#include <optional>
+
+#include "eva/outcomes.hpp"
+#include "eva/workload.hpp"
+#include "pref/oracle.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::core {
+
+struct SolutionScore {
+  eva::OutcomeVector raw_outcomes{};
+  eva::OutcomeVector normalized_outcomes{};
+  double benefit = 0.0;  // U of Eq. 13
+  /// Per-objective benefit-loss contribution w_i·ŷ_i (the Figure 6 shaded
+  /// "benefit ratio" decomposition).
+  eva::OutcomeVector weighted_losses{};
+};
+
+/// Score a feasible schedule against the true preference. Returns nullopt
+/// if the schedule is marked infeasible.
+std::optional<SolutionScore> evaluate_solution(
+    const eva::Workload& workload, const eva::JointConfig& config,
+    const sched::ScheduleResult& schedule,
+    const eva::OutcomeNormalizer& normalizer,
+    const pref::BenefitFunction& benefit);
+
+/// Footnote-2 normalization: maps U into [0, 1] with U = u_max ↦ 1 and
+/// U = −½ Σw_i ↦ 0.
+double normalized_benefit(double u, double u_max,
+                          const pref::BenefitFunction& benefit);
+
+}  // namespace pamo::core

@@ -1,0 +1,121 @@
+#include "core/outcome_models.hpp"
+
+#include "common/error.hpp"
+
+namespace pamo::core {
+
+namespace {
+
+double metric_of(const eva::StreamMeasurement& m, Metric metric) {
+  switch (metric) {
+    case Metric::kAccuracy: return m.accuracy;
+    case Metric::kBandwidth: return m.bandwidth_mbps;
+    case Metric::kCompute: return m.compute_tflops;
+    case Metric::kPower: return m.power_watts;
+    case Metric::kProcTime: return m.proc_time;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+OutcomeModels::OutcomeModels(const eva::ConfigSpace& space,
+                             gp::GpOptions gp_options) {
+  for (auto r : space.resolutions()) {
+    for (auto s : space.fps_knobs()) {
+      grid_.push_back({r, s});
+      grid_inputs_.push_back({static_cast<double>(r), static_cast<double>(s)});
+    }
+  }
+  models_.reserve(kNumMetrics);
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    gp::GpOptions options = gp_options;
+    options.seed = gp_options.seed + m;  // decorrelate MLE restarts
+    models_.emplace_back(options);
+  }
+}
+
+void OutcomeModels::fit(const std::vector<eva::StreamConfig>& configs,
+                        const std::vector<eva::StreamMeasurement>& measurements) {
+  PAMO_CHECK(configs.size() == measurements.size(),
+             "configs/measurements size mismatch");
+  PAMO_CHECK(configs.size() >= 2, "outcome models need >= 2 profiles");
+  std::vector<std::vector<double>> inputs;
+  inputs.reserve(configs.size());
+  for (const auto& c : configs) {
+    inputs.push_back({static_cast<double>(c.resolution),
+                      static_cast<double>(c.fps)});
+  }
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    std::vector<double> targets;
+    targets.reserve(measurements.size());
+    for (const auto& meas : measurements) {
+      targets.push_back(metric_of(meas, static_cast<Metric>(m)));
+    }
+    models_[m].fit(inputs, targets);
+  }
+}
+
+void OutcomeModels::update(
+    const std::vector<eva::StreamConfig>& configs,
+    const std::vector<eva::StreamMeasurement>& measurements) {
+  PAMO_CHECK(configs.size() == measurements.size(),
+             "configs/measurements size mismatch");
+  PAMO_CHECK(is_fit(), "update before fit");
+  std::vector<std::vector<double>> inputs;
+  inputs.reserve(configs.size());
+  for (const auto& c : configs) {
+    inputs.push_back({static_cast<double>(c.resolution),
+                      static_cast<double>(c.fps)});
+  }
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    std::vector<double> targets;
+    targets.reserve(measurements.size());
+    for (const auto& meas : measurements) {
+      targets.push_back(metric_of(meas, static_cast<Metric>(m)));
+    }
+    models_[m].update(inputs, targets, /*reoptimize=*/false);
+  }
+}
+
+bool OutcomeModels::is_fit() const {
+  return !models_.empty() && models_.front().is_fit();
+}
+
+double OutcomeModels::mean(Metric metric,
+                           const eva::StreamConfig& config) const {
+  return models_[static_cast<std::size_t>(metric)].predict_mean(
+      {static_cast<double>(config.resolution),
+       static_cast<double>(config.fps)});
+}
+
+std::size_t OutcomeModels::grid_index(const eva::StreamConfig& config) const {
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_[i] == config) return i;
+  }
+  throw Error("configuration is not on the knob grid");
+}
+
+std::vector<la::Matrix> OutcomeModels::sample_grid_tables(
+    std::size_t num_samples, Rng& rng) const {
+  PAMO_CHECK(is_fit(), "sample before fit");
+  std::vector<la::Matrix> tables;
+  tables.reserve(kNumMetrics);
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    tables.push_back(models_[m].sample_joint(grid_inputs_, num_samples, rng));
+  }
+  return tables;
+}
+
+la::Matrix OutcomeModels::mean_grid_table() const {
+  PAMO_CHECK(is_fit(), "mean table before fit");
+  la::Matrix table(kNumMetrics, grid_.size());
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    for (std::size_t g = 0; g < grid_.size(); ++g) {
+      table(m, g) = models_[m].predict_mean(grid_inputs_[g]);
+    }
+  }
+  return table;
+}
+
+}  // namespace pamo::core

@@ -1,0 +1,73 @@
+// The five per-objective outcome models f = [f_acc, f_com, f_net, f_eng,
+// f_lct] of Algorithm 2, realized as Gaussian processes over the 2-D
+// (resolution, fps) knob space (the Figure 8 protocol: one model per
+// metric, trained on pooled noisy per-stream profiles; clip-to-clip
+// variation is absorbed as observation noise).
+//
+// Because the knob sets are small, the models expose *joint posterior
+// samples over the whole knob grid*: one (S × |grid|) table per metric.
+// Evaluating any candidate joint configuration under MC scenario s is then
+// a table lookup per stream — this is what makes qNEI over hundreds of
+// pool candidates affordable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eva/config.hpp"
+#include "eva/profiler.hpp"
+#include "gp/gp_regressor.hpp"
+
+namespace pamo::core {
+
+/// Metric indices inside the model bank (order is internal).
+enum class Metric : std::size_t {
+  kAccuracy = 0,
+  kBandwidth = 1,
+  kCompute = 2,
+  kPower = 3,
+  kProcTime = 4,
+};
+inline constexpr std::size_t kNumMetrics = 5;
+
+class OutcomeModels {
+ public:
+  explicit OutcomeModels(const eva::ConfigSpace& space,
+                         gp::GpOptions gp_options = {});
+
+  /// Fit all five GPs from profiled (config, measurement) pairs.
+  void fit(const std::vector<eva::StreamConfig>& configs,
+           const std::vector<eva::StreamMeasurement>& measurements);
+
+  /// Append new profiles; hyperparameters are kept (cheap refit).
+  void update(const std::vector<eva::StreamConfig>& configs,
+              const std::vector<eva::StreamMeasurement>& measurements);
+
+  [[nodiscard]] bool is_fit() const;
+
+  /// Posterior mean of a metric at one configuration.
+  [[nodiscard]] double mean(Metric metric,
+                            const eva::StreamConfig& config) const;
+
+  /// Index of a configuration in the knob grid.
+  [[nodiscard]] std::size_t grid_index(const eva::StreamConfig& config) const;
+  [[nodiscard]] const std::vector<eva::StreamConfig>& grid() const {
+    return grid_;
+  }
+
+  /// Joint posterior sample tables over the knob grid: result[m] is an
+  /// (S × |grid|) matrix for metric m. Samples of different metrics are
+  /// independent; within a metric, samples are jointly drawn over the grid.
+  [[nodiscard]] std::vector<la::Matrix> sample_grid_tables(
+      std::size_t num_samples, Rng& rng) const;
+
+  /// Posterior-mean table over the grid (one row per metric).
+  [[nodiscard]] la::Matrix mean_grid_table() const;
+
+ private:
+  std::vector<eva::StreamConfig> grid_;
+  std::vector<std::vector<double>> grid_inputs_;
+  std::vector<gp::GpRegressor> models_;  // one per metric
+};
+
+}  // namespace pamo::core

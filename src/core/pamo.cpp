@@ -1,0 +1,318 @@
+#include "core/pamo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pamo::core {
+
+namespace {
+
+std::vector<double> to_vector(const eva::OutcomeVector& y) {
+  return std::vector<double>(y.begin(), y.end());
+}
+
+}  // namespace
+
+PamoScheduler::PamoScheduler(const eva::Workload& workload,
+                             PamoOptions options)
+    : workload_(workload),
+      options_(std::move(options)),
+      normalizer_(eva::OutcomeNormalizer::for_workload(workload)),
+      models_(workload.space, options_.gp) {
+  PAMO_CHECK(workload_.num_streams() > 0, "empty workload");
+  PAMO_CHECK(options_.batch_size >= 1, "batch size must be >= 1");
+}
+
+std::optional<std::pair<eva::JointConfig, sched::ScheduleResult>>
+PamoScheduler::random_feasible(Rng& rng) const {
+  const auto& space = workload_.space;
+  const std::size_t num_res = space.resolutions().size();
+  const std::size_t num_fps = space.fps_knobs().size();
+  // Start unconstrained; shrink the knob caps after failed attempts so we
+  // always find something schedulable on heavily loaded workloads.
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    const std::size_t shrink = attempt / 8;
+    const std::size_t cap_res = num_res > shrink ? num_res - shrink : 1;
+    const std::size_t cap_fps = num_fps > shrink ? num_fps - shrink : 1;
+    eva::JointConfig config(workload_.num_streams());
+    for (auto& c : config) {
+      c.resolution = space.resolutions()[rng.uniform_index(cap_res)];
+      c.fps = space.fps_knobs()[rng.uniform_index(cap_fps)];
+    }
+    sched::ScheduleResult schedule =
+        sched::schedule_zero_jitter(workload_, config);
+    if (schedule.feasible) {
+      return std::make_pair(std::move(config), std::move(schedule));
+    }
+  }
+  return std::nullopt;
+}
+
+PamoScheduler::Observation PamoScheduler::observe(
+    const eva::JointConfig& config, sched::ScheduleResult schedule,
+    Rng& rng) {
+  Observation obs;
+  obs.config = config;
+  obs.schedule = std::move(schedule);
+  obs.unit = workload_.space.joint_to_unit(config);
+
+  const eva::Profiler profiler;
+  std::vector<eva::StreamMeasurement> measurements;
+  std::vector<double> latencies;
+  measurements.reserve(config.size());
+  latencies.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    Rng stream_rng = rng.fork(profiles_taken_ * 1000 + i);
+    measurements.push_back(
+        profiler.measure(workload_.clips[i], config[i], stream_rng));
+    // Measured e2e latency: noisy processing time + transfer of the
+    // measured frame bits over the assigned uplink (Eq. 5); the schedule
+    // is zero-jitter so there is no queueing term.
+    const double bits =
+        measurements.back().bandwidth_mbps * 1e6 / config[i].fps;
+    const double uplink = obs.schedule.uplink_per_parent[i];
+    latencies.push_back(measurements.back().proc_time + bits / (uplink * 1e6));
+  }
+  ++profiles_taken_;
+  obs.raw = eva::aggregate_outcomes(measurements, latencies);
+  obs.normalized = normalizer_.normalize(obs.raw);
+
+  // Feed the outcome models (respecting the training-size cap: past the
+  // cap the models are informative enough and refits dominate runtime).
+  if (model_points_ < options_.max_model_points) {
+    models_.update(config, measurements);
+    model_points_ += config.size();
+  }
+  return obs;
+}
+
+eva::OutcomeVector PamoScheduler::outcomes_from_tables(
+    const std::vector<la::Matrix>& tables, std::size_t sample,
+    const eva::JointConfig& config,
+    const sched::ScheduleResult& schedule) const {
+  const auto m = static_cast<double>(config.size());
+  eva::OutcomeVector y{};
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const std::size_t g = models_.grid_index(config[i]);
+    const double acc =
+        tables[static_cast<std::size_t>(Metric::kAccuracy)](sample, g);
+    const double bw =
+        tables[static_cast<std::size_t>(Metric::kBandwidth)](sample, g);
+    const double com =
+        tables[static_cast<std::size_t>(Metric::kCompute)](sample, g);
+    const double eng =
+        tables[static_cast<std::size_t>(Metric::kPower)](sample, g);
+    const double proc =
+        tables[static_cast<std::size_t>(Metric::kProcTime)](sample, g);
+    eva::at(y, eva::Objective::kAccuracy) += acc / m;
+    eva::at(y, eva::Objective::kNetwork) += std::max(0.0, bw);
+    eva::at(y, eva::Objective::kCompute) += std::max(0.0, com);
+    eva::at(y, eva::Objective::kEnergy) += std::max(0.0, eng);
+    const double bits = std::max(0.0, bw) * 1e6 / config[i].fps;
+    const double uplink = schedule.uplink_per_parent[i];
+    eva::at(y, eva::Objective::kLatency) +=
+        (std::max(0.0, proc) + bits / (uplink * 1e6)) / m;
+  }
+  return y;
+}
+
+double PamoScheduler::utility(const eva::OutcomeVector& normalized,
+                              const pref::PreferenceOracle& oracle) const {
+  if (options_.use_true_preference) {
+    return oracle.benefit().value(normalized);
+  }
+  PAMO_ASSERT(active_learner_ != nullptr, "preference model missing");
+  return active_learner_->model().utility_mean(to_vector(normalized));
+}
+
+PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
+  Rng rng(options_.seed);
+  PamoResult result;
+  const std::size_t queries_before = oracle.queries_answered();
+
+  // ---- Phase 1: outcome-function fitting (Alg. 2 lines 1–4). ----
+  {
+    std::vector<eva::StreamConfig> configs;
+    std::vector<eva::StreamMeasurement> measurements;
+    const eva::Profiler profiler;
+    configs.reserve(options_.init_profiles);
+    for (std::size_t u = 0; u < options_.init_profiles; ++u) {
+      const auto& clip = workload_.clips[u % workload_.num_streams()];
+      const eva::StreamConfig config = workload_.space.sample(rng);
+      Rng sample_rng = rng.fork(0xA000 + u);
+      configs.push_back(config);
+      measurements.push_back(profiler.measure(clip, config, sample_rng));
+    }
+    models_.fit(configs, measurements);
+    model_points_ = configs.size();
+    profiles_taken_ = options_.init_profiles;
+  }
+
+  // ---- Phase 2: system preference modeling (lines 5–11). ----
+  if (!options_.use_true_preference && options_.shared_learner != nullptr) {
+    // Long-running mode: the operator's preference is already (partially)
+    // learned; reuse it and let the in-loop updates keep refining it.
+    active_learner_ = options_.shared_learner;
+  } else if (!options_.use_true_preference) {
+    std::vector<std::vector<double>> pool;
+    pool.reserve(options_.pref_pool_size);
+    for (std::size_t p = 0; p < options_.pref_pool_size; ++p) {
+      auto drawn = random_feasible(rng);
+      if (!drawn) continue;
+      const auto& [config, schedule] = *drawn;
+      // Model-mean outcome vector of the candidate (what the system can
+      // show the decision-maker without extra measurements).
+      eva::OutcomeVector y{};
+      const auto m = static_cast<double>(config.size());
+      for (std::size_t i = 0; i < config.size(); ++i) {
+        const auto& c = config[i];
+        eva::at(y, eva::Objective::kAccuracy) +=
+            models_.mean(Metric::kAccuracy, c) / m;
+        const double bw = models_.mean(Metric::kBandwidth, c);
+        eva::at(y, eva::Objective::kNetwork) += bw;
+        eva::at(y, eva::Objective::kCompute) +=
+            models_.mean(Metric::kCompute, c);
+        eva::at(y, eva::Objective::kEnergy) += models_.mean(Metric::kPower, c);
+        const double bits = bw * 1e6 / c.fps;
+        eva::at(y, eva::Objective::kLatency) +=
+            (models_.mean(Metric::kProcTime, c) +
+             bits / (schedule.uplink_per_parent[i] * 1e6)) /
+            m;
+      }
+      pool.push_back(to_vector(normalizer_.normalize(y)));
+    }
+    PAMO_CHECK(pool.size() >= 2,
+               "could not build a preference candidate pool (workload "
+               "infeasible for nearly all configurations)");
+    learner_.emplace(std::move(pool), options_.pref_learner,
+                     rng.next_u64());
+    learner_->run(oracle, options_.num_comparisons);
+    active_learner_ = &*learner_;
+  }
+
+  // ---- Phase 3: best-configuration solving (lines 12–26). ----
+  std::vector<Observation> observed;
+  for (std::size_t i = 0; i < options_.init_observations; ++i) {
+    auto drawn = random_feasible(rng);
+    if (!drawn) break;
+    observed.push_back(observe(drawn->first, std::move(drawn->second), rng));
+  }
+  if (observed.empty()) {
+    result.feasible = false;
+    return result;
+  }
+
+  const std::size_t dim = 2 * workload_.num_streams();
+  double z_prev = -1e300;
+  for (std::size_t iter = 0; iter < options_.max_iters; ++iter) {
+    ++result.iterations;
+
+    // Incumbents: the best few observed configurations by current utility.
+    std::vector<std::size_t> obs_order(observed.size());
+    for (std::size_t i = 0; i < obs_order.size(); ++i) obs_order[i] = i;
+    std::stable_sort(obs_order.begin(), obs_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return utility(observed[a].normalized, oracle) >
+                              utility(observed[b].normalized, oracle);
+                     });
+    std::vector<std::vector<double>> incumbents;
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, obs_order.size());
+         ++i) {
+      incumbents.push_back(observed[obs_order[i]].unit);
+    }
+
+    // Candidate pool: quasi-random + mutations, scheduled by Algorithm 1.
+    const auto raw_pool =
+        bo::make_candidate_pool(dim, incumbents, options_.pool, rng);
+    std::vector<eva::JointConfig> pool_configs;
+    std::vector<sched::ScheduleResult> pool_schedules;
+    for (const auto& unit : raw_pool) {
+      if (pool_configs.size() >= options_.max_pool_feasible) break;
+      eva::JointConfig config = workload_.space.joint_from_unit(unit);
+      sched::ScheduleResult schedule =
+          sched::schedule_zero_jitter(workload_, config);
+      if (!schedule.feasible) continue;  // zero-jitter constraint (Const2)
+      pool_configs.push_back(std::move(config));
+      pool_schedules.push_back(std::move(schedule));
+    }
+    if (pool_configs.empty()) break;
+
+    // Joint MC scenarios over the knob grid.
+    const std::size_t num_samples = options_.mc_samples;
+    const auto tables = models_.sample_grid_tables(num_samples, rng);
+
+    // Scenario evaluations are independent (tables are pre-sampled and the
+    // preference model is read-only here), so fan out across the pool.
+    la::Matrix z_pool(num_samples, pool_configs.size());
+    la::Matrix z_obs(num_samples, observed.size());
+    parallel_for(num_samples, [&](std::size_t s) {
+      for (std::size_t c = 0; c < pool_configs.size(); ++c) {
+        const eva::OutcomeVector y = outcomes_from_tables(
+            tables, s, pool_configs[c], pool_schedules[c]);
+        z_pool(s, c) = utility(normalizer_.normalize(y), oracle);
+      }
+      for (std::size_t c = 0; c < observed.size(); ++c) {
+        const eva::OutcomeVector y = outcomes_from_tables(
+            tables, s, observed[c].config, observed[c].schedule);
+        z_obs(s, c) = utility(normalizer_.normalize(y), oracle);
+      }
+    });
+    double best_observed = -1e300;
+    for (const auto& obs : observed) {
+      best_observed =
+          std::max(best_observed, utility(obs.normalized, oracle));
+    }
+
+    const std::vector<double> scores = bo::acquisition_scores(
+        options_.acquisition, z_pool, &z_obs, best_observed);
+    const std::vector<std::size_t> batch =
+        bo::select_top_batch(scores, options_.batch_size);
+
+    // Observe the recommended batch (line 16: Profile_and_Algorithm1).
+    double z_best_batch = -1e300;
+    std::vector<std::vector<double>> new_outcomes;
+    for (const std::size_t c : batch) {
+      Observation obs =
+          observe(pool_configs[c], std::move(pool_schedules[c]), rng);
+      z_best_batch =
+          std::max(z_best_batch, utility(obs.normalized, oracle));
+      new_outcomes.push_back(to_vector(obs.normalized));
+      observed.push_back(std::move(obs));
+    }
+
+    // Line 19: extend the preference data with the new outcome vectors.
+    if (!options_.use_true_preference && options_.learn_in_loop) {
+      active_learner_->extend_pool(new_outcomes);
+      active_learner_->run(oracle, 1);
+    }
+
+    result.benefit_trace.push_back(z_best_batch);
+    if (std::fabs(z_best_batch - z_prev) < options_.delta && iter > 0) {
+      break;  // line 21: |z − z_p| < δ
+    }
+    z_prev = z_best_batch;
+  }
+
+  // Final recommendation: the observed configuration with the highest
+  // *believed* benefit (the model, not the ground truth, does the picking).
+  std::size_t best = 0;
+  double best_utility = -1e300;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double u = utility(observed[i].normalized, oracle);
+    if (u > best_utility) {
+      best_utility = u;
+      best = i;
+    }
+  }
+  result.feasible = true;
+  result.best_config = observed[best].config;
+  result.best_schedule = observed[best].schedule;
+  result.oracle_queries = oracle.queries_answered() - queries_before;
+  result.profiles_taken = profiles_taken_;
+  return result;
+}
+
+}  // namespace pamo::core

@@ -1,0 +1,136 @@
+// PaMO — the preference-aware Bayesian-optimization scheduler (§4, Alg. 2).
+//
+// Phase 1  Outcome-function fitting: profile per-stream metrics at random
+//          knob configurations and fit the five outcome GPs.
+// Phase 2  Preference modeling: build a pool of (model-predicted,
+//          normalized) outcome vectors, then run EUBO-guided pairwise
+//          comparison rounds against the decision-maker to train the
+//          preference GP. (PaMO+ skips this and uses the true benefit
+//          function — the paper's skyline variant.)
+// Phase 3  BO loop: each iteration samples the outcome GPs jointly over
+//          the knob grid, scores a candidate pool (quasi-random coverage +
+//          incumbent mutations, each candidate scheduled by Algorithm 1 and
+//          dropped if infeasible) with a Monte-Carlo batch acquisition
+//          (qNEI by default), observes the best b candidates by actually
+//          profiling them, updates both models, and stops when the best
+//          benefit estimate moves less than δ (or at MaxIterNum).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bo/acquisition.hpp"
+#include "bo/candidates.hpp"
+#include "core/outcome_models.hpp"
+#include "eva/outcomes.hpp"
+#include "eva/workload.hpp"
+#include "pref/learner.hpp"
+#include "pref/oracle.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::core {
+
+struct PamoOptions {
+  // Phase 1 (outcome models).
+  std::size_t init_profiles = 64;        // U: initial profiling samples
+  std::size_t max_model_points = 220;    // training-set cap for the GPs
+  gp::GpOptions gp = [] {
+    gp::GpOptions g;
+    g.mle_restarts = 2;
+    g.mle_max_evals = 120;
+    return g;
+  }();
+
+  // Phase 2 (preference model).
+  std::size_t num_comparisons = 18;      // V: pre-loop comparison queries
+  std::size_t pref_pool_size = 32;       // candidate outcome vectors
+  pref::LearnerOptions pref_learner;
+  /// PaMO+: bypass preference learning, use the true benefit function.
+  bool use_true_preference = false;
+  /// Ask one more comparison per BO iteration (line 19 of Algorithm 2).
+  bool learn_in_loop = true;
+  /// When set, skip Phase 2 and use (and extend) this externally owned
+  /// preference model instead of training a fresh one. The system's
+  /// pricing preference belongs to the *operator*, not to one scheduling
+  /// epoch, so long-running deployments (core::SchedulingService) share
+  /// one learner across re-optimizations.
+  pref::PreferenceLearner* shared_learner = nullptr;
+
+  // Phase 3 (BO loop).
+  std::size_t init_observations = 6;
+  std::size_t mc_samples = 40;           // S: MC scenarios per iteration
+  std::size_t batch_size = 4;            // b: qNEI batch
+  std::size_t max_iters = 10;            // MaxIterNum
+  std::size_t max_pool_feasible = 144;   // feasible candidates kept per iter
+  double delta = 0.02;                   // convergence threshold δ
+  bo::AcquisitionOptions acquisition;
+  bo::PoolOptions pool;
+
+  std::uint64_t seed = 42;
+};
+
+struct PamoResult {
+  bool feasible = false;
+  eva::JointConfig best_config;
+  sched::ScheduleResult best_schedule;
+  std::size_t iterations = 0;
+  std::size_t oracle_queries = 0;
+  std::size_t profiles_taken = 0;
+  /// Model-estimated benefit of the incumbent after each BO iteration.
+  std::vector<double> benefit_trace;
+};
+
+class PamoScheduler {
+ public:
+  PamoScheduler(const eva::Workload& workload, PamoOptions options);
+
+  /// Run all three phases against the decision-maker oracle.
+  PamoResult run(pref::PreferenceOracle& oracle);
+
+  [[nodiscard]] const OutcomeModels& outcome_models() const {
+    return models_;
+  }
+
+ private:
+  struct Observation {
+    eva::JointConfig config;
+    sched::ScheduleResult schedule;
+    std::vector<double> unit;          // encoded decision vector
+    eva::OutcomeVector raw{};          // aggregated noisy observation
+    eva::OutcomeVector normalized{};   // ŷ
+  };
+
+  /// Draw a joint configuration whose Algorithm 1 schedule is feasible,
+  /// biasing knobs downward on failures.
+  std::optional<std::pair<eva::JointConfig, sched::ScheduleResult>>
+  random_feasible(Rng& rng) const;
+
+  /// Profile a configuration for real: noisy per-stream measurements plus
+  /// jitter-free latency through the Algorithm 1 schedule.
+  Observation observe(const eva::JointConfig& config,
+                      sched::ScheduleResult schedule, Rng& rng);
+
+  /// Model-predicted outcome vector of a scheduled candidate under one MC
+  /// scenario (row `sample` of the grid tables).
+  eva::OutcomeVector outcomes_from_tables(
+      const std::vector<la::Matrix>& tables, std::size_t sample,
+      const eva::JointConfig& config,
+      const sched::ScheduleResult& schedule) const;
+
+  /// Utility of a normalized outcome vector under the current preference
+  /// belief (learned model for PaMO, true benefit for PaMO+).
+  double utility(const eva::OutcomeVector& normalized,
+                 const pref::PreferenceOracle& oracle) const;
+
+  const eva::Workload& workload_;
+  PamoOptions options_;
+  eva::OutcomeNormalizer normalizer_;
+  OutcomeModels models_;
+  std::optional<pref::PreferenceLearner> learner_;  // owned (default mode)
+  pref::PreferenceLearner* active_learner_ = nullptr;
+  std::size_t model_points_ = 0;
+  std::size_t profiles_taken_ = 0;
+};
+
+}  // namespace pamo::core

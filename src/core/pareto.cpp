@@ -1,0 +1,83 @@
+#include "core/pareto.hpp"
+
+#include "common/error.hpp"
+#include "common/quasi.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::core {
+
+bool dominates(const eva::OutcomeVector& a, const eva::OutcomeVector& b) {
+  bool all_le = true;
+  bool any_lt = false;
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    if (a[k] > b[k]) all_le = false;
+    if (a[k] < b[k]) any_lt = true;
+  }
+  return all_le && any_lt;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<eva::OutcomeVector>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+double hypervolume_estimate(const std::vector<eva::OutcomeVector>& points,
+                            std::size_t num_samples, std::uint64_t seed) {
+  PAMO_CHECK(num_samples > 0, "hypervolume needs at least one sample");
+  if (points.empty()) return 0.0;
+  HaltonSequence halton(eva::kNumObjectives, seed);
+  std::size_t dominated_count = 0;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const std::vector<double> u = halton.next();
+    // u is "dominated" by a point p when p <= u component-wise (p is at
+    // least as good everywhere) — then u's box volume is covered.
+    for (const auto& p : points) {
+      bool covered = true;
+      for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+        if (p[k] > u[k]) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) {
+        ++dominated_count;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(dominated_count) /
+         static_cast<double>(num_samples);
+}
+
+std::vector<ParetoSample> sample_outcome_space(const eva::Workload& workload,
+                                               std::size_t num_samples,
+                                               std::uint64_t seed) {
+  const eva::OutcomeNormalizer normalizer =
+      eva::OutcomeNormalizer::for_workload(workload);
+  Rng rng(seed);
+  std::vector<ParetoSample> samples;
+  samples.reserve(num_samples);
+  for (std::size_t trial = 0;
+       trial < num_samples * 6 && samples.size() < num_samples; ++trial) {
+    eva::JointConfig config;
+    for (std::size_t i = 0; i < workload.num_streams(); ++i) {
+      config.push_back(workload.space.sample(rng));
+    }
+    const auto schedule = sched::schedule_zero_jitter(workload, config);
+    if (!schedule.feasible) continue;
+    const eva::OutcomeVector raw =
+        eva::true_outcomes(workload, config, schedule.uplink_per_parent);
+    samples.push_back({std::move(config), normalizer.normalize(raw)});
+  }
+  return samples;
+}
+
+}  // namespace pamo::core

@@ -1,0 +1,44 @@
+// Pareto-dominance tools over normalized outcome vectors (§2.3).
+//
+// Outcomes here use the normalized convention (0 = best per objective), so
+// dominance means component-wise <= with at least one strict <. The
+// hypervolume indicator (w.r.t. the worst-case reference point 1⃗) is
+// estimated by quasi-Monte-Carlo dominance counting — exact algorithms in
+// five dimensions buy nothing at the sizes we care about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eva/outcomes.hpp"
+#include "eva/workload.hpp"
+
+namespace pamo::core {
+
+/// True iff `a` dominates `b` (a is no worse everywhere, better somewhere).
+bool dominates(const eva::OutcomeVector& a, const eva::OutcomeVector& b);
+
+/// Indices of the non-dominated points, in input order.
+std::vector<std::size_t> pareto_front(
+    const std::vector<eva::OutcomeVector>& points);
+
+/// QMC estimate of the hypervolume dominated by `points` inside [0,1]^k
+/// with reference point 1⃗ (larger = better front coverage).
+double hypervolume_estimate(const std::vector<eva::OutcomeVector>& points,
+                            std::size_t num_samples, std::uint64_t seed);
+
+/// One sampled point of the reachable outcome space.
+struct ParetoSample {
+  eva::JointConfig config;
+  eva::OutcomeVector normalized{};
+};
+
+/// Sample feasible configurations (Algorithm 1-schedulable), returning
+/// their normalized ground-truth outcomes. Used to map the Pareto frontier
+/// of a workload.
+std::vector<ParetoSample> sample_outcome_space(const eva::Workload& workload,
+                                               std::size_t num_samples,
+                                               std::uint64_t seed);
+
+}  // namespace pamo::core

@@ -1,0 +1,69 @@
+#include "core/service.hpp"
+
+#include "common/error.hpp"
+#include "core/pareto.hpp"
+
+namespace pamo::core {
+
+SchedulingService::SchedulingService(eva::Workload workload,
+                                     ServiceOptions options)
+    : workload_(std::move(workload)), options_(std::move(options)) {
+  PAMO_CHECK(workload_.num_streams() > 0 && workload_.num_servers() > 0,
+             "service requires a non-empty workload");
+}
+
+void SchedulingService::set_workload(eva::Workload workload) {
+  PAMO_CHECK(workload.num_streams() > 0 && workload.num_servers() > 0,
+             "service requires a non-empty workload");
+  workload_ = std::move(workload);
+}
+
+void SchedulingService::ensure_learner(pref::PreferenceOracle& oracle) {
+  if (learner_.has_value()) return;
+  // Anchor the persistent preference model on normalized outcomes of
+  // feasible configurations — the operator compares *presentable*
+  // outcomes, so ground-truth samples of the initial workload are the
+  // natural pool. Later epochs extend it with newly observed outcomes.
+  const auto samples = sample_outcome_space(
+      workload_, options_.pref_pool_size, options_.seed + 0xB00);
+  PAMO_CHECK(samples.size() >= 2,
+             "could not anchor the preference model: the workload admits "
+             "almost no feasible configurations");
+  std::vector<std::vector<double>> pool;
+  pool.reserve(samples.size());
+  for (const auto& s : samples) {
+    pool.emplace_back(s.normalized.begin(), s.normalized.end());
+  }
+  learner_.emplace(std::move(pool), options_.initial.pref_learner,
+                   options_.seed + 0xB01);
+  learner_->run(oracle, options_.initial_comparisons);
+}
+
+SchedulingService::EpochReport SchedulingService::run_epoch(
+    pref::PreferenceOracle& oracle) {
+  EpochReport report;
+  report.epoch = epoch_;
+  const std::size_t queries_before = oracle.queries_answered();
+
+  PamoOptions options = epoch_ == 0 ? options_.initial : options_.steady;
+  if (!options.use_true_preference) {
+    ensure_learner(oracle);
+    options.shared_learner = &*learner_;
+  }
+  // Decorrelate epochs while keeping the service deterministic.
+  options.seed = options_.seed + 7919 * (epoch_ + 1);
+
+  PamoScheduler scheduler(workload_, options);
+  const PamoResult result = scheduler.run(oracle);
+  ++epoch_;
+  report.oracle_queries = oracle.queries_answered() - queries_before;
+  if (!result.feasible) return report;
+
+  report.feasible = true;
+  report.config = result.best_config;
+  report.schedule = result.best_schedule;
+  report.sim = sim::simulate(workload_, result.best_schedule);
+  return report;
+}
+
+}  // namespace pamo::core

@@ -1,0 +1,79 @@
+// Long-running scheduling service — the paper's Figure 1 operating loop.
+//
+// The EVA scheduler does not run once: it "periodically collects
+// performance and resource information ... and adjusts configuration and
+// scheduling decisions" (§2.1). SchedulingService wraps that loop:
+//
+//   * the *preference model* persists across epochs (the operator's
+//     pricing does not change when the video content does), so later
+//     epochs reuse the learned model and ask at most a refresh query or
+//     two instead of re-interviewing the decision-maker;
+//   * each epoch re-optimizes against the current workload (callers feed
+//     content drift / churn via set_workload) with a trimmed BO budget;
+//   * every decision is validated in the discrete-event simulator and the
+//     report carries the measured latency/jitter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pamo.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::core {
+
+struct ServiceOptions {
+  /// Epoch-0 optimization (full preference interview + BO).
+  PamoOptions initial;
+  /// Steady-state epochs (shared preference model, smaller BO budget).
+  PamoOptions steady = [] {
+    PamoOptions o;
+    o.init_profiles = 32;
+    o.init_observations = 4;
+    o.max_iters = 4;
+    o.batch_size = 2;
+    return o;
+  }();
+  /// Size of the outcome-vector pool the persistent preference model is
+  /// anchored on.
+  std::size_t pref_pool_size = 28;
+  /// Comparison queries asked when the service first starts.
+  std::size_t initial_comparisons = 18;
+  std::uint64_t seed = 1;
+};
+
+class SchedulingService {
+ public:
+  SchedulingService(eva::Workload workload, ServiceOptions options);
+
+  /// Replace the environment (content drift, stream churn, new uplinks).
+  void set_workload(eva::Workload workload);
+
+  struct EpochReport {
+    std::size_t epoch = 0;
+    bool feasible = false;
+    eva::JointConfig config;
+    sched::ScheduleResult schedule;
+    sim::SimReport sim;                // measured behaviour of the decision
+    std::size_t oracle_queries = 0;    // asked during this epoch
+  };
+
+  /// Run one scheduling epoch against the decision-maker.
+  EpochReport run_epoch(pref::PreferenceOracle& oracle);
+
+  [[nodiscard]] std::size_t epochs_run() const { return epoch_; }
+  [[nodiscard]] const pref::PreferenceLearner* learner() const {
+    return learner_ ? &*learner_ : nullptr;
+  }
+  [[nodiscard]] const eva::Workload& workload() const { return workload_; }
+
+ private:
+  void ensure_learner(pref::PreferenceOracle& oracle);
+
+  eva::Workload workload_;
+  ServiceOptions options_;
+  std::optional<pref::PreferenceLearner> learner_;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace pamo::core

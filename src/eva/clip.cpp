@@ -1,0 +1,141 @@
+#include "eva/clip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+namespace {
+
+/// Multiplicative per-clip perturbation in [lo, hi].
+double perturb(Rng& rng, double lo = 0.82, double hi = 1.22) {
+  return rng.uniform(lo, hi);
+}
+
+}  // namespace
+
+ClipProfile ClipProfile::generate(std::uint64_t seed, std::uint64_t clip_id) {
+  // One RNG stream per clip: clips are independent of library size/order.
+  Rng rng = Rng(seed).fork(clip_id);
+  ClipProfile c;
+  c.id_ = clip_id;
+
+  // Accuracy: saturating-quadratic in r through roughly
+  // (480, 0.50), (1200, 0.78), (1920, 0.87); mild linear fps factor that
+  // reaches 1.0 at 30 fps. Content complexity shifts the ceiling per clip.
+  const double ceiling = rng.uniform(0.80, 0.95);
+  c.acc2_ = -1.30e-7 * perturb(rng, 0.9, 1.1);
+  c.acc1_ = 5.70e-4 * perturb(rng, 0.9, 1.1);
+  c.acc0_ = (ceiling - (c.acc1_ * 1920.0 + c.acc2_ * 1920.0 * 1920.0)) *
+            perturb(rng, 0.98, 1.02);
+  c.eps0_ = 0.82 + rng.uniform(0.0, 0.06);
+  c.eps1_ = (1.0 - c.eps0_) / 30.0;
+
+  // Frame size: ~0.08 bit/pixel of a 16:9 frame with short side r, plus a
+  // small header. 1920 → ≈0.52 Mbit/frame → ≈15.7 Mbps at 30 fps (Fig. 2).
+  c.bit2_ = 0.142 * perturb(rng);
+  c.bit0_ = 2.0e4 * perturb(rng);
+
+  // Processing time: p(480) ≈ 8 ms, p(1920) ≈ 63 ms on one server.
+  // 30 fps × p(1920) > 1 s, so the largest configurations are high-rate
+  // streams that must be split (§3, variable definition).
+  c.p2_ = 1.6e-8 * perturb(rng);
+  c.p0_ = 4.0e-3 * perturb(rng);
+
+  // Computation: YOLO-like ∝ pixels; 1920 @ 30 fps → ≈35 TFLOPs (Fig. 2).
+  c.c2_ = (130.0 / (640.0 * 640.0)) * perturb(rng);
+
+  // Compute energy per frame: ~15 W × processing time.
+  c.e2_ = 15.0 * c.p2_ * perturb(rng, 0.9, 1.15);
+  c.e0_ = 15.0 * c.p0_ * perturb(rng, 0.9, 1.15);
+
+  return c;
+}
+
+ClipProfile ClipProfile::blend(const ClipProfile& a, const ClipProfile& b,
+                               double t) {
+  PAMO_CHECK(t >= 0.0 && t <= 1.0, "blend factor must be in [0, 1]");
+  auto lerp = [t](double x, double y) { return x + t * (y - x); };
+  ClipProfile c;
+  c.id_ = a.id_;
+  c.acc0_ = lerp(a.acc0_, b.acc0_);
+  c.acc1_ = lerp(a.acc1_, b.acc1_);
+  c.acc2_ = lerp(a.acc2_, b.acc2_);
+  c.eps0_ = lerp(a.eps0_, b.eps0_);
+  c.eps1_ = lerp(a.eps1_, b.eps1_);
+  c.bit0_ = lerp(a.bit0_, b.bit0_);
+  c.bit2_ = lerp(a.bit2_, b.bit2_);
+  c.p0_ = lerp(a.p0_, b.p0_);
+  c.p2_ = lerp(a.p2_, b.p2_);
+  c.c2_ = lerp(a.c2_, b.c2_);
+  c.e0_ = lerp(a.e0_, b.e0_);
+  c.e2_ = lerp(a.e2_, b.e2_);
+  return c;
+}
+
+ClipProfile ClipProfile::scaled_load(const ClipProfile& clip, double factor) {
+  PAMO_CHECK(factor > 0.0, "load factor must be positive");
+  ClipProfile c = clip;
+  c.bit0_ *= factor;
+  c.bit2_ *= factor;
+  c.p0_ *= factor;
+  c.p2_ *= factor;
+  c.c2_ *= factor;
+  c.e0_ *= factor;
+  c.e2_ *= factor;
+  return c;
+}
+
+double ClipProfile::accuracy(double resolution, double fps) const {
+  const double theta =
+      acc0_ + acc1_ * resolution + acc2_ * resolution * resolution;
+  const double eps = eps0_ + eps1_ * fps;
+  return std::clamp(theta * eps, 0.0, 1.0);
+}
+
+double ClipProfile::bits_per_frame(double resolution) const {
+  return bit0_ + bit2_ * resolution * resolution;
+}
+
+double ClipProfile::proc_time(double resolution) const {
+  return p0_ + p2_ * resolution * resolution;
+}
+
+double ClipProfile::compute_per_frame(double resolution) const {
+  return c2_ * resolution * resolution;
+}
+
+double ClipProfile::energy_per_frame(double resolution) const {
+  return e0_ + e2_ * resolution * resolution;
+}
+
+double ClipProfile::bandwidth_mbps(double resolution, double fps) const {
+  return bits_per_frame(resolution) * fps / 1e6;
+}
+
+double ClipProfile::compute_tflops(double resolution, double fps) const {
+  return compute_per_frame(resolution) * fps / 1e3;
+}
+
+double ClipProfile::power_watts(double resolution, double fps) const {
+  const double transmission = kJoulesPerBit * bits_per_frame(resolution) * fps;
+  const double compute = energy_per_frame(resolution) * fps;
+  return transmission + compute;
+}
+
+ClipLibrary::ClipLibrary(std::size_t num_clips, std::uint64_t seed) {
+  PAMO_CHECK(num_clips > 0, "ClipLibrary requires at least one clip");
+  clips_.reserve(num_clips);
+  for (std::size_t i = 0; i < num_clips; ++i) {
+    clips_.push_back(ClipProfile::generate(seed, i));
+  }
+}
+
+const ClipProfile& ClipLibrary::clip(std::size_t i) const {
+  PAMO_CHECK(i < clips_.size(), "clip index out of range");
+  return clips_[i];
+}
+
+}  // namespace pamo::eva

@@ -1,0 +1,97 @@
+// Synthetic ground-truth profiles of video clips — the stand-in for
+// MOT16 clips running YOLOv8/TensorRT on Jetson XAVIER NX hardware.
+//
+// The paper's Figure 2 shows that the five outcome metrics are smooth
+// functions of (resolution, fps) sharing one *shape* across clips and
+// differing in magnitude. Each ClipProfile realizes that observation:
+// the same parametric forms (Eqs. 2–5: linear ε(s) factors, linear or
+// quadratic θ(r) factors) with per-clip coefficient perturbations drawn
+// from a seeded RNG. Magnitudes are calibrated to the Figure 2 axes
+// (mAP 0.2–0.9, e2e latency up to ~0.8 s, bandwidth up to ~15 Mbps,
+// computation up to ~40 TFLOPs, power up to ~100 W).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pamo::eva {
+
+/// Transmission energy per bit (J/bit); γ in Eq. 4, value from the paper.
+inline constexpr double kJoulesPerBit = 0.5e-5;
+
+/// Ground-truth response surfaces of one video clip.
+class ClipProfile {
+ public:
+  /// Deterministically derive a clip profile from (seed, clip id).
+  static ClipProfile generate(std::uint64_t seed, std::uint64_t clip_id);
+
+  /// Coefficient-wise linear interpolation between two profiles:
+  /// t = 0 → a, t = 1 → b. Used to model gradual video-content drift
+  /// ("ever-changing video contents", §1) in the adaptation experiments.
+  static ClipProfile blend(const ClipProfile& a, const ClipProfile& b,
+                           double t);
+
+  /// Scale the clip's *load* (frame bits, processing time, computation,
+  /// compute energy) by `factor` — a busier scene costs more everywhere
+  /// while the accuracy response stays put. factor > 0.
+  static ClipProfile scaled_load(const ClipProfile& clip, double factor);
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Mean average precision in [0, 1]; θ_acc(r) · ε_acc(s) (Eq. 2).
+  [[nodiscard]] double accuracy(double resolution, double fps) const;
+
+  /// Encoded frame size in bits; θ_bit(r), quadratic.
+  [[nodiscard]] double bits_per_frame(double resolution) const;
+
+  /// Per-frame inference time on one (homogeneous) server, in seconds;
+  /// p_i = θ_lcom(r), quadratic (Eq. 5).
+  [[nodiscard]] double proc_time(double resolution) const;
+
+  /// Per-frame computation in GFLOPs; θ_com(r), quadratic.
+  [[nodiscard]] double compute_per_frame(double resolution) const;
+
+  /// Per-frame *compute* energy in joules; θ_eng(r), quadratic (Eq. 4).
+  /// Transmission energy (γ · bits) is accounted separately.
+  [[nodiscard]] double energy_per_frame(double resolution) const;
+
+  // Derived per-stream rates at configuration (r, s):
+  /// Uplink bandwidth demand in Mbps.
+  [[nodiscard]] double bandwidth_mbps(double resolution, double fps) const;
+  /// Computation rate in TFLOPs (per second).
+  [[nodiscard]] double compute_tflops(double resolution, double fps) const;
+  /// Total power (compute + transmission) in watts.
+  [[nodiscard]] double power_watts(double resolution, double fps) const;
+
+ private:
+  std::uint64_t id_ = 0;
+  // accuracy: θ_acc(r) = acc0 + acc1·r + acc2·r², ε_acc(s) = eps0 + eps1·s.
+  double acc0_ = 0, acc1_ = 0, acc2_ = 0, eps0_ = 0, eps1_ = 0;
+  // bits: θ_bit(r) = bit0 + bit2·r².
+  double bit0_ = 0, bit2_ = 0;
+  // processing time: θ_lcom(r) = p0 + p2·r².
+  double p0_ = 0, p2_ = 0;
+  // computation: θ_com(r) = c2·r² (GFLOPs).
+  double c2_ = 0;
+  // compute energy: θ_eng(r) = e0 + e2·r² (J).
+  double e0_ = 0, e2_ = 0;
+};
+
+/// A seeded collection of clip profiles (the "dataset").
+class ClipLibrary {
+ public:
+  ClipLibrary(std::size_t num_clips, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const { return clips_.size(); }
+  [[nodiscard]] const ClipProfile& clip(std::size_t i) const;
+  [[nodiscard]] const std::vector<ClipProfile>& clips() const {
+    return clips_;
+  }
+
+ private:
+  std::vector<ClipProfile> clips_;
+};
+
+}  // namespace pamo::eva

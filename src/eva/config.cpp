@@ -1,0 +1,74 @@
+#include "eva/config.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+ConfigSpace::ConfigSpace(std::vector<std::uint32_t> resolutions,
+                         std::vector<std::uint32_t> fps_knobs)
+    : resolutions_(std::move(resolutions)),
+      fps_knobs_(std::move(fps_knobs)),
+      clock_(fps_knobs_) {
+  PAMO_CHECK(!resolutions_.empty(), "need at least one resolution knob");
+  PAMO_CHECK(!fps_knobs_.empty(), "need at least one fps knob");
+  PAMO_CHECK(std::is_sorted(resolutions_.begin(), resolutions_.end()),
+             "resolution knobs must be ascending");
+  PAMO_CHECK(std::is_sorted(fps_knobs_.begin(), fps_knobs_.end()),
+             "fps knobs must be ascending");
+}
+
+ConfigSpace ConfigSpace::standard() {
+  // fps periods in ticks of 1/30 s: {6, 5, 3, 2, 1} — heterogeneous
+  // divisibility so the zero-jitter grouping of Algorithm 1 is non-trivial.
+  return ConfigSpace({480, 720, 960, 1200, 1440, 1920}, {5, 6, 10, 15, 30});
+}
+
+StreamConfig ConfigSpace::sample(Rng& rng) const {
+  return {resolutions_[rng.uniform_index(resolutions_.size())],
+          fps_knobs_[rng.uniform_index(fps_knobs_.size())]};
+}
+
+StreamConfig ConfigSpace::from_unit(double u_res, double u_fps) const {
+  auto snap = [](double u, const std::vector<std::uint32_t>& knobs) {
+    u = std::min(1.0, std::max(0.0, u));
+    auto idx = static_cast<std::size_t>(u * static_cast<double>(knobs.size()));
+    if (idx >= knobs.size()) idx = knobs.size() - 1;
+    return knobs[idx];
+  };
+  return {snap(u_res, resolutions_), snap(u_fps, fps_knobs_)};
+}
+
+std::pair<double, double> ConfigSpace::to_unit(
+    const StreamConfig& config) const {
+  auto unsnap = [](std::uint32_t value, const std::vector<std::uint32_t>& knobs) {
+    const auto it = std::find(knobs.begin(), knobs.end(), value);
+    PAMO_CHECK(it != knobs.end(), "configuration value is not a knob");
+    const auto idx = static_cast<double>(std::distance(knobs.begin(), it));
+    return (idx + 0.5) / static_cast<double>(knobs.size());
+  };
+  return {unsnap(config.resolution, resolutions_),
+          unsnap(config.fps, fps_knobs_)};
+}
+
+JointConfig ConfigSpace::joint_from_unit(const std::vector<double>& u) const {
+  PAMO_CHECK(u.size() % 2 == 0, "unit vector length must be even (2M)");
+  JointConfig config(u.size() / 2);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    config[i] = from_unit(u[2 * i], u[2 * i + 1]);
+  }
+  return config;
+}
+
+std::vector<double> ConfigSpace::joint_to_unit(const JointConfig& config) const {
+  std::vector<double> u(config.size() * 2);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const auto [ur, uf] = to_unit(config[i]);
+    u[2 * i] = ur;
+    u[2 * i + 1] = uf;
+  }
+  return u;
+}
+
+}  // namespace pamo::eva

@@ -1,0 +1,26 @@
+#include "eva/dynamics.hpp"
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+Workload drift_workload(const Workload& base, std::uint64_t drift_seed,
+                        double t, double surge, double slump) {
+  PAMO_CHECK(t >= 0.0 && t <= 1.0, "drift factor must be in [0, 1]");
+  PAMO_CHECK(surge >= 0.0 && slump >= 0.0 && slump < 1.0,
+             "surge must be >= 0 and slump in [0, 1)");
+  Workload drifted = base;
+  Rng rng = Rng(drift_seed).fork(0xD01F7);
+  for (std::size_t i = 0; i < base.clips.size(); ++i) {
+    const ClipProfile target = ClipProfile::generate(drift_seed, i);
+    ClipProfile blended = ClipProfile::blend(base.clips[i], target, t);
+    // Per-clip scene-business factor; independent stream per clip index so
+    // the draw doesn't depend on clip count.
+    Rng clip_rng = rng.fork(i);
+    const double factor = 1.0 + t * clip_rng.uniform(-slump, surge);
+    drifted.clips[i] = ClipProfile::scaled_load(blended, factor);
+  }
+  return drifted;
+}
+
+}  // namespace pamo::eva

@@ -1,0 +1,26 @@
+// Video-content drift across scheduling epochs.
+//
+// The paper's system runs periodically: "the scheduler periodically
+// collects performance and resource information ... and adjusts
+// configuration and scheduling decisions" (§2.1), and motivates this with
+// "ever-changing video contents" (§1). drift_workload produces the
+// workload as it looks `t` of the way towards an alternative content
+// realization — the substrate for the re-optimization experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "eva/workload.hpp"
+
+namespace pamo::eva {
+
+/// Blend every clip of `base` towards a freshly generated content
+/// realization derived from `drift_seed`, and additionally surge or slump
+/// each clip's load (bits / processing / compute / energy) by a per-clip
+/// factor in [1 - t·slump, 1 + t·surge] — busier scenes cost more across
+/// the board. t = 0 returns `base` unchanged. Servers and uplinks are
+/// unchanged.
+Workload drift_workload(const Workload& base, std::uint64_t drift_seed,
+                        double t, double surge = 0.9, double slump = 0.3);
+
+}  // namespace pamo::eva

@@ -1,0 +1,39 @@
+#include "eva/hetero.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+std::pair<Workload, VirtualizationMap> virtualize_servers(
+    std::vector<ClipProfile> clips,
+    const std::vector<HeterogeneousServer>& servers, ConfigSpace space) {
+  PAMO_CHECK(!clips.empty(), "virtualize_servers requires streams");
+  PAMO_CHECK(!servers.empty(), "virtualize_servers requires servers");
+
+  Workload workload;
+  workload.clips = std::move(clips);
+  workload.space = std::move(space);
+
+  VirtualizationMap map;
+  map.vm_of_server.resize(servers.size());
+  for (std::size_t j = 0; j < servers.size(); ++j) {
+    const auto& server = servers[j];
+    PAMO_CHECK(server.compute_scale >= 0.5,
+               "compute_scale must be >= 0.5 (one VM minimum)");
+    PAMO_CHECK(server.uplink_mbps > 0, "uplink must be positive");
+    const auto vms = static_cast<std::size_t>(
+        std::max(1.0, std::round(server.compute_scale)));
+    const double uplink_per_vm =
+        server.uplink_mbps / static_cast<double>(vms);
+    for (std::size_t v = 0; v < vms; ++v) {
+      map.vm_of_server[j].push_back(workload.uplink_mbps.size());
+      map.server_of_vm.push_back(j);
+      workload.uplink_mbps.push_back(uplink_per_vm);
+    }
+  }
+  return {std::move(workload), std::move(map)};
+}
+
+}  // namespace pamo::eva

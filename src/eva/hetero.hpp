@@ -1,0 +1,40 @@
+// Heterogeneous-server virtualization (§3, Variable Definition): "the
+// video analytics system contain[s] ... N edge servers who have equivalent
+// computing power (heterogeneous servers can be virtualized as multiple
+// homogeneous VMs or containers)".
+//
+// A physical server with compute_scale c becomes round(c) unit-speed VMs;
+// its uplink is divided evenly among them (a conservative model of a
+// shared NIC — documented substitution, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eva/workload.hpp"
+
+namespace pamo::eva {
+
+struct HeterogeneousServer {
+  double uplink_mbps = 0.0;
+  /// Computing power relative to the reference (Jetson-class) server on
+  /// which ClipProfile processing times are calibrated. Must be >= 0.5.
+  double compute_scale = 1.0;
+};
+
+/// The VM layout produced by virtualization: vm_of_server[j] lists the
+/// homogeneous-VM indices carved out of physical server j.
+struct VirtualizationMap {
+  std::vector<std::vector<std::size_t>> vm_of_server;
+  /// Physical server of each VM.
+  std::vector<std::size_t> server_of_vm;
+};
+
+/// Convert heterogeneous physical servers into a homogeneous-VM workload
+/// the scheduler can handle. Returns the workload plus the layout map.
+std::pair<Workload, VirtualizationMap> virtualize_servers(
+    std::vector<ClipProfile> clips,
+    const std::vector<HeterogeneousServer>& servers,
+    ConfigSpace space = ConfigSpace::standard());
+
+}  // namespace pamo::eva

@@ -1,0 +1,120 @@
+#include "eva/outcomes.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+OutcomeVector aggregate_outcomes(
+    const std::vector<StreamMeasurement>& measurements,
+    const std::vector<double>& latency_per_stream) {
+  PAMO_CHECK(!measurements.empty(), "aggregate of zero streams");
+  PAMO_CHECK(measurements.size() == latency_per_stream.size(),
+             "measurements/latency size mismatch");
+  OutcomeVector y{};
+  const auto m = static_cast<double>(measurements.size());
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    at(y, Objective::kAccuracy) += measurements[i].accuracy / m;
+    at(y, Objective::kLatency) += latency_per_stream[i] / m;
+    at(y, Objective::kNetwork) += measurements[i].bandwidth_mbps;
+    at(y, Objective::kCompute) += measurements[i].compute_tflops;
+    at(y, Objective::kEnergy) += measurements[i].power_watts;
+  }
+  return y;
+}
+
+OutcomeVector true_outcomes(const Workload& workload,
+                            const JointConfig& config,
+                            const std::vector<double>& uplink_per_stream) {
+  PAMO_CHECK(config.size() == workload.num_streams(),
+             "config size does not match stream count");
+  PAMO_CHECK(uplink_per_stream.size() == config.size(),
+             "uplink vector size mismatch");
+  std::vector<StreamMeasurement> measurements;
+  std::vector<double> latencies;
+  measurements.reserve(config.size());
+  latencies.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const ClipProfile& clip = workload.clips[i];
+    measurements.push_back(Profiler::ground_truth(clip, config[i]));
+    PAMO_CHECK(uplink_per_stream[i] > 0, "uplink must be positive");
+    const double net =
+        clip.bits_per_frame(config[i].resolution) / (uplink_per_stream[i] * 1e6);
+    latencies.push_back(measurements.back().proc_time + net);
+  }
+  return aggregate_outcomes(measurements, latencies);
+}
+
+OutcomeNormalizer OutcomeNormalizer::for_workload(const Workload& workload) {
+  PAMO_CHECK(workload.num_streams() > 0 && workload.num_servers() > 0,
+             "normalizer requires a non-empty workload");
+  const auto& space = workload.space;
+  const double b_min =
+      *std::min_element(workload.uplink_mbps.begin(), workload.uplink_mbps.end());
+  const double b_max =
+      *std::max_element(workload.uplink_mbps.begin(), workload.uplink_mbps.end());
+
+  OutcomeNormalizer norm;
+  for (std::size_t k = 0; k < kNumObjectives; ++k) {
+    norm.lo_[k] = std::numeric_limits<double>::max();
+    norm.hi_[k] = std::numeric_limits<double>::lowest();
+  }
+
+  // Objectives are monotone per stream in (r, s), so stream-wise extremes
+  // over all knob pairs give exact system bounds.
+  OutcomeVector lo{};
+  OutcomeVector hi{};
+  const auto m = static_cast<double>(workload.num_streams());
+  for (const auto& clip : workload.clips) {
+    double acc_lo = 1.0, acc_hi = 0.0;
+    double net_lo = 1e300, net_hi = 0.0;
+    double com_lo = 1e300, com_hi = 0.0;
+    double eng_lo = 1e300, eng_hi = 0.0;
+    double lct_lo = 1e300, lct_hi = 0.0;
+    for (auto r : space.resolutions()) {
+      for (auto s : space.fps_knobs()) {
+        acc_lo = std::min(acc_lo, clip.accuracy(r, s));
+        acc_hi = std::max(acc_hi, clip.accuracy(r, s));
+        net_lo = std::min(net_lo, clip.bandwidth_mbps(r, s));
+        net_hi = std::max(net_hi, clip.bandwidth_mbps(r, s));
+        com_lo = std::min(com_lo, clip.compute_tflops(r, s));
+        com_hi = std::max(com_hi, clip.compute_tflops(r, s));
+        eng_lo = std::min(eng_lo, clip.power_watts(r, s));
+        eng_hi = std::max(eng_hi, clip.power_watts(r, s));
+      }
+      const double bits = clip.bits_per_frame(r);
+      lct_lo = std::min(lct_lo, clip.proc_time(r) + bits / (b_max * 1e6));
+      lct_hi = std::max(lct_hi, clip.proc_time(r) + bits / (b_min * 1e6));
+    }
+    at(lo, Objective::kAccuracy) += acc_lo / m;
+    at(hi, Objective::kAccuracy) += acc_hi / m;
+    at(lo, Objective::kLatency) += lct_lo / m;
+    at(hi, Objective::kLatency) += lct_hi / m;
+    at(lo, Objective::kNetwork) += net_lo;
+    at(hi, Objective::kNetwork) += net_hi;
+    at(lo, Objective::kCompute) += com_lo;
+    at(hi, Objective::kCompute) += com_hi;
+    at(lo, Objective::kEnergy) += eng_lo;
+    at(hi, Objective::kEnergy) += eng_hi;
+  }
+  norm.lo_ = lo;
+  norm.hi_ = hi;
+  return norm;
+}
+
+OutcomeVector OutcomeNormalizer::normalize(const OutcomeVector& raw) const {
+  OutcomeVector out{};
+  for (std::size_t k = 0; k < kNumObjectives; ++k) {
+    const double width = hi_[k] - lo_[k];
+    double unit = width > 0 ? (raw[k] - lo_[k]) / width : 0.0;
+    unit = std::clamp(unit, 0.0, 1.0);
+    const auto objective = static_cast<Objective>(k);
+    // 0 = best: flip higher-is-better objectives.
+    out[k] = higher_is_better(objective) ? 1.0 - unit : unit;
+  }
+  return out;
+}
+
+}  // namespace pamo::eva

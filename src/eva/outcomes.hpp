@@ -1,0 +1,55 @@
+// Outcome aggregation (Eqs. 2–5) and normalization.
+//
+// System-level outcomes aggregate per-stream metrics: mean accuracy and
+// latency, summed bandwidth / computation / power. Latency depends on the
+// server assignment (through each server's uplink bandwidth), so the
+// aggregation takes per-stream network latencies supplied by the
+// scheduling layer.
+//
+// Normalized outcomes map every objective to [0, 1] with 0 = best
+// (accuracy is flipped), so the utopian outcome vector y* of Eq. 13 is the
+// origin and the benefit U = -Σ w_i ŷ_i.
+#pragma once
+
+#include <vector>
+
+#include "eva/profiler.hpp"
+#include "eva/types.hpp"
+#include "eva/workload.hpp"
+
+namespace pamo::eva {
+
+/// Aggregate the five outcomes from per-stream measurements and per-stream
+/// end-to-end latencies (seconds). `measurements` and `latency_per_stream`
+/// are indexed by original stream (not split-stream).
+OutcomeVector aggregate_outcomes(
+    const std::vector<StreamMeasurement>& measurements,
+    const std::vector<double>& latency_per_stream);
+
+/// Ground-truth aggregate outcomes for a joint configuration, with network
+/// latency computed from the given per-stream uplink bandwidth (Mbps).
+/// `uplink_per_stream[i]` is the uplink of the server stream i is sent to.
+OutcomeVector true_outcomes(const Workload& workload,
+                            const JointConfig& config,
+                            const std::vector<double>& uplink_per_stream);
+
+/// Per-objective [lo, hi] ranges over the reachable outcome space, used to
+/// map raw outcomes to normalized ones.
+class OutcomeNormalizer {
+ public:
+  /// Scan the knob extremes of the workload's configuration space (with
+  /// best/worst-case uplinks for the latency bounds).
+  static OutcomeNormalizer for_workload(const Workload& workload);
+
+  /// Map raw outcomes to [0, 1] with 0 = best for *every* objective.
+  [[nodiscard]] OutcomeVector normalize(const OutcomeVector& raw) const;
+
+  [[nodiscard]] const OutcomeVector& lo() const { return lo_; }
+  [[nodiscard]] const OutcomeVector& hi() const { return hi_; }
+
+ private:
+  OutcomeVector lo_{};  // per-objective smallest raw value
+  OutcomeVector hi_{};  // per-objective largest raw value
+};
+
+}  // namespace pamo::eva

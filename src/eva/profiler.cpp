@@ -1,0 +1,35 @@
+#include "eva/profiler.hpp"
+
+#include <algorithm>
+
+namespace pamo::eva {
+
+StreamMeasurement Profiler::ground_truth(const ClipProfile& clip,
+                                         const StreamConfig& config) {
+  StreamMeasurement m;
+  const double r = config.resolution;
+  const double s = config.fps;
+  m.accuracy = clip.accuracy(r, s);
+  m.bandwidth_mbps = clip.bandwidth_mbps(r, s);
+  m.compute_tflops = clip.compute_tflops(r, s);
+  m.power_watts = clip.power_watts(r, s);
+  m.proc_time = clip.proc_time(r);
+  return m;
+}
+
+StreamMeasurement Profiler::measure(const ClipProfile& clip,
+                                    const StreamConfig& config,
+                                    Rng& rng) const {
+  StreamMeasurement m = ground_truth(clip, config);
+  auto noisy = [&rng](double value, double rel) {
+    return value * std::max(0.0, 1.0 + rng.normal(0.0, rel));
+  };
+  m.accuracy = std::clamp(noisy(m.accuracy, options_.noise_accuracy), 0.0, 1.0);
+  m.bandwidth_mbps = noisy(m.bandwidth_mbps, options_.noise_bandwidth);
+  m.compute_tflops = noisy(m.compute_tflops, options_.noise_compute);
+  m.power_watts = noisy(m.power_watts, options_.noise_power);
+  m.proc_time = noisy(m.proc_time, options_.noise_proc_time);
+  return m;
+}
+
+}  // namespace pamo::eva

@@ -1,0 +1,53 @@
+// The profiling interface: what the scheduler can actually measure.
+//
+// PaMO never sees ClipProfile's coefficients — it sees noisy per-stream
+// measurements of the five metrics at chosen configurations, exactly like
+// the real system profiles video clips on real hardware. The noise level
+// models run-to-run measurement variation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eva/clip.hpp"
+#include "eva/config.hpp"
+
+namespace pamo::eva {
+
+/// Per-stream measurement at one configuration.
+struct StreamMeasurement {
+  double accuracy = 0.0;        // mAP
+  double bandwidth_mbps = 0.0;  // uplink demand
+  double compute_tflops = 0.0;  // computation rate
+  double power_watts = 0.0;     // compute + transmission power
+  double proc_time = 0.0;       // per-frame inference time (s)
+};
+
+struct ProfilerOptions {
+  /// Relative (multiplicative, Gaussian) measurement noise per metric.
+  double noise_accuracy = 0.015;
+  double noise_bandwidth = 0.03;
+  double noise_compute = 0.03;
+  double noise_power = 0.04;
+  double noise_proc_time = 0.03;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions options = {}) : options_(options) {}
+
+  /// Noise-free ground truth (used by evaluation code only).
+  [[nodiscard]] static StreamMeasurement ground_truth(
+      const ClipProfile& clip, const StreamConfig& config);
+
+  /// One noisy measurement (what the scheduler trains its models on).
+  [[nodiscard]] StreamMeasurement measure(const ClipProfile& clip,
+                                          const StreamConfig& config,
+                                          Rng& rng) const;
+
+ private:
+  ProfilerOptions options_;
+};
+
+}  // namespace pamo::eva

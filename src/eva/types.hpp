@@ -1,0 +1,52 @@
+// Objective vocabulary of the EVA multi-objective problem (k = 5, §3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace pamo::eva {
+
+/// The five optimization objectives, in the paper's order
+/// {lct, acc, net, com, eng} (Eq. 13).
+enum class Objective : std::size_t {
+  kLatency = 0,      // mean end-to-end latency (s)         — lower is better
+  kAccuracy = 1,     // mean mAP                            — higher is better
+  kNetwork = 2,      // total network bandwidth (Mbps)      — lower is better
+  kCompute = 3,      // total computation (TFLOPs)          — lower is better
+  kEnergy = 4,       // total power (W)                     — lower is better
+};
+
+inline constexpr std::size_t kNumObjectives = 5;
+
+inline constexpr std::array<Objective, kNumObjectives> kAllObjectives = {
+    Objective::kLatency, Objective::kAccuracy, Objective::kNetwork,
+    Objective::kCompute, Objective::kEnergy};
+
+/// Raw (unnormalized) outcome vector; index with Objective.
+using OutcomeVector = std::array<double, kNumObjectives>;
+
+inline double& at(OutcomeVector& v, Objective o) {
+  return v[static_cast<std::size_t>(o)];
+}
+inline double at(const OutcomeVector& v, Objective o) {
+  return v[static_cast<std::size_t>(o)];
+}
+
+inline const char* objective_name(Objective o) {
+  switch (o) {
+    case Objective::kLatency: return "latency";
+    case Objective::kAccuracy: return "accuracy";
+    case Objective::kNetwork: return "network";
+    case Objective::kCompute: return "compute";
+    case Objective::kEnergy: return "energy";
+  }
+  return "?";
+}
+
+/// True when larger raw values of this objective are preferable.
+inline bool higher_is_better(Objective o) {
+  return o == Objective::kAccuracy;
+}
+
+}  // namespace pamo::eva

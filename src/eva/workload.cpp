@@ -1,0 +1,25 @@
+#include "eva/workload.hpp"
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+Workload make_workload(std::size_t num_streams, std::size_t num_servers,
+                       std::uint64_t seed) {
+  PAMO_CHECK(num_streams > 0, "workload requires at least one stream");
+  PAMO_CHECK(num_servers > 0, "workload requires at least one server");
+  Workload w;
+  const ClipLibrary library(num_streams, seed);
+  w.clips = library.clips();
+  // Uplink set from §5.2: {5, 10, 15, 20, 25, 30} Mbps. Use a dedicated
+  // RNG stream so stream count does not perturb server draws.
+  Rng rng = Rng(seed).fork(0x5EAFu);
+  static constexpr double kUplinks[] = {5, 10, 15, 20, 25, 30};
+  w.uplink_mbps.reserve(num_servers);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    w.uplink_mbps.push_back(kUplinks[rng.uniform_index(6)]);
+  }
+  return w;
+}
+
+}  // namespace pamo::eva

@@ -1,0 +1,30 @@
+// A complete EVA workload: the video sources, the edge servers, and the
+// configuration space the scheduler decides over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eva/clip.hpp"
+#include "eva/config.hpp"
+
+namespace pamo::eva {
+
+/// Edge servers are homogeneous in compute (§2.1 assumption); only the
+/// uplink bandwidth differs per server (Mbps).
+struct Workload {
+  std::vector<ClipProfile> clips;   // one per video source (M')
+  std::vector<double> uplink_mbps;  // one per edge server (N)
+  ConfigSpace space = ConfigSpace::standard();
+
+  [[nodiscard]] std::size_t num_streams() const { return clips.size(); }
+  [[nodiscard]] std::size_t num_servers() const { return uplink_mbps.size(); }
+};
+
+/// Build the evaluation workload of §5: `num_streams` clips from a seeded
+/// library and `num_servers` servers with uplinks drawn uniformly from
+/// {5, 10, 15, 20, 25, 30} Mbps (the paper's §5.2 protocol).
+Workload make_workload(std::size_t num_streams, std::size_t num_servers,
+                       std::uint64_t seed);
+
+}  // namespace pamo::eva

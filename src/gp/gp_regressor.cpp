@@ -1,0 +1,249 @@
+#include "gp/gp_regressor.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace pamo::gp {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+
+}  // namespace
+
+GpRegressor::GpRegressor(GpOptions options) : options_(std::move(options)) {}
+
+std::vector<double> GpRegressor::scale_input(
+    const std::vector<double>& x) const {
+  PAMO_CHECK(x.size() == dim_, "input dimension mismatch");
+  std::vector<double> scaled(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double width = x_hi_[i] - x_lo_[i];
+    scaled[i] = width > 0 ? (x[i] - x_lo_[i]) / width : 0.0;
+  }
+  return scaled;
+}
+
+void GpRegressor::fit(std::vector<std::vector<double>> x,
+                      std::vector<double> y) {
+  PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
+  PAMO_CHECK(x.size() >= 2, "GP fit requires at least 2 points");
+  dim_ = x.front().size();
+  PAMO_CHECK(dim_ >= 1, "GP inputs must have dimension >= 1");
+  for (const auto& row : x) {
+    PAMO_CHECK(row.size() == dim_, "ragged input matrix");
+  }
+  x_raw_ = std::move(x);
+  y_raw_ = std::move(y);
+  rebuild(/*optimize_hyperparams=*/!options_.fixed_params.has_value());
+}
+
+void GpRegressor::update(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y, bool reoptimize) {
+  PAMO_CHECK(is_fit(), "update before fit");
+  PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
+  for (const auto& row : x) {
+    PAMO_CHECK(row.size() == dim_, "input dimension mismatch");
+    x_raw_.push_back(row);
+  }
+  y_raw_.insert(y_raw_.end(), y.begin(), y.end());
+  rebuild(reoptimize && !options_.fixed_params.has_value());
+}
+
+void GpRegressor::rebuild(bool optimize_hyperparams) {
+  const std::size_t n = x_raw_.size();
+
+  // Input scaling.
+  x_lo_.assign(dim_, std::numeric_limits<double>::max());
+  x_hi_.assign(dim_, std::numeric_limits<double>::lowest());
+  for (const auto& row : x_raw_) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      x_lo_[i] = std::min(x_lo_[i], row[i]);
+      x_hi_[i] = std::max(x_hi_[i], row[i]);
+    }
+  }
+  x_.clear();
+  x_.reserve(n);
+  for (const auto& row : x_raw_) x_.push_back(scale_input(row));
+
+  // Target standardization.
+  y_mean_ = mean_of(y_raw_);
+  y_std_ = stddev_of(y_raw_);
+  if (y_std_ < 1e-12) y_std_ = 1.0;  // constant targets: keep scale sane
+  y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = (y_raw_[i] - y_mean_) / y_std_;
+
+  if (options_.fixed_params.has_value()) {
+    params_ = *options_.fixed_params;
+    PAMO_CHECK(params_.dim() == dim_, "fixed hyperparameter dim mismatch");
+  } else if (optimize_hyperparams || params_.dim() != dim_) {
+    // MLE over [lengthscales, signal var, noise var] in log space.
+    opt::Box box;
+    const std::size_t p = dim_ + 2;
+    box.lo.assign(p, 0.0);
+    box.hi.assign(p, 0.0);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      box.lo[i] = std::log(0.03);  // inputs are scaled to [0,1]
+      box.hi[i] = std::log(10.0);
+    }
+    box.lo[dim_] = std::log(0.05);  // signal variance (standardized y)
+    box.hi[dim_] = std::log(20.0);
+    box.lo[dim_ + 1] = std::log(options_.min_noise_var);
+    box.hi[dim_ + 1] = std::log(1.0);
+
+    // MLE on a strided subsample when the training set is large — the
+    // marginal likelihood is O(n³) per evaluation.
+    std::vector<std::vector<double>> mle_x;
+    std::vector<double> mle_y;
+    const std::size_t cap = options_.mle_subsample;
+    if (cap > 0 && n > cap) {
+      const double stride = static_cast<double>(n) / static_cast<double>(cap);
+      for (std::size_t i = 0; i < cap; ++i) {
+        const auto idx = static_cast<std::size_t>(
+            static_cast<double>(i) * stride);
+        mle_x.push_back(x_[idx]);
+        mle_y.push_back(y_[idx]);
+      }
+    } else {
+      mle_x = x_;
+      mle_y = y_;
+    }
+    auto objective = [&](const std::vector<double>& packed) {
+      const KernelParams candidate = KernelParams::unpack(packed, dim_);
+      return -lml_on(mle_x, mle_y, candidate);
+    };
+
+    KernelParams init;
+    init.log_lengthscales.assign(dim_, std::log(0.3));
+    init.log_signal_var = 0.0;
+    init.log_noise_var = std::log(1e-2);
+    const std::vector<double> x0 = init.pack();
+
+    opt::NelderMeadOptions nm;
+    nm.max_evals = options_.mle_max_evals;
+    const opt::OptResult best = opt::multistart_minimize(
+        objective, box, options_.mle_restarts, options_.seed, &x0, nm);
+    params_ = KernelParams::unpack(best.x, dim_);
+  }
+
+  la::Matrix k = kernel_matrix(options_.kernel, params_, x_);
+  k.add_diagonal(std::exp(params_.log_noise_var));
+  chol_.emplace(k);
+  alpha_ = chol_->solve(y_);
+}
+
+double GpRegressor::lml_on(const std::vector<std::vector<double>>& xs,
+                           const std::vector<double>& ys,
+                           const KernelParams& params) const {
+  la::Matrix k = kernel_matrix(options_.kernel, params, xs);
+  k.add_diagonal(std::exp(params.log_noise_var));
+  try {
+    const la::Cholesky chol(k);
+    const la::Vector alpha = chol.solve(ys);
+    const double fit_term = la::dot(ys, alpha);
+    const auto n = static_cast<double>(xs.size());
+    return -0.5 * (fit_term + chol.log_det() + n * kLog2Pi);
+  } catch (const Error&) {
+    return -std::numeric_limits<double>::max();
+  }
+}
+
+double GpRegressor::log_marginal_likelihood(const KernelParams& params) const {
+  PAMO_CHECK(!x_.empty(), "log_marginal_likelihood before fit");
+  return lml_on(x_, y_, params);
+}
+
+double GpRegressor::predict_mean(const std::vector<double>& x) const {
+  PAMO_CHECK(is_fit(), "predict before fit");
+  const std::vector<double> xs = scale_input(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    sum += kernel_value(options_.kernel, params_, xs, x_[i]) * alpha_[i];
+  }
+  return y_mean_ + y_std_ * sum;
+}
+
+double GpRegressor::predict_var(const std::vector<double>& x) const {
+  PAMO_CHECK(is_fit(), "predict before fit");
+  const std::vector<double> xs = scale_input(x);
+  la::Vector kstar(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    kstar[i] = kernel_value(options_.kernel, params_, xs, x_[i]);
+  }
+  const la::Vector v = chol_->solve_lower(kstar);
+  const double prior = std::exp(params_.log_signal_var);
+  const double var = prior - la::dot(v, v);
+  return std::max(0.0, var) * y_std_ * y_std_;
+}
+
+Posterior GpRegressor::posterior(
+    const std::vector<std::vector<double>>& x) const {
+  PAMO_CHECK(is_fit(), "posterior before fit");
+  const std::size_t m = x.size();
+  PAMO_CHECK(m > 0, "posterior over an empty set");
+  std::vector<std::vector<double>> xs;
+  xs.reserve(m);
+  for (const auto& row : x) xs.push_back(scale_input(row));
+
+  const la::Matrix k_cross =
+      kernel_cross(options_.kernel, params_, xs, x_);  // m × n
+  la::Matrix k_test = kernel_matrix(options_.kernel, params_, xs);  // m × m
+
+  Posterior post;
+  post.mean.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < x_.size(); ++j) sum += k_cross(i, j) * alpha_[j];
+    post.mean[i] = y_mean_ + y_std_ * sum;
+  }
+
+  // cov = K** - K*ᵀ (K + σ²I)⁻¹ K*, computed via V = L⁻¹ K*ᵀ.
+  const std::size_t n = x_.size();
+  la::Matrix v(n, m);
+  {
+    la::Vector col(n);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (std::size_t r = 0; r < n; ++r) col[r] = k_cross(c, r);
+      const la::Vector sol = chol_->solve_lower(col);
+      for (std::size_t r = 0; r < n; ++r) v(r, c) = sol[r];
+    }
+  }
+  post.covariance = la::Matrix(m, m);
+  const double scale2 = y_std_ * y_std_;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      double vv = 0.0;
+      for (std::size_t r = 0; r < n; ++r) vv += v(r, i) * v(r, j);
+      const double c = (k_test(i, j) - vv) * scale2;
+      post.covariance(i, j) = c;
+      post.covariance(j, i) = c;
+    }
+  }
+  return post;
+}
+
+la::Matrix GpRegressor::sample_joint(const std::vector<std::vector<double>>& x,
+                                     std::size_t num_samples, Rng& rng) const {
+  const Posterior post = posterior(x);
+  const std::size_t m = x.size();
+  la::Matrix cov = post.covariance;
+  // Small jitter for numerical PSD-ness of the posterior covariance.
+  const la::Cholesky chol(cov, /*max_jitter=*/1e-2);
+  la::Matrix samples(num_samples, m);
+  la::Vector z(m);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    for (auto& zi : z) zi = rng.normal();
+    for (std::size_t i = 0; i < m; ++i) {
+      double sum = post.mean[i];
+      for (std::size_t j = 0; j <= i; ++j) sum += chol.lower()(i, j) * z[j];
+      samples(s, i) = sum;
+    }
+  }
+  return samples;
+}
+
+}  // namespace pamo::gp

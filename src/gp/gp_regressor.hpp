@@ -1,0 +1,108 @@
+// Exact Gaussian process regression with MLE hyperparameters.
+//
+// Targets are standardized internally (zero mean, unit variance); inputs
+// are min-max scaled to [0, 1] per dimension so that lengthscale priors and
+// boxes are dimensionless. Hyperparameters are fit by multi-start
+// Nelder–Mead on the negative log marginal likelihood. predict() returns
+// the posterior on the original target scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gp/kernel.hpp"
+#include "la/cholesky.hpp"
+
+namespace pamo::gp {
+
+struct GpOptions {
+  KernelType kernel = KernelType::kMatern52;
+  /// Number of Nelder–Mead restarts for hyperparameter MLE.
+  std::size_t mle_restarts = 4;
+  std::size_t mle_max_evals = 300;
+  /// If set, skip MLE and use these hyperparameters as-is.
+  std::optional<KernelParams> fixed_params;
+  /// Lower bound for the noise variance (standardized target scale).
+  double min_noise_var = 1e-6;
+  /// Hyperparameter MLE runs on at most this many (strided) training
+  /// points; exact inference still uses all of them. The marginal
+  /// likelihood is O(n³) per evaluation, so this caps fit cost on large
+  /// training sets. 0 disables subsampling.
+  std::size_t mle_subsample = 220;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct Posterior {
+  la::Vector mean;
+  la::Matrix covariance;  // full joint covariance (noise-free latent)
+};
+
+class GpRegressor {
+ public:
+  explicit GpRegressor(GpOptions options = {});
+
+  /// Fit to (x, y). Requires at least 2 points; all rows must share one
+  /// dimension. Refitting replaces previous data.
+  void fit(std::vector<std::vector<double>> x, std::vector<double> y);
+
+  /// Add observations and refit the linear algebra. Hyperparameters are
+  /// re-optimized only when `reoptimize` is true (it is the expensive part).
+  void update(const std::vector<std::vector<double>>& x,
+              const std::vector<double>& y, bool reoptimize = false);
+
+  [[nodiscard]] bool is_fit() const { return !x_.empty(); }
+  [[nodiscard]] std::size_t num_points() const { return x_.size(); }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] const KernelParams& params() const { return params_; }
+
+  /// Posterior mean at one point (original target scale).
+  [[nodiscard]] double predict_mean(const std::vector<double>& x) const;
+
+  /// Posterior variance of the latent function at one point (original
+  /// target scale, without observation noise).
+  [[nodiscard]] double predict_var(const std::vector<double>& x) const;
+
+  /// Joint posterior over a set of points.
+  [[nodiscard]] Posterior posterior(
+      const std::vector<std::vector<double>>& x) const;
+
+  /// Draw `num_samples` joint samples of the latent function at `x`.
+  /// Result is (num_samples × x.size()).
+  [[nodiscard]] la::Matrix sample_joint(
+      const std::vector<std::vector<double>>& x, std::size_t num_samples,
+      Rng& rng) const;
+
+  /// Log marginal likelihood of the standardized data under `params`.
+  [[nodiscard]] double log_marginal_likelihood(
+      const KernelParams& params) const;
+
+ private:
+  void rebuild(bool optimize_hyperparams);
+  [[nodiscard]] double lml_on(const std::vector<std::vector<double>>& xs,
+                              const std::vector<double>& ys,
+                              const KernelParams& params) const;
+  [[nodiscard]] std::vector<double> scale_input(
+      const std::vector<double>& x) const;
+
+  GpOptions options_;
+  std::size_t dim_ = 0;
+
+  // Raw training data (original scale).
+  std::vector<std::vector<double>> x_raw_;
+  std::vector<double> y_raw_;
+
+  // Input scaling (min-max per dimension) and target standardization.
+  std::vector<double> x_lo_, x_hi_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+
+  // Scaled training data and fitted state.
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;  // standardized
+  KernelParams params_;
+  std::optional<la::Cholesky> chol_;
+  la::Vector alpha_;  // (K + σ²I)⁻¹ y
+};
+
+}  // namespace pamo::gp

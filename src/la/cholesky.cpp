@@ -1,0 +1,99 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::la {
+
+bool Cholesky::try_factor(const Matrix& a, double jitter, Matrix& out) {
+  const std::size_t n = a.rows();
+  out = Matrix(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= out(j, k) * out(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    out(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= out(i, k) * out(j, k);
+      out(i, j) = sum / ljj;
+    }
+  }
+  return true;
+}
+
+Cholesky::Cholesky(const Matrix& a, double max_jitter) {
+  PAMO_CHECK(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  PAMO_CHECK(a.rows() > 0, "Cholesky of an empty matrix");
+  double jitter = 0.0;
+  if (try_factor(a, jitter, l_)) {
+    jitter_ = jitter;
+    return;
+  }
+  // Scale the starting jitter with the matrix magnitude.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    scale = std::max(scale, std::fabs(a(i, i)));
+  }
+  if (scale == 0.0) scale = 1.0;
+  jitter = scale * 1e-10;
+  while (jitter <= max_jitter * scale) {
+    if (try_factor(a, jitter, l_)) {
+      jitter_ = jitter;
+      return;
+    }
+    jitter *= 10.0;
+  }
+  throw Error("Cholesky: matrix is not positive definite even with jitter");
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  PAMO_CHECK(b.size() == n, "solve_lower dimension mismatch");
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve_upper(const Vector& y) const {
+  const std::size_t n = l_.rows();
+  PAMO_CHECK(y.size() == n, "solve_upper dimension mismatch");
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  PAMO_CHECK(b.rows() == l_.rows(), "solve dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace pamo::la

@@ -1,0 +1,45 @@
+// Cholesky factorization and solves for symmetric positive-definite
+// systems — the core primitive of exact GP inference.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace pamo::la {
+
+/// Lower-triangular Cholesky factor L with A = L Lᵀ.
+///
+/// If A is only positive *semi*-definite numerically, the factorization
+/// retries with geometrically increasing diagonal jitter (up to
+/// `max_jitter`), the standard GP-library repair. Throws pamo::Error if the
+/// matrix cannot be repaired.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a, double max_jitter = 1e-4);
+
+  [[nodiscard]] const Matrix& lower() const { return l_; }
+  /// The jitter that was finally added to the diagonal (0 if none).
+  [[nodiscard]] double jitter() const { return jitter_; }
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-wise.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Solve L y = b (forward substitution).
+  [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Solve Lᵀ x = y (backward substitution).
+  [[nodiscard]] Vector solve_upper(const Vector& y) const;
+
+  /// log |A| = 2 Σ log L_ii.
+  [[nodiscard]] double log_det() const;
+
+ private:
+  static bool try_factor(const Matrix& a, double jitter, Matrix& out);
+
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+}  // namespace pamo::la

@@ -1,0 +1,104 @@
+#include "pref/learner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/normal.hpp"
+
+namespace pamo::pref {
+
+double expected_max_gaussian(double mean1, double mean2, double var1,
+                             double var2, double cov) {
+  const double theta2 = std::max(0.0, var1 + var2 - 2.0 * cov);
+  if (theta2 < 1e-18) return std::max(mean1, mean2);
+  const double theta = std::sqrt(theta2);
+  const double d = (mean1 - mean2) / theta;
+  return mean1 * normal_cdf(d) + mean2 * normal_cdf(-d) +
+         theta * normal_pdf(d);
+}
+
+PreferenceLearner::PreferenceLearner(
+    std::vector<std::vector<double>> candidate_outcomes, LearnerOptions options,
+    std::uint64_t seed)
+    : pool_(std::move(candidate_outcomes)),
+      options_(options),
+      model_(options.model),
+      rng_(seed) {
+  PAMO_CHECK(pool_.size() >= 2, "preference learning needs >= 2 candidates");
+  refit();
+}
+
+void PreferenceLearner::refit() { model_.fit(pool_, pairs_); }
+
+void PreferenceLearner::add_comparison(ComparisonPair pair) {
+  PAMO_CHECK(pair.first < pool_.size() && pair.second < pool_.size(),
+             "comparison index out of range");
+  pairs_.push_back(pair);
+  refit();
+}
+
+std::size_t PreferenceLearner::extend_pool(
+    const std::vector<std::vector<double>>& outcomes) {
+  const std::size_t first = pool_.size();
+  pool_.insert(pool_.end(), outcomes.begin(), outcomes.end());
+  refit();
+  return first;
+}
+
+void PreferenceLearner::run(PreferenceOracle& oracle,
+                            std::size_t num_comparisons) {
+  for (std::size_t round = 0; round < num_comparisons; ++round) {
+    std::size_t best_a = 0;
+    std::size_t best_b = 1;
+    const bool explore =
+        options_.explore_every > 0 &&
+        (pairs_.size() % options_.explore_every) == options_.explore_every - 1;
+    if (!options_.use_eubo || pairs_.empty() || explore) {
+      // Random pair (also the cold-start round: the prior posterior is
+      // exchangeable, so EUBO cannot distinguish pairs yet).
+      best_a = rng_.uniform_index(pool_.size());
+      do {
+        best_b = rng_.uniform_index(pool_.size());
+      } while (best_b == best_a);
+    } else {
+      // One joint posterior over the pool, then closed-form EUBO per pair.
+      // Already-asked pairs are excluded: EUBO concentrates on the current
+      // top pair otherwise and wastes decision-maker queries.
+      auto already_asked = [&](std::size_t a, std::size_t b) {
+        for (const auto& [w, l] : pairs_) {
+          if ((w == a && l == b) || (w == b && l == a)) return true;
+        }
+        return false;
+      };
+      const gp::Posterior post = model_.posterior(pool_);
+      double best_score = -1e300;
+      bool found = false;
+      for (std::size_t trial = 0; trial < options_.pairs_per_round; ++trial) {
+        const std::size_t a = rng_.uniform_index(pool_.size());
+        std::size_t b = rng_.uniform_index(pool_.size());
+        if (a == b || already_asked(a, b)) continue;
+        const double score = expected_max_gaussian(
+            post.mean[a], post.mean[b], post.covariance(a, a),
+            post.covariance(b, b), post.covariance(a, b));
+        if (score > best_score) {
+          best_score = score;
+          best_a = a;
+          best_b = b;
+          found = true;
+        }
+      }
+      if (!found) {
+        best_a = rng_.uniform_index(pool_.size());
+        do {
+          best_b = rng_.uniform_index(pool_.size());
+        } while (best_b == best_a);
+      }
+    }
+    const bool a_wins = oracle.prefers(pool_[best_a], pool_[best_b]);
+    pairs_.push_back(a_wins ? ComparisonPair{best_a, best_b}
+                            : ComparisonPair{best_b, best_a});
+    refit();
+  }
+}
+
+}  // namespace pamo::pref

@@ -1,0 +1,57 @@
+#include "pref/oracle.hpp"
+
+#include "common/error.hpp"
+
+namespace pamo::pref {
+
+BenefitFunction::BenefitFunction(
+    std::array<double, eva::kNumObjectives> weights)
+    : weights_(weights) {
+  for (double w : weights_) {
+    PAMO_CHECK(w >= 0.0, "benefit weights must be non-negative");
+  }
+}
+
+BenefitFunction BenefitFunction::uniform() {
+  return BenefitFunction({1.0, 1.0, 1.0, 1.0, 1.0});
+}
+
+double BenefitFunction::value(const eva::OutcomeVector& normalized) const {
+  double u = 0.0;
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    u -= weights_[k] * normalized[k];
+  }
+  return u;
+}
+
+double BenefitFunction::value(const std::vector<double>& normalized) const {
+  PAMO_CHECK(normalized.size() == eva::kNumObjectives,
+             "outcome vector must have k=5 entries");
+  double u = 0.0;
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    u -= weights_[k] * normalized[k];
+  }
+  return u;
+}
+
+double BenefitFunction::weight_sum() const {
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  return sum;
+}
+
+PreferenceOracle::PreferenceOracle(BenefitFunction benefit,
+                                   OracleOptions options, std::uint64_t seed)
+    : benefit_(std::move(benefit)), options_(options), rng_(seed) {}
+
+bool PreferenceOracle::prefers(const std::vector<double>& y1,
+                               const std::vector<double>& y2) {
+  ++queries_;
+  double diff = benefit_.value(y1) - benefit_.value(y2);
+  if (options_.response_noise > 0.0) {
+    diff += rng_.normal(0.0, options_.response_noise);
+  }
+  return diff > 0.0;
+}
+
+}  // namespace pamo::pref

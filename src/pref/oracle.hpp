@@ -1,0 +1,68 @@
+// The decision-maker stand-in.
+//
+// In the paper, a human (or the pricing system) answers "which of these
+// two outcome vectors is better?". In the evaluation, the ground-truth
+// benefit function of Eq. 13 plays that role — the same substitution the
+// paper's own experiments make. The oracle optionally answers with probit
+// response noise to model an inconsistent decision-maker.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eva/types.hpp"
+
+namespace pamo::pref {
+
+/// Ground-truth system benefit U = −Σ w_i ŷ_i over *normalized* outcomes
+/// (0 = best per objective), i.e. the negative weighted L1 distance to the
+/// utopian vector (Eq. 13).
+class BenefitFunction {
+ public:
+  explicit BenefitFunction(std::array<double, eva::kNumObjectives> weights);
+
+  /// All weights 1 (the paper's default preference).
+  static BenefitFunction uniform();
+
+  [[nodiscard]] double value(const eva::OutcomeVector& normalized) const;
+  [[nodiscard]] double value(const std::vector<double>& normalized) const;
+
+  [[nodiscard]] const std::array<double, eva::kNumObjectives>& weights()
+      const {
+    return weights_;
+  }
+  /// Σ w_i — the worst possible |U| (used by the paper's normalization).
+  [[nodiscard]] double weight_sum() const;
+
+ private:
+  std::array<double, eva::kNumObjectives> weights_;
+};
+
+struct OracleOptions {
+  /// Probit response-noise scale on the benefit difference. 0 = perfectly
+  /// consistent decision-maker (the paper's evaluation setting).
+  double response_noise = 0.0;
+};
+
+/// Answers pairwise comparison queries with the true benefit function.
+class PreferenceOracle {
+ public:
+  PreferenceOracle(BenefitFunction benefit, OracleOptions options = {},
+                   std::uint64_t seed = 1);
+
+  /// True iff the decision-maker prefers y1 to y2.
+  [[nodiscard]] bool prefers(const std::vector<double>& y1,
+                             const std::vector<double>& y2);
+
+  [[nodiscard]] const BenefitFunction& benefit() const { return benefit_; }
+  [[nodiscard]] std::size_t queries_answered() const { return queries_; }
+
+ private:
+  BenefitFunction benefit_;
+  OracleOptions options_;
+  Rng rng_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace pamo::pref

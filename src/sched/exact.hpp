@@ -1,0 +1,39 @@
+// Exact zero-jitter grouping by branch-and-bound.
+//
+// The paper notes that non-preemptive periodic scheduling is strongly
+// NP-hard and is solved exactly in the literature with ILP/CP/SMT
+// formulations (§6); Algorithm 1 is its fast heuristic. This module
+// provides the exact reference for small instances: search over all
+// assignments of streams to at most N groups subject to Const2
+// (Theorem 1's gcd condition per group), minimizing the same communication
+// objective as Algorithm 1's line 20. Used by tests and the ablation bench
+// to quantify the heuristic's feasibility and cost gap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sched/scheduler.hpp"
+
+namespace pamo::sched {
+
+struct ExactOptions {
+  /// Safety valve: give up after this many search nodes (the instance is
+  /// then treated as "unknown" — nullopt).
+  std::size_t max_nodes = 2'000'000;
+};
+
+/// Exact minimum-communication-cost zero-jitter schedule, or nullopt if no
+/// feasible grouping exists (or the node budget is exhausted).
+/// `result->feasible` is always true on a returned value.
+std::optional<ScheduleResult> schedule_exact(const eva::Workload& workload,
+                                             const eva::JointConfig& config,
+                                             const ExactOptions& options = {});
+
+/// Exact feasibility test only (cheaper: stops at the first solution).
+/// Returns nullopt when the node budget is exhausted before an answer.
+std::optional<bool> exists_zero_jitter_schedule(
+    const eva::Workload& workload, const eva::JointConfig& config,
+    const ExactOptions& options = {});
+
+}  // namespace pamo::sched

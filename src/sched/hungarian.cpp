@@ -1,0 +1,73 @@
+#include "sched/hungarian.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pamo::sched {
+
+AssignmentResult solve_assignment(const la::Matrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  PAMO_CHECK(n >= 1, "assignment requires at least one row");
+  PAMO_CHECK(n <= m, "assignment requires rows <= cols");
+
+  constexpr double kInf = std::numeric_limits<double>::max() / 4;
+
+  // 1-indexed potentials over rows (u) and columns (v); p[j] = row matched
+  // to column j (0 = none). Classic shortest-augmenting-path formulation.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<std::size_t> p(m + 1, 0), way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.col_of.assign(n, 0);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) result.col_of[p[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    result.total_cost += cost(r, result.col_of[r]);
+  }
+  return result;
+}
+
+}  // namespace pamo::sched

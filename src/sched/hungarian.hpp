@@ -1,0 +1,22 @@
+// Hungarian algorithm (shortest-augmenting-path / Jonker–Volgenant form,
+// O(n²m)) for the minimum-cost assignment of stream groups to servers —
+// line 20 of Algorithm 1, minimizing total communication latency.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pamo::sched {
+
+struct AssignmentResult {
+  /// col_of[r] = column assigned to row r.
+  std::vector<std::size_t> col_of;
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost assignment for a rows×cols cost matrix with rows <= cols.
+/// Every row is assigned a distinct column.
+AssignmentResult solve_assignment(const la::Matrix& cost);
+
+}  // namespace pamo::sched

@@ -1,0 +1,257 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sched/constraints.hpp"
+#include "sched/hungarian.hpp"
+
+namespace pamo::sched {
+
+namespace {
+
+/// Finalize bookkeeping shared by both schedulers: phases, per-parent
+/// uplinks and jitter-free latencies, and the communication cost.
+/// `stagger` enables the Theorem-1 start-offset staggering (the zero-jitter
+/// scheduler's trick); First-Fit is jitter-oblivious and leaves phases at 0.
+void finalize(const eva::Workload& workload, ScheduleResult& result,
+              bool stagger) {
+  const std::size_t num_parents = workload.num_streams();
+  const std::size_t num_servers = workload.num_servers();
+
+  // Stagger start offsets per server in assignment order (Theorem 1 proof:
+  // o(τ_k) = Σ_{i<k} p_i within each co-scheduled set). The offsets apply
+  // to *arrival at the server*, so each camera's emission phase compensates
+  // its own uplink transfer time; a per-server shift keeps phases >= 0.
+  result.phase.assign(result.streams.size(), 0.0);
+  if (stagger) {
+    std::vector<double> server_offset(num_servers, 0.0);
+    std::vector<double> min_phase(num_servers, 0.0);
+    for (std::size_t i = 0; i < result.streams.size(); ++i) {
+      const std::size_t server = result.assignment[i];
+      const double transfer = result.streams[i].bits_per_frame /
+                              (workload.uplink_mbps[server] * 1e6);
+      result.phase[i] = server_offset[server] - transfer;
+      min_phase[server] = std::min(min_phase[server], result.phase[i]);
+      server_offset[server] += result.streams[i].proc_time;
+    }
+    for (std::size_t i = 0; i < result.streams.size(); ++i) {
+      result.phase[i] -= min_phase[result.assignment[i]];
+    }
+  }
+
+  result.uplink_per_parent.assign(num_parents, 0.0);
+  result.latency_per_parent.assign(num_parents, 0.0);
+  std::vector<double> parts(num_parents, 0.0);
+  result.comm_cost = 0.0;
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    const auto& s = result.streams[i];
+    const double uplink = workload.uplink_mbps[result.assignment[i]];
+    const double net_latency = s.bits_per_frame / (uplink * 1e6);
+    result.uplink_per_parent[s.parent] += uplink;
+    result.latency_per_parent[s.parent] += s.proc_time + net_latency;
+    result.comm_cost += net_latency;
+    parts[s.parent] += 1.0;
+  }
+  for (std::size_t parent = 0; parent < num_parents; ++parent) {
+    PAMO_ASSERT(parts[parent] > 0, "parent stream lost during scheduling");
+    result.uplink_per_parent[parent] /= parts[parent];
+    result.latency_per_parent[parent] /= parts[parent];
+  }
+}
+
+}  // namespace
+
+ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
+                                    const eva::JointConfig& config) {
+  ScheduleResult result;
+  result.streams = split_streams(workload, config);
+  const auto& clock = workload.space.clock();
+  const std::size_t num_servers = workload.num_servers();
+  const std::size_t m = result.streams.size();
+
+  // Lines 1–3: sort by period ascending, compute divisor-count priorities,
+  // re-sort by priority ascending (stable, so period order breaks ties).
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.streams[a].period_ticks < result.streams[b].period_ticks;
+  });
+  std::vector<std::size_t> priority(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t ti = result.streams[order[i]].period_ticks;
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (ti % result.streams[order[j]].period_ticks == 0) ++count;
+    }
+    priority[i] = count;
+  }
+  std::vector<std::size_t> rank(m);
+  std::iota(rank.begin(), rank.end(), 0);
+  std::stable_sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+    return priority[a] < priority[b];
+  });
+
+  // Lines 4–19: greedy group packing under the Theorem 3 conditions.
+  std::vector<std::vector<std::size_t>> groups(num_servers);
+  std::vector<std::uint64_t> group_tmin(num_servers, 0);
+  std::vector<double> group_proc(num_servers, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t idx = order[rank[r]];
+    const auto& stream = result.streams[idx];
+    bool placed = false;
+    for (std::size_t g = 0; g < num_servers && !placed; ++g) {
+      if (groups[g].empty()) {
+        groups[g].push_back(idx);
+        group_tmin[g] = stream.period_ticks;
+        group_proc[g] = stream.proc_time;
+        placed = true;
+        break;
+      }
+      // Candidate membership test: all periods must be integer multiples of
+      // the new group minimum, and Σp must fit in it (Theorem 3 (a)+(b),
+      // generalized to allow a new stream with a smaller period).
+      const std::uint64_t new_tmin =
+          std::min(group_tmin[g], stream.period_ticks);
+      bool divisible = stream.period_ticks % new_tmin == 0;
+      if (divisible && new_tmin != group_tmin[g]) {
+        for (std::size_t member : groups[g]) {
+          if (result.streams[member].period_ticks % new_tmin != 0) {
+            divisible = false;
+            break;
+          }
+        }
+      }
+      const double new_proc = group_proc[g] + stream.proc_time;
+      if (divisible && new_proc <= clock.to_seconds(new_tmin) + 1e-12) {
+        groups[g].push_back(idx);
+        group_tmin[g] = new_tmin;
+        group_proc[g] = new_proc;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      result.feasible = false;  // line 16: no feasible grouping scheme
+      return result;
+    }
+  }
+
+  // Line 20: assign non-empty groups to servers, minimizing total
+  // communication latency Σ θ_bit(r_i)/B_{q_i}.
+  std::vector<std::size_t> active;
+  for (std::size_t g = 0; g < num_servers; ++g) {
+    if (!groups[g].empty()) active.push_back(g);
+  }
+  la::Matrix cost(active.size(), num_servers);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    double bits = 0.0;
+    for (std::size_t member : groups[active[a]]) {
+      bits += result.streams[member].bits_per_frame;
+    }
+    for (std::size_t server = 0; server < num_servers; ++server) {
+      cost(a, server) = bits / (workload.uplink_mbps[server] * 1e6);
+    }
+  }
+  const AssignmentResult assignment = solve_assignment(cost);
+
+  result.assignment.assign(m, 0);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    for (std::size_t member : groups[active[a]]) {
+      result.assignment[member] = assignment.col_of[a];
+    }
+  }
+  result.feasible = true;
+  finalize(workload, result, /*stagger=*/true);
+
+  PAMO_ASSERT(const2_holds(result.streams, result.assignment, num_servers,
+                           clock),
+              "Algorithm 1 produced a Const2-violating schedule");
+  return result;
+}
+
+ScheduleResult schedule_first_fit(const eva::Workload& workload,
+                                  const eva::JointConfig& config) {
+  ScheduleResult result;
+  result.streams = split_streams(workload, config);
+  const auto& clock = workload.space.clock();
+  const std::size_t num_servers = workload.num_servers();
+
+  std::vector<double> utilization(num_servers, 0.0);
+  result.assignment.assign(result.streams.size(), 0);
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    const auto& s = result.streams[i];
+    const double load = s.proc_time / clock.to_seconds(s.period_ticks);
+    bool placed = false;
+    for (std::size_t server = 0; server < num_servers; ++server) {
+      if (utilization[server] + load <= 1.0 + 1e-12) {
+        utilization[server] += load;
+        result.assignment[i] = server;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      result.feasible = false;
+      return result;
+    }
+  }
+  result.feasible = true;
+  finalize(workload, result, /*stagger=*/false);
+  return result;
+}
+
+ScheduleResult schedule_worst_fit(const eva::Workload& workload,
+                                  const eva::JointConfig& config) {
+  ScheduleResult result;
+  result.streams = split_streams(workload, config);
+  const auto& clock = workload.space.clock();
+  const std::size_t num_servers = workload.num_servers();
+
+  std::vector<double> utilization(num_servers, 0.0);
+  result.assignment.assign(result.streams.size(), 0);
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    const auto& s = result.streams[i];
+    const double load = s.proc_time / clock.to_seconds(s.period_ticks);
+    std::size_t best_server = num_servers;  // sentinel: none fits
+    double best_util = std::numeric_limits<double>::max();
+    for (std::size_t server = 0; server < num_servers; ++server) {
+      if (utilization[server] + load <= 1.0 + 1e-12 &&
+          utilization[server] < best_util) {
+        best_util = utilization[server];
+        best_server = server;
+      }
+    }
+    if (best_server == num_servers) {
+      result.feasible = false;
+      return result;
+    }
+    utilization[best_server] += load;
+    result.assignment[i] = best_server;
+  }
+  result.feasible = true;
+  finalize(workload, result, /*stagger=*/false);
+  return result;
+}
+
+ScheduleResult schedule_fixed_assignment(
+    const eva::Workload& workload, const eva::JointConfig& config,
+    const std::vector<std::size_t>& server_per_parent) {
+  PAMO_CHECK(server_per_parent.size() == workload.num_streams(),
+             "per-parent assignment size mismatch");
+  for (std::size_t server : server_per_parent) {
+    PAMO_CHECK(server < workload.num_servers(), "server index out of range");
+  }
+  ScheduleResult result;
+  result.streams = split_streams(workload, config);
+  result.assignment.reserve(result.streams.size());
+  for (const auto& s : result.streams) {
+    result.assignment.push_back(server_per_parent[s.parent]);
+  }
+  result.feasible = true;
+  finalize(workload, result, /*stagger=*/false);
+  return result;
+}
+
+}  // namespace pamo::sched

@@ -1,0 +1,38 @@
+#include "sched/stream.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::sched {
+
+std::vector<PeriodicStream> split_streams(const eva::Workload& workload,
+                                          const eva::JointConfig& config) {
+  PAMO_CHECK(config.size() == workload.num_streams(),
+             "config size does not match stream count");
+  const auto& clock = workload.space.clock();
+  std::vector<PeriodicStream> streams;
+  streams.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const auto& clip = workload.clips[i];
+    const auto& cfg = config[i];
+    const double p = clip.proc_time(cfg.resolution);
+    const double rate_product = p * static_cast<double>(cfg.fps);
+    const auto splits = rate_product > 1.0
+                            ? static_cast<std::uint64_t>(std::ceil(rate_product))
+                            : 1ULL;
+    const std::uint64_t base_period = clock.period_ticks(cfg.fps);
+    for (std::uint64_t k = 0; k < splits; ++k) {
+      PeriodicStream s;
+      s.parent = i;
+      s.period_ticks = base_period * splits;
+      s.proc_time = p;
+      s.bits_per_frame = clip.bits_per_frame(cfg.resolution);
+      s.resolution = cfg.resolution;
+      streams.push_back(s);
+    }
+  }
+  return streams;
+}
+
+}  // namespace pamo::sched

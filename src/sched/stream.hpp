@@ -1,0 +1,33 @@
+// Periodic stream representation and high-rate stream splitting (§3).
+//
+// A video stream at fps s with per-frame processing time p is *high-rate*
+// when s·p > 1: a single server cannot finish one frame before the next
+// arrives. The paper splits such a stream by periodic sampling into
+// K = ⌈s·p⌉ interleaved sub-streams, each with period K·T, so that every
+// resulting stream satisfies p ≤ T and can be scheduled contention-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eva/workload.hpp"
+
+namespace pamo::sched {
+
+/// One periodic (sub-)stream handed to the scheduling algorithm:
+/// τ_i = {T_i, r_i, p_i} plus bookkeeping to map back to the video source.
+struct PeriodicStream {
+  std::size_t parent = 0;         // index of the original video stream
+  std::uint64_t period_ticks = 0; // T_i in TickClock ticks
+  double proc_time = 0.0;         // p_i (seconds per frame)
+  double bits_per_frame = 0.0;    // θ_bit(r_i)
+  std::uint32_t resolution = 0;   // r_i
+};
+
+/// Expand a joint configuration into periodic streams, splitting high-rate
+/// streams. The result has M = M' - M* + Σ⌈s_i p_i⌉ entries; every entry
+/// satisfies proc_time <= period (no self-contention).
+std::vector<PeriodicStream> split_streams(const eva::Workload& workload,
+                                          const eva::JointConfig& config);
+
+}  // namespace pamo::sched

@@ -1,0 +1,74 @@
+// Frame-level discrete-event simulation of the edge cluster.
+//
+// This is the mechanistic substitute for the paper's physical testbed:
+// cameras emit frames periodically (with the scheduler's phase offsets),
+// frames take bits/B seconds to cross the server's uplink, and each server
+// runs non-preemptive FIFO inference. Queueing delay and delay jitter
+// (Figs. 3a and 4) *emerge* from the event dynamics — nothing is scripted —
+// which lets the tests verify Theorems 1–3 against actual behaviour.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eva/workload.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::sim {
+
+struct SimOptions {
+  /// Simulated wall-clock horizon.
+  double horizon_seconds = 4.0;
+  /// Model uplink transfer time (bits/B) before a frame can be served.
+  bool include_network = true;
+  /// When true, each server's uplink is a shared FIFO channel: concurrent
+  /// transfers serialize instead of overlapping. Off by default — the
+  /// paper's latency model (Eq. 5) treats transfers as independent — but
+  /// useful to stress-test schedules under a more hostile network.
+  bool shared_uplink = false;
+};
+
+/// Latency statistics of one (split-)stream over the simulation.
+struct StreamStats {
+  std::size_t frames = 0;
+  double mean_latency = 0.0;  // arrival (camera) → inference finish
+  double min_latency = 0.0;
+  double max_latency = 0.0;
+  /// Delay jitter: max − min end-to-end latency (0 for a contention-free
+  /// schedule — the paper's "zero delay jitter").
+  double jitter = 0.0;
+  /// Total time frames spent waiting behind other frames.
+  double queue_delay = 0.0;
+};
+
+struct SimReport {
+  std::vector<StreamStats> per_stream;     // indexed like schedule.streams
+  std::vector<double> latency_per_parent;  // mean e2e latency per source
+  double mean_latency = 0.0;               // over all frames
+  double max_jitter = 0.0;                 // worst stream jitter
+  double total_queue_delay = 0.0;
+  std::size_t total_frames = 0;
+};
+
+/// Simulate a (possibly infeasible w.r.t. Const2) schedule. The schedule
+/// must carry per-stream assignment and phase.
+SimReport simulate(const eva::Workload& workload,
+                   const sched::ScheduleResult& schedule,
+                   const SimOptions& options = {});
+
+/// Per-frame trace entry (used by the Figure 3a / Figure 4 benches to
+/// print the actual frame timelines).
+struct FrameRecord {
+  std::size_t stream = 0;  // split-stream index
+  double arrival = 0.0;    // camera emission time
+  double start = 0.0;      // inference start on the server
+  double finish = 0.0;     // inference finish
+  [[nodiscard]] double latency() const { return finish - arrival; }
+};
+
+/// Full frame trace of a simulation (same model as simulate()).
+std::vector<FrameRecord> trace_frames(const eva::Workload& workload,
+                                      const sched::ScheduleResult& schedule,
+                                      const SimOptions& options = {});
+
+}  // namespace pamo::sim

@@ -1,0 +1,89 @@
+#include "baselines/fact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pamo::baselines {
+namespace {
+
+TEST(Fact, ProducesScheduleWithFixedFps) {
+  const eva::Workload w = eva::make_workload(8, 5, 42);
+  const BaselineResult r = run_fact(w, {});
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.config.size(), 8u);
+  for (const auto& c : r.config) {
+    EXPECT_EQ(c.fps, 10u) << "FACT does not adapt fps";
+  }
+}
+
+TEST(Fact, RejectsNonKnobFps) {
+  const eva::Workload w = eva::make_workload(4, 3, 1);
+  FactOptions options;
+  options.fixed_fps = 7;
+  EXPECT_THROW(run_fact(w, options), Error);
+}
+
+TEST(Fact, LatencyWeightShrinksResolutions) {
+  const eva::Workload w = eva::make_workload(8, 5, 13);
+  FactOptions lat_heavy;
+  lat_heavy.w_latency = 8.0;
+  lat_heavy.w_accuracy = 0.2;
+  FactOptions acc_heavy;
+  acc_heavy.w_latency = 0.2;
+  acc_heavy.w_accuracy = 8.0;
+  const BaselineResult rl = run_fact(w, lat_heavy);
+  const BaselineResult ra = run_fact(w, acc_heavy);
+  auto mean_res = [](const BaselineResult& r) {
+    double sum = 0.0;
+    for (const auto& c : r.config) sum += c.resolution;
+    return sum / static_cast<double>(r.config.size());
+  };
+  EXPECT_LT(mean_res(rl), mean_res(ra));
+}
+
+TEST(Fact, AllocationUsesMultipleServers) {
+  const eva::Workload w = eva::make_workload(10, 5, 3);
+  const BaselineResult r = run_fact(w, {});
+  ASSERT_TRUE(r.feasible);
+  std::set<std::size_t> used(r.schedule.assignment.begin(),
+                             r.schedule.assignment.end());
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(Fact, SubStreamsInheritParentServer) {
+  const eva::Workload w = eva::make_workload(6, 4, 9);
+  const BaselineResult r = run_fact(w, {});
+  ASSERT_TRUE(r.feasible);
+  std::vector<int> parent_server(w.num_streams(), -1);
+  for (std::size_t i = 0; i < r.schedule.streams.size(); ++i) {
+    const std::size_t parent = r.schedule.streams[i].parent;
+    if (parent_server[parent] < 0) {
+      parent_server[parent] = static_cast<int>(r.schedule.assignment[i]);
+    } else {
+      EXPECT_EQ(parent_server[parent],
+                static_cast<int>(r.schedule.assignment[i]));
+    }
+  }
+}
+
+TEST(Fact, ConvergesWithinBudget) {
+  const eva::Workload w = eva::make_workload(8, 5, 21);
+  FactOptions options;
+  options.max_rounds = 50;
+  const BaselineResult r = run_fact(w, options);
+  EXPECT_LT(r.iterations, 50u) << "BCD should converge before the cap";
+}
+
+TEST(Fact, DeterministicForSameWorkload) {
+  const eva::Workload w = eva::make_workload(7, 4, 77);
+  const BaselineResult a = run_fact(w, {});
+  const BaselineResult b = run_fact(w, {});
+  EXPECT_EQ(a.config, b.config);
+}
+
+}  // namespace
+}  // namespace pamo::baselines

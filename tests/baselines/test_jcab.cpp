@@ -1,0 +1,94 @@
+#include "baselines/jcab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eva/profiler.hpp"
+#include "sched/constraints.hpp"
+
+namespace pamo::baselines {
+namespace {
+
+TEST(Jcab, ProducesFeasibleSchedule) {
+  const eva::Workload w = eva::make_workload(8, 5, 42);
+  const BaselineResult r = run_jcab(w, {});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.config.size(), 8u);
+  EXPECT_GE(r.iterations, 1u);
+  EXPECT_TRUE(sched::const1_holds(r.schedule.streams, r.schedule.assignment,
+                                  w.num_servers(), w.space.clock()));
+}
+
+TEST(Jcab, ConfigsAreValidKnobs) {
+  const eva::Workload w = eva::make_workload(6, 4, 7);
+  const BaselineResult r = run_jcab(w, {});
+  ASSERT_TRUE(r.feasible);
+  for (const auto& c : r.config) {
+    EXPECT_NE(std::find(w.space.resolutions().begin(),
+                        w.space.resolutions().end(), c.resolution),
+              w.space.resolutions().end());
+    EXPECT_NE(std::find(w.space.fps_knobs().begin(), w.space.fps_knobs().end(),
+                        c.fps),
+              w.space.fps_knobs().end());
+  }
+}
+
+TEST(Jcab, EnergyWeightPushesConfigsDown) {
+  const eva::Workload w = eva::make_workload(8, 5, 13);
+  JcabOptions acc_heavy;
+  acc_heavy.w_accuracy = 5.0;
+  acc_heavy.w_energy = 0.1;
+  JcabOptions eng_heavy;
+  eng_heavy.w_accuracy = 0.1;
+  eng_heavy.w_energy = 5.0;
+  const BaselineResult ra = run_jcab(w, acc_heavy);
+  const BaselineResult re = run_jcab(w, eng_heavy);
+  ASSERT_TRUE(ra.feasible && re.feasible);
+  auto total_power = [&](const BaselineResult& r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < w.num_streams(); ++i) {
+      sum += w.clips[i].power_watts(r.config[i].resolution, r.config[i].fps);
+    }
+    return sum;
+  };
+  EXPECT_LT(total_power(re), total_power(ra));
+  auto mean_accuracy = [&](const BaselineResult& r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < w.num_streams(); ++i) {
+      sum += w.clips[i].accuracy(r.config[i].resolution, r.config[i].fps);
+    }
+    return sum / static_cast<double>(w.num_streams());
+  };
+  EXPECT_GT(mean_accuracy(ra), mean_accuracy(re));
+}
+
+TEST(Jcab, RespectsIterationBudget) {
+  const eva::Workload w = eva::make_workload(5, 4, 3);
+  JcabOptions options;
+  options.max_rounds = 3;
+  const BaselineResult r = run_jcab(w, options);
+  EXPECT_LE(r.iterations, 3u);
+}
+
+TEST(Jcab, LargerDeltaTerminatesSooner) {
+  const eva::Workload w = eva::make_workload(8, 5, 4);
+  JcabOptions tight;
+  tight.delta = 0.001;
+  JcabOptions loose;
+  loose.delta = 0.5;
+  const BaselineResult rt = run_jcab(w, tight);
+  const BaselineResult rl = run_jcab(w, loose);
+  EXPECT_LE(rl.iterations, rt.iterations);
+}
+
+TEST(Jcab, DeterministicForSameWorkload) {
+  const eva::Workload w = eva::make_workload(6, 4, 55);
+  const BaselineResult a = run_jcab(w, {});
+  const BaselineResult b = run_jcab(w, {});
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.config, b.config);
+}
+
+}  // namespace
+}  // namespace pamo::baselines

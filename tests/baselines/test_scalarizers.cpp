@@ -1,0 +1,134 @@
+#include "baselines/scalarizers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sched/constraints.hpp"
+
+namespace pamo::baselines {
+namespace {
+
+TEST(WeightSchemes, Names) {
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kEqual), "Equal");
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kRoc), "ROC");
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kRankSum), "RankSum");
+  EXPECT_STREQ(weight_scheme_name(WeightScheme::kPseudo), "Pseudo");
+}
+
+constexpr std::array<eva::Objective, eva::kNumObjectives> kDefaultRanking = {
+    eva::Objective::kLatency, eva::Objective::kAccuracy,
+    eva::Objective::kNetwork, eva::Objective::kCompute,
+    eva::Objective::kEnergy};
+
+TEST(WeightSchemes, EqualWeightsSumToOne) {
+  const auto w = scheme_weights(WeightScheme::kEqual, kDefaultRanking);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 0.2);
+}
+
+TEST(WeightSchemes, RocWeightsMatchFormula) {
+  const auto w = scheme_weights(WeightScheme::kRoc, kDefaultRanking);
+  // ROC for k=5: w_1 = (1 + 1/2 + 1/3 + 1/4 + 1/5)/5 ≈ 0.4567.
+  EXPECT_NEAR(w[0], (1.0 + 0.5 + 1.0 / 3 + 0.25 + 0.2) / 5.0, 1e-12);
+  EXPECT_NEAR(w[4], 0.2 / 5.0, 1e-12);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Decreasing along the ranking.
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(WeightSchemes, RankSumWeightsMatchFormula) {
+  const auto w = scheme_weights(WeightScheme::kRankSum, kDefaultRanking);
+  EXPECT_NEAR(w[0], 2.0 * 5 / (5 * 6), 1e-12);
+  EXPECT_NEAR(w[4], 2.0 * 1 / (5 * 6), 1e-12);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(WeightSchemes, RankingPermutesWeights) {
+  std::array<eva::Objective, eva::kNumObjectives> reversed = {
+      eva::Objective::kEnergy, eva::Objective::kCompute,
+      eva::Objective::kNetwork, eva::Objective::kAccuracy,
+      eva::Objective::kLatency};
+  const auto w = scheme_weights(WeightScheme::kRoc, reversed);
+  EXPECT_GT(w[static_cast<std::size_t>(eva::Objective::kEnergy)],
+            w[static_cast<std::size_t>(eva::Objective::kLatency)]);
+}
+
+TEST(WeightSchemes, PseudoViaSchemeWeightsThrows) {
+  EXPECT_THROW(scheme_weights(WeightScheme::kPseudo, kDefaultRanking), Error);
+}
+
+TEST(Scalarizer, ProducesFeasibleZeroJitterSchedule) {
+  const eva::Workload w = eva::make_workload(6, 4, 42);
+  ScalarizerOptions options;
+  const BaselineResult r = run_scalarizer(w, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.config.size(), 6u);
+  EXPECT_TRUE(sched::const2_holds(r.schedule.streams, r.schedule.assignment,
+                                  w.num_servers(), w.space.clock()));
+}
+
+TEST(Scalarizer, ImprovesOnMinimalConfig) {
+  // Coordinate descent should leave the all-minimum start (which has the
+  // worst possible accuracy) for at least some streams.
+  const eva::Workload w = eva::make_workload(5, 4, 7);
+  ScalarizerOptions options;
+  options.scheme = WeightScheme::kRoc;  // latency-first ranking
+  const BaselineResult r = run_scalarizer(w, options);
+  ASSERT_TRUE(r.feasible);
+  bool any_above_minimum = false;
+  for (const auto& c : r.config) {
+    if (c.resolution != w.space.resolutions().front() ||
+        c.fps != w.space.fps_knobs().front()) {
+      any_above_minimum = true;
+    }
+  }
+  EXPECT_TRUE(any_above_minimum);
+}
+
+TEST(Scalarizer, PseudoWeightsRun) {
+  const eva::Workload w = eva::make_workload(5, 4, 9);
+  ScalarizerOptions options;
+  options.scheme = WeightScheme::kPseudo;
+  options.pseudo_samples = 24;
+  const BaselineResult r = run_scalarizer(w, options);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(Scalarizer, DeterministicPerSeed) {
+  const eva::Workload w = eva::make_workload(5, 4, 11);
+  ScalarizerOptions options;
+  options.scheme = WeightScheme::kPseudo;
+  options.seed = 3;
+  const BaselineResult a = run_scalarizer(w, options);
+  const BaselineResult b = run_scalarizer(w, options);
+  EXPECT_EQ(a.config, b.config);
+}
+
+class SchemeSweep : public ::testing::TestWithParam<WeightScheme> {};
+
+TEST_P(SchemeSweep, AllSchemesProduceValidDecisions) {
+  const eva::Workload w = eva::make_workload(6, 4, 21);
+  ScalarizerOptions options;
+  options.scheme = GetParam();
+  const BaselineResult r = run_scalarizer(w, options);
+  ASSERT_TRUE(r.feasible);
+  for (const auto& c : r.config) {
+    EXPECT_NE(std::find(w.space.resolutions().begin(),
+                        w.space.resolutions().end(), c.resolution),
+              w.space.resolutions().end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeSweep,
+                         ::testing::Values(WeightScheme::kEqual,
+                                           WeightScheme::kRoc,
+                                           WeightScheme::kRankSum,
+                                           WeightScheme::kPseudo));
+
+}  // namespace
+}  // namespace pamo::baselines

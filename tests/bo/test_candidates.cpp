@@ -1,0 +1,85 @@
+#include "bo/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::bo {
+namespace {
+
+TEST(CandidatePool, SizeAndBounds) {
+  Rng rng(1);
+  PoolOptions options;
+  options.num_quasi_random = 50;
+  options.mutations_per_incumbent = 10;
+  const std::vector<std::vector<double>> incumbents{{0.5, 0.5, 0.5, 0.5}};
+  const auto pool = make_candidate_pool(4, incumbents, options, rng);
+  EXPECT_EQ(pool.size(), 60u);
+  for (const auto& p : pool) {
+    ASSERT_EQ(p.size(), 4u);
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(CandidatePool, NoIncumbentsMeansNoMutations) {
+  Rng rng(2);
+  PoolOptions options;
+  options.num_quasi_random = 30;
+  const auto pool = make_candidate_pool(3, {}, options, rng);
+  EXPECT_EQ(pool.size(), 30u);
+}
+
+TEST(CandidatePool, MutationsStayNearIncumbent) {
+  Rng rng(3);
+  PoolOptions options;
+  options.num_quasi_random = 0;
+  options.mutations_per_incumbent = 40;
+  options.mutation_sigma = 0.05;
+  const std::vector<double> incumbent(6, 0.5);
+  const auto pool = make_candidate_pool(6, {incumbent}, options, rng);
+  for (const auto& p : pool) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < 6; ++d) {
+      dist += std::fabs(p[d] - incumbent[d]);
+    }
+    // Only a few coordinates mutate, each by ~sigma.
+    EXPECT_LT(dist, 1.0);
+  }
+}
+
+TEST(CandidatePool, MutationsDifferFromIncumbent) {
+  Rng rng(4);
+  PoolOptions options;
+  options.num_quasi_random = 0;
+  options.mutations_per_incumbent = 10;
+  const std::vector<double> incumbent(4, 0.5);
+  const auto pool = make_candidate_pool(4, {incumbent}, options, rng);
+  int identical = 0;
+  for (const auto& p : pool) {
+    if (p == incumbent) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(CandidatePool, DeterministicPerRngState) {
+  PoolOptions options;
+  Rng a(9), b(9);
+  const auto pa = make_candidate_pool(5, {}, options, a);
+  const auto pb = make_candidate_pool(5, {}, options, b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(CandidatePool, RejectsBadDimensions) {
+  Rng rng(5);
+  PoolOptions options;
+  EXPECT_THROW(make_candidate_pool(0, {}, options, rng), Error);
+  EXPECT_THROW(make_candidate_pool(3, {{0.5}}, options, rng), Error);
+}
+
+}  // namespace
+}  // namespace pamo::bo

@@ -1,0 +1,184 @@
+#include "bo/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/quasi.hpp"
+#include "common/rng.hpp"
+
+namespace pamo::bo {
+namespace {
+
+opt::Box box_1d(double lo = -3.0, double hi = 3.0) {
+  opt::Box box;
+  box.lo = {lo};
+  box.hi = {hi};
+  return box;
+}
+
+opt::Box box_nd(std::size_t d, double lo, double hi) {
+  opt::Box box;
+  box.lo.assign(d, lo);
+  box.hi.assign(d, hi);
+  return box;
+}
+
+BoOptimizerOptions fast_options(std::uint64_t seed = 1) {
+  BoOptimizerOptions options;
+  options.init_samples = 6;
+  options.max_iters = 12;
+  options.mc_samples = 32;
+  options.pool.num_quasi_random = 64;
+  options.pool.mutations_per_incumbent = 12;
+  options.gp.mle_restarts = 1;
+  options.gp.mle_max_evals = 80;
+  options.seed = seed;
+  return options;
+}
+
+TEST(BoOptimizer, Maximizes1dSmoothFunction) {
+  // max of -(x - 1.3)² + 2 at x = 1.3.
+  auto f = [](const std::vector<double>& x) {
+    return -(x[0] - 1.3) * (x[0] - 1.3) + 2.0;
+  };
+  const BoResult r = maximize(f, box_1d(), fast_options());
+  EXPECT_NEAR(r.best_x[0], 1.3, 0.15);
+  EXPECT_NEAR(r.best_value, 2.0, 0.05);
+  EXPECT_EQ(r.evaluations, 6u + r.iterations);
+}
+
+TEST(BoOptimizer, MinimizeWrapper) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] + 0.5) * (x[0] + 0.5);
+  };
+  const BoResult r = minimize(f, box_1d(), fast_options(3));
+  EXPECT_NEAR(r.best_x[0], -0.5, 0.2);
+  EXPECT_NEAR(r.best_value, 0.0, 0.06);
+}
+
+TEST(BoOptimizer, Branin2dGetsNearGlobalOptimum) {
+  // Branin on [-5, 10] × [0, 15]; global minimum 0.397887.
+  auto branin = [](const std::vector<double>& v) {
+    const double x = v[0];
+    const double y = v[1];
+    const double a = 1.0, b = 5.1 / (4 * M_PI * M_PI), c = 5.0 / M_PI;
+    const double r = 6.0, s = 10.0, t = 1.0 / (8 * M_PI);
+    const double term = y - b * x * x + c * x - r;
+    return a * term * term + s * (1 - t) * std::cos(x) + s;
+  };
+  opt::Box box;
+  box.lo = {-5.0, 0.0};
+  box.hi = {10.0, 15.0};
+  BoOptimizerOptions options = fast_options(7);
+  options.max_iters = 25;
+  const BoResult r = minimize(branin, box, options);
+  EXPECT_LT(r.best_value, 1.5) << "Branin minimum is 0.398";
+}
+
+TEST(BoOptimizer, BeatsQuasiRandomSearchOnEqualBudget) {
+  // A 3-d function with an off-centre peak; compare best-found values at
+  // an identical evaluation budget, averaged over seeds.
+  auto f = [](const std::vector<double>& x) {
+    double v = 0.0;
+    const double centre[3] = {0.7, -0.4, 0.2};
+    for (std::size_t i = 0; i < 3; ++i) {
+      v -= (x[i] - centre[i]) * (x[i] - centre[i]);
+    }
+    return v;
+  };
+  const opt::Box box = box_nd(3, -1.0, 1.0);
+  double bo_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    BoOptimizerOptions options = fast_options(seed);
+    options.max_iters = 14;
+    const BoResult r = maximize(f, box, options);
+    bo_total += r.best_value;
+    // Quasi-random baseline on the same number of evaluations.
+    HaltonSequence halton(3, seed);
+    double best = -1e300;
+    for (std::size_t i = 0; i < r.evaluations; ++i) {
+      const auto u = halton.next();
+      std::vector<double> x(3);
+      for (std::size_t d = 0; d < 3; ++d) x[d] = -1.0 + 2.0 * u[d];
+      best = std::max(best, f(x));
+    }
+    random_total += best;
+  }
+  EXPECT_GT(bo_total, random_total);
+}
+
+TEST(BoOptimizer, HandlesNoisyObjective) {
+  Rng noise(5);
+  auto f = [&noise](const std::vector<double>& x) {
+    return -(x[0] - 0.5) * (x[0] - 0.5) + noise.normal(0.0, 0.02);
+  };
+  BoOptimizerOptions options = fast_options(9);
+  options.max_iters = 15;
+  const BoResult r = maximize(f, box_1d(-2.0, 2.0), options);
+  EXPECT_NEAR(r.best_x[0], 0.5, 0.35);
+}
+
+TEST(BoOptimizer, DeterministicPerSeedForDeterministicObjective) {
+  auto f = [](const std::vector<double>& x) { return -x[0] * x[0]; };
+  const BoResult a = maximize(f, box_1d(), fast_options(11));
+  const BoResult b = maximize(f, box_1d(), fast_options(11));
+  EXPECT_EQ(a.best_x, b.best_x);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+}
+
+TEST(BoOptimizer, EarlyStoppingReducesIterations) {
+  auto f = [](const std::vector<double>& x) { return -x[0] * x[0]; };
+  BoOptimizerOptions eager = fast_options(13);
+  eager.convergence_delta = 10.0;  // everything counts as converged
+  eager.max_iters = 20;
+  const BoResult r = maximize(f, box_1d(), eager);
+  EXPECT_LE(r.iterations, 3u);
+}
+
+TEST(BoOptimizer, RespectsBounds) {
+  auto f = [](const std::vector<double>& x) {
+    return x[0];  // maximize → push to upper bound
+  };
+  const BoResult r = maximize(f, box_1d(0.0, 1.0), fast_options(17));
+  EXPECT_GE(r.best_x[0], 0.0);
+  EXPECT_LE(r.best_x[0], 1.0);
+  EXPECT_GT(r.best_x[0], 0.8);
+}
+
+TEST(BoOptimizer, RejectsBadInput) {
+  auto f = [](const std::vector<double>&) { return 0.0; };
+  opt::Box degenerate;
+  degenerate.lo = {1.0};
+  degenerate.hi = {1.0};
+  EXPECT_THROW(maximize(f, degenerate, fast_options()), Error);
+  BoOptimizerOptions bad = fast_options();
+  bad.init_samples = 1;
+  EXPECT_THROW(maximize(f, box_1d(), bad), Error);
+  auto nan_f = [](const std::vector<double>&) { return std::nan(""); };
+  EXPECT_THROW(maximize(nan_f, box_1d(), fast_options()), Error);
+}
+
+class AcquisitionSweep : public ::testing::TestWithParam<AcquisitionType> {};
+
+TEST_P(AcquisitionSweep, AllAcquisitionsOptimize) {
+  auto f = [](const std::vector<double>& x) {
+    return -(x[0] - 0.8) * (x[0] - 0.8);
+  };
+  BoOptimizerOptions options = fast_options(19);
+  options.acquisition.type = GetParam();
+  const BoResult r = maximize(f, box_1d(-2.0, 2.0), options);
+  EXPECT_NEAR(r.best_x[0], 0.8, 0.4)
+      << acquisition_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Acquisitions, AcquisitionSweep,
+                         ::testing::Values(AcquisitionType::kQNEI,
+                                           AcquisitionType::kQEI,
+                                           AcquisitionType::kQUCB,
+                                           AcquisitionType::kQSR));
+
+}  // namespace
+}  // namespace pamo::bo

@@ -1,0 +1,51 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pamo {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(PAMO_CHECK(1 + 1 == 2, "never fires"));
+}
+
+TEST(Error, CheckThrowsOnFalseWithContext) {
+  try {
+    PAMO_CHECK(false, "custom context");
+    FAIL() << "PAMO_CHECK(false) must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsWithInvariantKind) {
+  try {
+    PAMO_ASSERT(false, "broken invariant");
+    FAIL() << "PAMO_ASSERT(false) must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  // Callers catching std::runtime_error (or std::exception) must see it.
+  EXPECT_THROW(PAMO_CHECK(false, ""), std::runtime_error);
+}
+
+TEST(Error, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return true;
+  };
+  PAMO_CHECK(count(), "side effects must not repeat");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pamo

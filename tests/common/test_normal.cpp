@@ -1,0 +1,69 @@
+#include "common/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pamo {
+namespace {
+
+TEST(Normal, PdfKnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.0), normal_pdf(-1.0));
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(Normal, CdfSymmetry) {
+  for (double z : {0.1, 0.7, 1.3, 2.9, 4.4}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-14);
+  }
+}
+
+TEST(Normal, LogCdfMatchesDirectInBody) {
+  for (double z : {-6.0, -3.0, -1.0, 0.0, 1.0, 3.0}) {
+    EXPECT_NEAR(log_normal_cdf(z), std::log(normal_cdf(z)), 1e-9)
+        << "z = " << z;
+  }
+}
+
+TEST(Normal, LogCdfFiniteDeepInTail) {
+  // Direct log(Φ(z)) underflows to -inf near z = -39; the asymptotic
+  // branch must stay finite and monotone.
+  double prev = log_normal_cdf(-8.5);
+  for (double z = -9.0; z > -60.0; z -= 1.0) {
+    const double value = log_normal_cdf(z);
+    EXPECT_TRUE(std::isfinite(value)) << "z = " << z;
+    EXPECT_LT(value, prev) << "z = " << z;
+    prev = value;
+  }
+}
+
+TEST(Normal, LogCdfContinuousAtSwitch) {
+  EXPECT_NEAR(log_normal_cdf(-7.999), log_normal_cdf(-8.001), 2e-2);
+}
+
+TEST(Normal, HazardMatchesDirectInBody) {
+  for (double z : {-6.0, -2.0, 0.0, 2.0}) {
+    EXPECT_NEAR(normal_hazard(z), normal_pdf(z) / normal_cdf(z), 1e-6)
+        << "z = " << z;
+  }
+}
+
+TEST(Normal, HazardAsymptoteDeepInTail) {
+  // φ/Φ ~ -z for z → -inf.
+  for (double z : {-10.0, -20.0, -40.0}) {
+    const double h = normal_hazard(z);
+    EXPECT_TRUE(std::isfinite(h));
+    EXPECT_NEAR(h, -z, -z * 0.02) << "z = " << z;
+    EXPECT_GT(h, -z) << "hazard must exceed |z| in the left tail";
+  }
+}
+
+}  // namespace
+}  // namespace pamo

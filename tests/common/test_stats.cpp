@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pamo {
+namespace {
+
+TEST(RunningStat, EmptyThrows) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.max(), Error);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat s;
+  const std::vector<double> values{1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double v : values) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_NEAR(s.variance(), 37.2, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(37.2), 1e-12);
+}
+
+TEST(RunningStat, StableForLargeOffsets) {
+  RunningStat s;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) s.add(1e9 + rng.uniform());
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Quantile, EndpointsAndMedian) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+TEST(MeanStddev, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stddev_of({2.0, 4.0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(stddev_of({7.0}), 0.0);
+  EXPECT_THROW(mean_of({}), Error);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const std::vector<double> pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(y, pred), 0.0, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const std::vector<double> pred{3.0, 2.0, 1.0};
+  EXPECT_LT(r_squared(y, pred), 0.0);
+}
+
+TEST(RSquared, ConstantTruthMatchedIsOne) {
+  const std::vector<double> y{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, RejectsMismatchedLengths) {
+  EXPECT_THROW(r_squared({1.0}, {1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace pamo

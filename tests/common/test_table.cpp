@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pamo {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream os;
+  table.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), Error);
+}
+
+TEST(Table, DoubleRowsUsePrecision) {
+  TablePrinter table({"x", "y"});
+  table.add_row_values({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(os.str().find("1.235"), std::string::npos);
+}
+
+TEST(Table, CountsRows) {
+  TablePrinter table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutputIsParseable) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"with,comma", "2"});
+  table.add_row({"with\"quote", "3"});
+  std::ostringstream os;
+  table.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name,value\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\",2\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(Table, CsvHasOneLinePerRowPlusHeader) {
+  TablePrinter table({"a"});
+  table.add_row({"1"});
+  table.add_row({"2"});
+  std::ostringstream os;
+  table.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace pamo

@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pamo {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(10, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 57) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, SurvivesExceptionAndKeepsWorking) {
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for(10, [](std::size_t) { throw Error("x"); });
+  } catch (const Error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // Per-index forked RNG streams must give identical results under any
+  // degree of parallelism — the determinism contract of the codebase.
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    Rng base(99);
+    std::vector<double> out(64, 0.0);
+    pool.parallel_for(64, [&](std::size_t i) {
+      Rng stream = base.fork(i);
+      double sum = 0.0;
+      for (int k = 0; k < 100; ++k) sum += stream.uniform();
+      out[i] = sum;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  parallel_for(128, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 128);
+}
+
+TEST(ThreadPool, ManySmallBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(3, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace pamo

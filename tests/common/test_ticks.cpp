@@ -1,0 +1,88 @@
+#include "common/ticks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pamo {
+namespace {
+
+TEST(GcdLcm, Basics) {
+  EXPECT_EQ(gcd_of({6, 4}), 2u);
+  EXPECT_EQ(gcd_of({5}), 5u);
+  EXPECT_EQ(gcd_of({7, 13}), 1u);
+  EXPECT_EQ(lcm_of({4, 6}), 12u);
+  EXPECT_EQ(lcm_of({5, 6, 10, 15, 30}), 30u);
+}
+
+TEST(GcdLcm, RejectBadInput) {
+  EXPECT_THROW(gcd_of({}), Error);
+  EXPECT_THROW(gcd_of({0}), Error);
+  EXPECT_THROW(lcm_of({}), Error);
+  EXPECT_THROW(lcm_of({2, 0}), Error);
+}
+
+TEST(GcdLcm, LcmOverflowDetected) {
+  EXPECT_THROW(lcm_of({1ULL << 40, (1ULL << 40) + 1, (1ULL << 40) + 3}),
+               Error);
+}
+
+TEST(TickClock, StandardFpsKnobs) {
+  const TickClock clock({5, 6, 10, 15, 30});
+  EXPECT_EQ(clock.ticks_per_second(), 30u);
+  EXPECT_EQ(clock.period_ticks(5), 6u);
+  EXPECT_EQ(clock.period_ticks(6), 5u);
+  EXPECT_EQ(clock.period_ticks(10), 3u);
+  EXPECT_EQ(clock.period_ticks(15), 2u);
+  EXPECT_EQ(clock.period_ticks(30), 1u);
+}
+
+TEST(TickClock, RejectsIncompatibleFps) {
+  const TickClock clock({5, 10});
+  EXPECT_THROW(clock.period_ticks(3), Error);
+  EXPECT_THROW(clock.period_ticks(0), Error);
+}
+
+TEST(TickClock, RoundTripSeconds) {
+  const TickClock clock({5, 6, 10, 15, 30});
+  EXPECT_DOUBLE_EQ(clock.to_seconds(30), 1.0);
+  EXPECT_DOUBLE_EQ(clock.to_seconds(clock.period_ticks(10)), 0.1);
+}
+
+TEST(TickClock, CeilTicks) {
+  const TickClock clock({10});  // 10 ticks per second
+  EXPECT_EQ(clock.ceil_ticks(0.0), 0u);
+  EXPECT_EQ(clock.ceil_ticks(0.05), 1u);
+  EXPECT_EQ(clock.ceil_ticks(0.1), 1u);
+  EXPECT_EQ(clock.ceil_ticks(0.101), 2u);
+  EXPECT_THROW(clock.ceil_ticks(-0.1), Error);
+}
+
+// Period gcd in ticks must equal the gcd of the underlying rational
+// periods — the whole point of the tick representation.
+class TickGcdCase
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(TickGcdCase, GcdOfPeriodsIsExact) {
+  const auto [fps_a, fps_b] = GetParam();
+  const TickClock clock({5, 6, 10, 15, 30});
+  const std::uint64_t ga =
+      gcd_of({clock.period_ticks(fps_a), clock.period_ticks(fps_b)});
+  // gcd(1/a, 1/b) of rationals with common denominator L is
+  // gcd(L/a, L/b) / L.
+  const double expected = static_cast<double>(ga) / 30.0;
+  EXPECT_DOUBLE_EQ(clock.to_seconds(ga), expected);
+  EXPECT_GE(ga, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, TickGcdCase,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{5, 6},
+                      std::pair<std::uint32_t, std::uint32_t>{5, 10},
+                      std::pair<std::uint32_t, std::uint32_t>{6, 15},
+                      std::pair<std::uint32_t, std::uint32_t>{10, 30},
+                      std::pair<std::uint32_t, std::uint32_t>{15, 30}));
+
+}  // namespace
+}  // namespace pamo

@@ -1,0 +1,99 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pamo::core {
+namespace {
+
+struct Fixture {
+  eva::Workload workload = eva::make_workload(5, 4, 33);
+  eva::OutcomeNormalizer normalizer =
+      eva::OutcomeNormalizer::for_workload(workload);
+  pref::BenefitFunction benefit = pref::BenefitFunction::uniform();
+};
+
+TEST(Evaluation, InfeasibleScheduleGivesNullopt) {
+  Fixture f;
+  sched::ScheduleResult schedule;  // feasible = false
+  eva::JointConfig config(5, {480, 5});
+  EXPECT_FALSE(evaluate_solution(f.workload, config, schedule, f.normalizer,
+                                 f.benefit)
+                   .has_value());
+}
+
+TEST(Evaluation, FeasibleScheduleScores) {
+  Fixture f;
+  eva::JointConfig config(5, {720, 10});
+  const auto schedule = sched::schedule_zero_jitter(f.workload, config);
+  ASSERT_TRUE(schedule.feasible);
+  const auto score = evaluate_solution(f.workload, config, schedule,
+                                       f.normalizer, f.benefit);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_LE(score->benefit, 0.0);
+  EXPECT_GE(score->benefit, -f.benefit.weight_sum());
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    EXPECT_GE(score->normalized_outcomes[k], 0.0);
+    EXPECT_LE(score->normalized_outcomes[k], 1.0);
+    EXPECT_NEAR(score->weighted_losses[k],
+                f.benefit.weights()[k] * score->normalized_outcomes[k],
+                1e-12);
+  }
+}
+
+TEST(Evaluation, BenefitIsNegativeWeightedLossSum) {
+  Fixture f;
+  eva::JointConfig config(5, {960, 10});
+  const auto schedule = sched::schedule_zero_jitter(f.workload, config);
+  ASSERT_TRUE(schedule.feasible);
+  const auto score = evaluate_solution(f.workload, config, schedule,
+                                       f.normalizer, f.benefit);
+  ASSERT_TRUE(score.has_value());
+  double sum = 0.0;
+  for (double loss : score->weighted_losses) sum += loss;
+  EXPECT_NEAR(score->benefit, -sum, 1e-12);
+}
+
+TEST(Evaluation, ContentionPenalizesLatencyObjective) {
+  // Same config, zero-jitter vs first-fit-on-one-server: the first-fit
+  // run's simulated latency (with queueing) must not be better.
+  eva::Workload w = eva::make_workload(4, 4, 44);
+  const eva::OutcomeNormalizer normalizer =
+      eva::OutcomeNormalizer::for_workload(w);
+  const pref::BenefitFunction benefit = pref::BenefitFunction::uniform();
+  eva::JointConfig config(4, {1200, 10});
+  const auto good = sched::schedule_zero_jitter(w, config);
+  // Force everything onto server 0.
+  const auto bad = sched::schedule_fixed_assignment(
+      w, config, std::vector<std::size_t>(4, 0));
+  ASSERT_TRUE(good.feasible);
+  const auto score_good =
+      evaluate_solution(w, config, good, normalizer, benefit);
+  const auto score_bad =
+      evaluate_solution(w, config, bad, normalizer, benefit);
+  ASSERT_TRUE(score_good && score_bad);
+  EXPECT_LE(
+      eva::at(score_good->raw_outcomes, eva::Objective::kLatency),
+      eva::at(score_bad->raw_outcomes, eva::Objective::kLatency) + 1e-9);
+}
+
+TEST(NormalizedBenefit, EndpointsMapCorrectly) {
+  const pref::BenefitFunction benefit = pref::BenefitFunction::uniform();
+  const double u_max = -0.8;
+  // Best solution (= u_max) maps to 1.
+  EXPECT_NEAR(normalized_benefit(u_max, u_max, benefit), 1.0, 1e-12);
+  // The paper's floor −½Σw maps to 0.
+  EXPECT_NEAR(normalized_benefit(-2.5, u_max, benefit), 0.0, 1e-12);
+  // Monotone in between.
+  EXPECT_GT(normalized_benefit(-1.0, u_max, benefit),
+            normalized_benefit(-2.0, u_max, benefit));
+}
+
+TEST(NormalizedBenefit, DegenerateWidthReturnsOne) {
+  const pref::BenefitFunction benefit({0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(normalized_benefit(0.0, 0.0, benefit), 1.0);
+}
+
+}  // namespace
+}  // namespace pamo::core

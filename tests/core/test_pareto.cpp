@@ -1,0 +1,104 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::core {
+namespace {
+
+eva::OutcomeVector vec(double a, double b, double c, double d, double e) {
+  return {a, b, c, d, e};
+}
+
+TEST(Dominates, StrictAndNonStrictCases) {
+  const auto a = vec(0.1, 0.1, 0.1, 0.1, 0.1);
+  const auto b = vec(0.2, 0.2, 0.2, 0.2, 0.2);
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, a));  // equal: no strict improvement
+  const auto mixed = vec(0.05, 0.3, 0.1, 0.1, 0.1);
+  EXPECT_FALSE(dominates(a, mixed));
+  EXPECT_FALSE(dominates(mixed, a));
+}
+
+TEST(ParetoFront, ExtractsNonDominated) {
+  std::vector<eva::OutcomeVector> points{
+      vec(0.1, 0.9, 0.5, 0.5, 0.5),  // front
+      vec(0.9, 0.1, 0.5, 0.5, 0.5),  // front
+      vec(0.5, 0.5, 0.5, 0.5, 0.5),  // front (incomparable to both)
+      vec(0.6, 0.6, 0.6, 0.6, 0.6),  // dominated by the previous
+  };
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front.size(), 3u);
+  EXPECT_EQ(std::count(front.begin(), front.end(), 3u), 0);
+}
+
+TEST(ParetoFront, AllIdenticalPointsSurvive) {
+  std::vector<eva::OutcomeVector> points(4, vec(0.3, 0.3, 0.3, 0.3, 0.3));
+  EXPECT_EQ(pareto_front(points).size(), 4u);  // none strictly better
+}
+
+TEST(ParetoFront, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Hypervolume, SinglePointBoxVolume) {
+  // Point p covers the box [p, 1]^k: volume Π (1 - p_i).
+  const auto p = vec(0.5, 0.5, 0.5, 0.5, 0.5);
+  const double hv = hypervolume_estimate({p}, 40000, 3);
+  EXPECT_NEAR(hv, std::pow(0.5, 5), 0.01);
+}
+
+TEST(Hypervolume, OriginCoversEverything) {
+  const auto p = vec(0.0, 0.0, 0.0, 0.0, 0.0);
+  EXPECT_NEAR(hypervolume_estimate({p}, 10000, 3), 1.0, 1e-12);
+}
+
+TEST(Hypervolume, MonotoneInPoints) {
+  const auto a = vec(0.7, 0.2, 0.5, 0.5, 0.5);
+  const auto b = vec(0.2, 0.7, 0.5, 0.5, 0.5);
+  const double hv_one = hypervolume_estimate({a}, 30000, 5);
+  const double hv_two = hypervolume_estimate({a, b}, 30000, 5);
+  EXPECT_GT(hv_two, hv_one);
+}
+
+TEST(Hypervolume, EmptyAndInvalid) {
+  EXPECT_DOUBLE_EQ(hypervolume_estimate({}, 100, 1), 0.0);
+  EXPECT_THROW(hypervolume_estimate({vec(0, 0, 0, 0, 0)}, 0, 1), Error);
+}
+
+TEST(SampleOutcomeSpace, ProducesFeasibleNormalizedSamples) {
+  const eva::Workload w = eva::make_workload(5, 4, 31);
+  const auto samples = sample_outcome_space(w, 60, 32);
+  EXPECT_GT(samples.size(), 20u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.config.size(), w.num_streams());
+    for (double v : s.normalized) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(SampleOutcomeSpace, FrontIsSubsetAndValid) {
+  const eva::Workload w = eva::make_workload(5, 4, 33);
+  const auto samples = sample_outcome_space(w, 120, 34);
+  std::vector<eva::OutcomeVector> points;
+  for (const auto& s : samples) points.push_back(s.normalized);
+  const auto front = pareto_front(points);
+  EXPECT_FALSE(front.empty());
+  EXPECT_LE(front.size(), points.size());
+  // No front member may be dominated by any sample.
+  for (std::size_t idx : front) {
+    for (const auto& p : points) {
+      EXPECT_FALSE(dominates(p, points[idx]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pamo::core

@@ -1,0 +1,126 @@
+#include "eva/clip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+namespace {
+
+TEST(ClipProfile, DeterministicGeneration) {
+  const ClipProfile a = ClipProfile::generate(1, 7);
+  const ClipProfile b = ClipProfile::generate(1, 7);
+  EXPECT_DOUBLE_EQ(a.accuracy(960, 15), b.accuracy(960, 15));
+  EXPECT_DOUBLE_EQ(a.proc_time(960), b.proc_time(960));
+}
+
+TEST(ClipProfile, ClipsDifferFromEachOther) {
+  const ClipProfile a = ClipProfile::generate(1, 0);
+  const ClipProfile b = ClipProfile::generate(1, 1);
+  EXPECT_NE(a.accuracy(960, 15), b.accuracy(960, 15));
+}
+
+TEST(ClipProfile, AccuracyInUnitIntervalAndMonotone) {
+  const ClipProfile clip = ClipProfile::generate(42, 3);
+  double prev = 0.0;
+  for (double r : {480.0, 720.0, 960.0, 1200.0, 1440.0, 1920.0}) {
+    const double acc = clip.accuracy(r, 30);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+    EXPECT_GT(acc, prev) << "accuracy must increase with resolution, r=" << r;
+    prev = acc;
+  }
+  // Higher fps helps too.
+  EXPECT_GT(clip.accuracy(960, 30), clip.accuracy(960, 5));
+}
+
+TEST(ClipProfile, Figure2Magnitudes) {
+  // The synthetic surfaces must land on the paper's Figure 2 axes.
+  const ClipLibrary lib(20, 99);
+  for (const auto& clip : lib.clips()) {
+    EXPECT_GT(clip.accuracy(1920, 30), 0.6);
+    EXPECT_LT(clip.accuracy(480, 5), 0.65);
+    // Bandwidth at max config ≈ 10–25 Mbps.
+    EXPECT_GT(clip.bandwidth_mbps(1920, 30), 8.0);
+    EXPECT_LT(clip.bandwidth_mbps(1920, 30), 30.0);
+    // Compute at max config ≈ tens of TFLOPs.
+    EXPECT_GT(clip.compute_tflops(1920, 30), 15.0);
+    EXPECT_LT(clip.compute_tflops(1920, 30), 80.0);
+    // Power at max config: tens of watts up to ~150 W.
+    EXPECT_GT(clip.power_watts(1920, 30), 30.0);
+    EXPECT_LT(clip.power_watts(1920, 30), 200.0);
+    // Processing time: ~8 ms at low res, ~60 ms at high res.
+    EXPECT_GT(clip.proc_time(480), 0.004);
+    EXPECT_LT(clip.proc_time(480), 0.03);
+    EXPECT_GT(clip.proc_time(1920), 0.04);
+    EXPECT_LT(clip.proc_time(1920), 0.12);
+  }
+}
+
+TEST(ClipProfile, HighRateConfigsExist) {
+  // §3 requires streams with s·p > 1 (must be split); 30 fps at 1920 should
+  // qualify for every clip.
+  const ClipLibrary lib(10, 7);
+  for (const auto& clip : lib.clips()) {
+    EXPECT_GT(clip.proc_time(1920) * 30.0, 1.0);
+    EXPECT_LT(clip.proc_time(480) * 5.0, 1.0);
+  }
+}
+
+TEST(ClipProfile, ResourceMetricsMonotoneInBothKnobs) {
+  const ClipProfile clip = ClipProfile::generate(5, 0);
+  EXPECT_GT(clip.bandwidth_mbps(1920, 30), clip.bandwidth_mbps(960, 30));
+  EXPECT_GT(clip.bandwidth_mbps(960, 30), clip.bandwidth_mbps(960, 10));
+  EXPECT_GT(clip.compute_tflops(1920, 30), clip.compute_tflops(960, 30));
+  EXPECT_GT(clip.power_watts(1920, 30), clip.power_watts(480, 5));
+  EXPECT_GT(clip.proc_time(1920), clip.proc_time(480));
+}
+
+TEST(ClipProfile, PowerIncludesTransmissionTerm) {
+  const ClipProfile clip = ClipProfile::generate(6, 0);
+  // Power must exceed the compute-only part by the γ·bits·s term (Eq. 4).
+  const double compute_only = clip.energy_per_frame(1920) * 30.0;
+  const double total = clip.power_watts(1920, 30);
+  const double transmission =
+      kJoulesPerBit * clip.bits_per_frame(1920) * 30.0;
+  EXPECT_NEAR(total, compute_only + transmission, 1e-9);
+  EXPECT_GT(transmission, 0.0);
+}
+
+TEST(ClipLibrary, SizeAndIndexChecks) {
+  const ClipLibrary lib(5, 1);
+  EXPECT_EQ(lib.size(), 5u);
+  EXPECT_EQ(lib.clip(4).id(), 4u);
+  EXPECT_THROW((void)lib.clip(5), Error);
+  EXPECT_THROW(ClipLibrary(0, 1), Error);
+}
+
+TEST(ClipLibrary, ClipsIndependentOfLibrarySize) {
+  // Clip i must be identical whether the library holds 3 or 10 clips.
+  const ClipLibrary small(3, 77);
+  const ClipLibrary large(10, 77);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(small.clip(i).accuracy(960, 10),
+                     large.clip(i).accuracy(960, 10));
+  }
+}
+
+class ClipSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClipSweep, ConsistentShapeAcrossClips) {
+  // Figure 2's key observation: different clips share the same response
+  // *shape*. Check sign structure of the discrete derivatives.
+  const ClipProfile clip = ClipProfile::generate(123, GetParam());
+  for (double r : {480.0, 960.0, 1440.0}) {
+    EXPECT_GT(clip.accuracy(r + 480.0, 15), clip.accuracy(r, 15));
+    EXPECT_GT(clip.bits_per_frame(r + 480.0), clip.bits_per_frame(r));
+    EXPECT_GT(clip.compute_per_frame(r + 480.0), clip.compute_per_frame(r));
+    EXPECT_GT(clip.energy_per_frame(r + 480.0), clip.energy_per_frame(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clips, ClipSweep,
+                         ::testing::Values<std::uint64_t>(0, 1, 2, 5, 9, 17));
+
+}  // namespace
+}  // namespace pamo::eva

@@ -1,0 +1,106 @@
+#include "eva/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+namespace {
+
+TEST(ClipBlend, EndpointsReproduceInputs) {
+  const ClipProfile a = ClipProfile::generate(1, 0);
+  const ClipProfile b = ClipProfile::generate(2, 0);
+  const ClipProfile at_zero = ClipProfile::blend(a, b, 0.0);
+  const ClipProfile at_one = ClipProfile::blend(a, b, 1.0);
+  for (double r : {480.0, 960.0, 1920.0}) {
+    EXPECT_DOUBLE_EQ(at_zero.proc_time(r), a.proc_time(r));
+    EXPECT_DOUBLE_EQ(at_one.proc_time(r), b.proc_time(r));
+    EXPECT_DOUBLE_EQ(at_zero.accuracy(r, 15), a.accuracy(r, 15));
+    EXPECT_DOUBLE_EQ(at_one.accuracy(r, 15), b.accuracy(r, 15));
+  }
+}
+
+TEST(ClipBlend, MidpointIsBetween) {
+  const ClipProfile a = ClipProfile::generate(3, 0);
+  const ClipProfile b = ClipProfile::generate(4, 0);
+  const ClipProfile mid = ClipProfile::blend(a, b, 0.5);
+  const double lo = std::min(a.proc_time(960), b.proc_time(960));
+  const double hi = std::max(a.proc_time(960), b.proc_time(960));
+  EXPECT_GE(mid.proc_time(960), lo);
+  EXPECT_LE(mid.proc_time(960), hi);
+}
+
+TEST(ClipBlend, RejectsOutOfRangeFactor) {
+  const ClipProfile a = ClipProfile::generate(1, 0);
+  EXPECT_THROW(ClipProfile::blend(a, a, -0.1), Error);
+  EXPECT_THROW(ClipProfile::blend(a, a, 1.1), Error);
+}
+
+TEST(DriftWorkload, ZeroDriftIsIdentity) {
+  const Workload base = make_workload(4, 3, 50);
+  const Workload same = drift_workload(base, 999, 0.0);
+  for (std::size_t i = 0; i < base.clips.size(); ++i) {
+    EXPECT_DOUBLE_EQ(same.clips[i].accuracy(960, 10),
+                     base.clips[i].accuracy(960, 10));
+  }
+  EXPECT_EQ(same.uplink_mbps, base.uplink_mbps);
+}
+
+TEST(DriftWorkload, DriftChangesClipsNotServers) {
+  const Workload base = make_workload(4, 3, 50);
+  const Workload drifted = drift_workload(base, 999, 0.5);
+  bool any_changed = false;
+  for (std::size_t i = 0; i < base.clips.size(); ++i) {
+    if (drifted.clips[i].accuracy(960, 10) != base.clips[i].accuracy(960, 10)) {
+      any_changed = true;
+    }
+  }
+  EXPECT_TRUE(any_changed);
+  EXPECT_EQ(drifted.uplink_mbps, base.uplink_mbps);
+}
+
+TEST(DriftWorkload, DriftedProfilesStayPhysical) {
+  const Workload base = make_workload(6, 3, 51);
+  for (double t : {0.2, 0.5, 0.8, 1.0}) {
+    const Workload drifted = drift_workload(base, 777, t);
+    for (const auto& clip : drifted.clips) {
+      for (double r : {480.0, 960.0, 1920.0}) {
+        EXPECT_GT(clip.proc_time(r), 0.0);
+        EXPECT_GT(clip.bits_per_frame(r), 0.0);
+        EXPECT_GE(clip.accuracy(r, 15), 0.0);
+        EXPECT_LE(clip.accuracy(r, 15), 1.0);
+      }
+    }
+  }
+}
+
+TEST(DriftWorkload, SmallDriftIsSmall) {
+  const Workload base = make_workload(4, 3, 52);
+  const Workload drifted = drift_workload(base, 888, 0.05);
+  for (std::size_t i = 0; i < base.clips.size(); ++i) {
+    const double before = base.clips[i].proc_time(960);
+    const double after = drifted.clips[i].proc_time(960);
+    EXPECT_LT(std::fabs(after - before) / before, 0.15);
+  }
+}
+
+TEST(DriftWorkload, RepeatedDriftAccumulates) {
+  const Workload base = make_workload(3, 2, 53);
+  Workload current = base;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    current = drift_workload(current, 1000 + epoch, 0.3);
+  }
+  // After five 30% steps the content is substantially different.
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < base.clips.size(); ++i) {
+    const double before = base.clips[i].accuracy(960, 15);
+    const double after = current.clips[i].accuracy(960, 15);
+    max_rel = std::max(max_rel, std::fabs(after - before) / before);
+  }
+  EXPECT_GT(max_rel, 0.01);
+}
+
+}  // namespace
+}  // namespace pamo::eva

@@ -1,0 +1,82 @@
+#include "eva/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::eva {
+namespace {
+
+std::vector<ClipProfile> clips_n(std::size_t n) {
+  return ClipLibrary(n, 91).clips();
+}
+
+TEST(Virtualize, UnitServersPassThrough) {
+  const std::vector<HeterogeneousServer> servers{{10.0, 1.0}, {20.0, 1.0}};
+  const auto [workload, map] = virtualize_servers(clips_n(3), servers);
+  EXPECT_EQ(workload.num_servers(), 2u);
+  EXPECT_DOUBLE_EQ(workload.uplink_mbps[0], 10.0);
+  EXPECT_DOUBLE_EQ(workload.uplink_mbps[1], 20.0);
+  EXPECT_EQ(map.vm_of_server[0].size(), 1u);
+  EXPECT_EQ(map.server_of_vm.size(), 2u);
+}
+
+TEST(Virtualize, BigServerBecomesMultipleVms) {
+  const std::vector<HeterogeneousServer> servers{{30.0, 3.0}, {10.0, 1.0}};
+  const auto [workload, map] = virtualize_servers(clips_n(4), servers);
+  EXPECT_EQ(workload.num_servers(), 4u);  // 3 VMs + 1
+  EXPECT_EQ(map.vm_of_server[0].size(), 3u);
+  // Uplink split evenly among the big server's VMs.
+  for (std::size_t vm : map.vm_of_server[0]) {
+    EXPECT_DOUBLE_EQ(workload.uplink_mbps[vm], 10.0);
+    EXPECT_EQ(map.server_of_vm[vm], 0u);
+  }
+}
+
+TEST(Virtualize, FractionalScalesRound) {
+  const std::vector<HeterogeneousServer> servers{{12.0, 2.4}, {8.0, 0.6}};
+  const auto [workload, map] = virtualize_servers(clips_n(2), servers);
+  EXPECT_EQ(map.vm_of_server[0].size(), 2u);  // 2.4 → 2
+  EXPECT_EQ(map.vm_of_server[1].size(), 1u);  // 0.6 → 1
+  EXPECT_EQ(workload.num_servers(), 3u);
+}
+
+TEST(Virtualize, RejectsBadInput) {
+  EXPECT_THROW(virtualize_servers({}, {{10.0, 1.0}}), Error);
+  EXPECT_THROW(virtualize_servers(clips_n(1), {}), Error);
+  EXPECT_THROW(virtualize_servers(clips_n(1), {{10.0, 0.2}}), Error);
+  EXPECT_THROW(virtualize_servers(clips_n(1), {{0.0, 1.0}}), Error);
+}
+
+TEST(Virtualize, VirtualizedWorkloadIsSchedulable) {
+  const std::vector<HeterogeneousServer> servers{
+      {30.0, 2.0}, {15.0, 1.0}, {25.0, 3.0}};
+  const auto [workload, map] = virtualize_servers(clips_n(6), servers);
+  EXPECT_EQ(workload.num_servers(), 6u);
+  eva::JointConfig config(6, {720, 10});
+  const auto schedule = sched::schedule_zero_jitter(workload, config);
+  EXPECT_TRUE(schedule.feasible);
+  // Every assignment maps back to a physical server.
+  for (std::size_t vm : schedule.assignment) {
+    EXPECT_LT(map.server_of_vm[vm], servers.size());
+  }
+}
+
+TEST(Virtualize, MoreComputeMeansMoreCapacity) {
+  // The same stream set that fails on 2 unit servers fits once one server
+  // is 3× (virtualized into 3 VMs).
+  const auto clips = clips_n(6);
+  eva::JointConfig config(6, {1200, 15});
+  const auto [small, map_small] =
+      virtualize_servers(clips, {{20.0, 1.0}, {20.0, 1.0}});
+  const auto [big, map_big] =
+      virtualize_servers(clips, {{20.0, 3.0}, {20.0, 3.0}});
+  const bool small_ok = sched::schedule_zero_jitter(small, config).feasible;
+  const bool big_ok = sched::schedule_zero_jitter(big, config).feasible;
+  EXPECT_FALSE(small_ok);
+  EXPECT_TRUE(big_ok);
+}
+
+}  // namespace
+}  // namespace pamo::eva

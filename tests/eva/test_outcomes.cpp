@@ -1,0 +1,120 @@
+#include "eva/outcomes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+namespace {
+
+Workload small_workload() { return make_workload(4, 3, 11); }
+
+TEST(Aggregate, MeansAndSums) {
+  std::vector<StreamMeasurement> ms(2);
+  ms[0] = {0.8, 10.0, 5.0, 20.0, 0.05};
+  ms[1] = {0.6, 6.0, 3.0, 10.0, 0.03};
+  const std::vector<double> latencies{0.10, 0.20};
+  const OutcomeVector y = aggregate_outcomes(ms, latencies);
+  EXPECT_NEAR(at(y, Objective::kAccuracy), 0.7, 1e-12);
+  EXPECT_NEAR(at(y, Objective::kLatency), 0.15, 1e-12);
+  EXPECT_NEAR(at(y, Objective::kNetwork), 16.0, 1e-12);
+  EXPECT_NEAR(at(y, Objective::kCompute), 8.0, 1e-12);
+  EXPECT_NEAR(at(y, Objective::kEnergy), 30.0, 1e-12);
+}
+
+TEST(Aggregate, RejectsBadInput) {
+  EXPECT_THROW(aggregate_outcomes({}, {}), Error);
+  std::vector<StreamMeasurement> ms(2);
+  EXPECT_THROW(aggregate_outcomes(ms, {0.1}), Error);
+}
+
+TEST(TrueOutcomes, LatencyUsesUplink) {
+  const Workload w = small_workload();
+  JointConfig config(4, {960, 10});
+  const std::vector<double> fast(4, 1000.0);  // Mbps
+  const std::vector<double> slow(4, 1.0);
+  const OutcomeVector y_fast = true_outcomes(w, config, fast);
+  const OutcomeVector y_slow = true_outcomes(w, config, slow);
+  EXPECT_LT(at(y_fast, Objective::kLatency), at(y_slow, Objective::kLatency));
+  // Non-latency objectives are uplink-independent.
+  EXPECT_DOUBLE_EQ(at(y_fast, Objective::kAccuracy),
+                   at(y_slow, Objective::kAccuracy));
+  EXPECT_DOUBLE_EQ(at(y_fast, Objective::kEnergy),
+                   at(y_slow, Objective::kEnergy));
+}
+
+TEST(TrueOutcomes, ValidatesSizes) {
+  const Workload w = small_workload();
+  JointConfig config(3, {960, 10});  // wrong stream count
+  EXPECT_THROW(true_outcomes(w, config, std::vector<double>(3, 10.0)), Error);
+  JointConfig ok(4, {960, 10});
+  EXPECT_THROW(true_outcomes(w, ok, std::vector<double>(2, 10.0)), Error);
+  EXPECT_THROW(true_outcomes(w, ok, std::vector<double>(4, 0.0)), Error);
+}
+
+TEST(Normalizer, BoundsContainAllReachableOutcomes) {
+  const Workload w = small_workload();
+  const OutcomeNormalizer norm = OutcomeNormalizer::for_workload(w);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    JointConfig config;
+    std::vector<double> uplinks;
+    for (std::size_t i = 0; i < w.num_streams(); ++i) {
+      config.push_back(w.space.sample(rng));
+      uplinks.push_back(w.uplink_mbps[rng.uniform_index(w.num_servers())]);
+    }
+    const OutcomeVector raw = true_outcomes(w, config, uplinks);
+    for (std::size_t k = 0; k < kNumObjectives; ++k) {
+      EXPECT_GE(raw[k], norm.lo()[k] - 1e-9) << "objective " << k;
+      EXPECT_LE(raw[k], norm.hi()[k] + 1e-9) << "objective " << k;
+    }
+  }
+}
+
+TEST(Normalizer, NormalizedZeroIsBest) {
+  const Workload w = small_workload();
+  const OutcomeNormalizer norm = OutcomeNormalizer::for_workload(w);
+  // Best raw vector: highest accuracy, lowest everything else.
+  OutcomeVector best{};
+  at(best, Objective::kAccuracy) = at(norm.hi(), Objective::kAccuracy);
+  at(best, Objective::kLatency) = at(norm.lo(), Objective::kLatency);
+  at(best, Objective::kNetwork) = at(norm.lo(), Objective::kNetwork);
+  at(best, Objective::kCompute) = at(norm.lo(), Objective::kCompute);
+  at(best, Objective::kEnergy) = at(norm.lo(), Objective::kEnergy);
+  const OutcomeVector unit = norm.normalize(best);
+  for (double v : unit) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Normalizer, AccuracyIsFlipped) {
+  const Workload w = small_workload();
+  const OutcomeNormalizer norm = OutcomeNormalizer::for_workload(w);
+  OutcomeVector worst_acc = norm.lo();
+  // Low accuracy → normalized loss near 1.
+  const OutcomeVector unit = norm.normalize(worst_acc);
+  EXPECT_NEAR(at(unit, Objective::kAccuracy), 1.0, 1e-12);
+}
+
+TEST(Normalizer, ClampsOutOfRange) {
+  const Workload w = small_workload();
+  const OutcomeNormalizer norm = OutcomeNormalizer::for_workload(w);
+  OutcomeVector crazy{};
+  for (std::size_t k = 0; k < kNumObjectives; ++k) {
+    crazy[k] = norm.hi()[k] * 10.0 + 100.0;
+  }
+  const OutcomeVector unit = norm.normalize(crazy);
+  for (std::size_t k = 0; k < kNumObjectives; ++k) {
+    EXPECT_GE(unit[k], 0.0);
+    EXPECT_LE(unit[k], 1.0);
+  }
+}
+
+TEST(ObjectiveHelpers, NamesAndDirections) {
+  EXPECT_STREQ(objective_name(Objective::kLatency), "latency");
+  EXPECT_STREQ(objective_name(Objective::kEnergy), "energy");
+  EXPECT_TRUE(higher_is_better(Objective::kAccuracy));
+  EXPECT_FALSE(higher_is_better(Objective::kLatency));
+  EXPECT_FALSE(higher_is_better(Objective::kCompute));
+}
+
+}  // namespace
+}  // namespace pamo::eva

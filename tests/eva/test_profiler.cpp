@@ -1,0 +1,88 @@
+#include "eva/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pamo::eva {
+namespace {
+
+TEST(Profiler, GroundTruthMatchesClipFunctions) {
+  const ClipProfile clip = ClipProfile::generate(3, 0);
+  const StreamConfig config{960, 15};
+  const StreamMeasurement m = Profiler::ground_truth(clip, config);
+  EXPECT_DOUBLE_EQ(m.accuracy, clip.accuracy(960, 15));
+  EXPECT_DOUBLE_EQ(m.bandwidth_mbps, clip.bandwidth_mbps(960, 15));
+  EXPECT_DOUBLE_EQ(m.compute_tflops, clip.compute_tflops(960, 15));
+  EXPECT_DOUBLE_EQ(m.power_watts, clip.power_watts(960, 15));
+  EXPECT_DOUBLE_EQ(m.proc_time, clip.proc_time(960));
+}
+
+TEST(Profiler, NoisyMeasurementsAreUnbiased) {
+  const ClipProfile clip = ClipProfile::generate(3, 1);
+  const StreamConfig config{1200, 10};
+  const StreamMeasurement truth = Profiler::ground_truth(clip, config);
+  const Profiler profiler;
+  Rng rng(7);
+  double acc = 0.0, bw = 0.0, proc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const StreamMeasurement m = profiler.measure(clip, config, rng);
+    acc += m.accuracy;
+    bw += m.bandwidth_mbps;
+    proc += m.proc_time;
+  }
+  EXPECT_NEAR(acc / n, truth.accuracy, truth.accuracy * 0.01);
+  EXPECT_NEAR(bw / n, truth.bandwidth_mbps, truth.bandwidth_mbps * 0.01);
+  EXPECT_NEAR(proc / n, truth.proc_time, truth.proc_time * 0.01);
+}
+
+TEST(Profiler, NoiseScalesWithOption) {
+  const ClipProfile clip = ClipProfile::generate(3, 2);
+  const StreamConfig config{720, 10};
+  ProfilerOptions loud;
+  loud.noise_bandwidth = 0.2;
+  ProfilerOptions quiet;
+  quiet.noise_bandwidth = 0.001;
+  Rng rng1(9), rng2(9);
+  double var_loud = 0.0, var_quiet = 0.0;
+  const double truth = Profiler::ground_truth(clip, config).bandwidth_mbps;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double a =
+        Profiler(loud).measure(clip, config, rng1).bandwidth_mbps - truth;
+    const double b =
+        Profiler(quiet).measure(clip, config, rng2).bandwidth_mbps - truth;
+    var_loud += a * a;
+    var_quiet += b * b;
+  }
+  EXPECT_GT(var_loud, var_quiet * 100.0);
+}
+
+TEST(Profiler, MeasurementsStayInPhysicalRange) {
+  const ClipProfile clip = ClipProfile::generate(11, 0);
+  ProfilerOptions options;
+  options.noise_accuracy = 0.5;  // extreme noise
+  const Profiler profiler(options);
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const StreamMeasurement m = profiler.measure(clip, {1920, 30}, rng);
+    EXPECT_GE(m.accuracy, 0.0);
+    EXPECT_LE(m.accuracy, 1.0);
+    EXPECT_GE(m.bandwidth_mbps, 0.0);
+    EXPECT_GE(m.proc_time, 0.0);
+  }
+}
+
+TEST(Profiler, DeterministicGivenRngState) {
+  const ClipProfile clip = ClipProfile::generate(3, 0);
+  const Profiler profiler;
+  Rng a(21), b(21);
+  const StreamMeasurement ma = profiler.measure(clip, {960, 15}, a);
+  const StreamMeasurement mb = profiler.measure(clip, {960, 15}, b);
+  EXPECT_DOUBLE_EQ(ma.accuracy, mb.accuracy);
+  EXPECT_DOUBLE_EQ(ma.power_watts, mb.power_watts);
+}
+
+}  // namespace
+}  // namespace pamo::eva

@@ -1,0 +1,51 @@
+#include "eva/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+namespace {
+
+TEST(Workload, MakeWorkloadShapes) {
+  const Workload w = make_workload(8, 5, 42);
+  EXPECT_EQ(w.num_streams(), 8u);
+  EXPECT_EQ(w.num_servers(), 5u);
+  EXPECT_EQ(w.clips.size(), 8u);
+  EXPECT_EQ(w.uplink_mbps.size(), 5u);
+}
+
+TEST(Workload, UplinksFromPaperSet) {
+  const Workload w = make_workload(4, 20, 7);
+  const std::vector<double> allowed{5, 10, 15, 20, 25, 30};
+  for (double b : w.uplink_mbps) {
+    EXPECT_NE(std::find(allowed.begin(), allowed.end(), b), allowed.end())
+        << "uplink " << b << " not in the §5.2 set";
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const Workload a = make_workload(6, 4, 99);
+  const Workload b = make_workload(6, 4, 99);
+  EXPECT_EQ(a.uplink_mbps, b.uplink_mbps);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.clips[i].accuracy(960, 10),
+                     b.clips[i].accuracy(960, 10));
+  }
+}
+
+TEST(Workload, ServerDrawsIndependentOfStreamCount) {
+  const Workload a = make_workload(3, 5, 123);
+  const Workload b = make_workload(9, 5, 123);
+  EXPECT_EQ(a.uplink_mbps, b.uplink_mbps);
+}
+
+TEST(Workload, RejectsEmpty) {
+  EXPECT_THROW(make_workload(0, 3, 1), Error);
+  EXPECT_THROW(make_workload(3, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace pamo::eva

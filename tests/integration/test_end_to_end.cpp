@@ -1,0 +1,136 @@
+// Cross-module integration: the full §5 evaluation path — workload →
+// method → schedule → simulator → benefit — for every method, plus the
+// headline comparison on a small instance.
+#include <gtest/gtest.h>
+
+#include "baselines/fact.hpp"
+#include "baselines/jcab.hpp"
+#include "core/evaluation.hpp"
+#include "core/pamo.hpp"
+
+namespace pamo {
+namespace {
+
+struct Bench {
+  eva::Workload workload;
+  eva::OutcomeNormalizer normalizer;
+  pref::BenefitFunction benefit;
+
+  explicit Bench(std::uint64_t seed, std::size_t streams = 5,
+                 std::size_t servers = 4,
+                 std::array<double, 5> weights = {1, 1, 1, 1, 1})
+      : workload(eva::make_workload(streams, servers, seed)),
+        normalizer(eva::OutcomeNormalizer::for_workload(workload)),
+        benefit(weights) {}
+
+  std::optional<core::SolutionScore> score(
+      const eva::JointConfig& config,
+      const sched::ScheduleResult& schedule) const {
+    return core::evaluate_solution(workload, config, schedule, normalizer,
+                                   benefit);
+  }
+};
+
+core::PamoOptions fast_pamo(std::uint64_t seed) {
+  core::PamoOptions options;
+  options.init_profiles = 40;
+  options.num_comparisons = 12;
+  options.pref_pool_size = 16;
+  options.init_observations = 4;
+  options.mc_samples = 16;
+  options.batch_size = 2;
+  options.max_iters = 5;
+  options.pool.num_quasi_random = 48;
+  options.pool.mutations_per_incumbent = 8;
+  options.max_pool_feasible = 48;
+  options.gp.mle_restarts = 1;
+  options.gp.mle_max_evals = 60;
+  options.seed = seed;
+  return options;
+}
+
+TEST(EndToEnd, AllMethodsProduceScorableSolutions) {
+  Bench bench(42);
+  // JCAB.
+  const auto jcab = baselines::run_jcab(bench.workload, {});
+  ASSERT_TRUE(jcab.feasible);
+  ASSERT_TRUE(bench.score(jcab.config, jcab.schedule).has_value());
+  // FACT.
+  const auto fact = baselines::run_fact(bench.workload, {});
+  ASSERT_TRUE(fact.feasible);
+  ASSERT_TRUE(bench.score(fact.config, fact.schedule).has_value());
+  // PaMO.
+  core::PamoScheduler pamo(bench.workload, fast_pamo(1));
+  pref::PreferenceOracle oracle(bench.benefit);
+  const auto result = pamo.run(oracle);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(
+      bench.score(result.best_config, result.best_schedule).has_value());
+}
+
+TEST(EndToEnd, PamoPlusCompetitiveWithBaselines) {
+  // The headline shape on a small instance: PaMO+ (true preference) should
+  // beat both single-objective baselines under the uniform preference.
+  Bench bench(7);
+  core::PamoOptions options = fast_pamo(7);
+  options.use_true_preference = true;
+  options.max_iters = 6;
+  core::PamoScheduler pamo(bench.workload, options);
+  pref::PreferenceOracle oracle(bench.benefit);
+  const auto pamo_result = pamo.run(oracle);
+  ASSERT_TRUE(pamo_result.feasible);
+  const auto pamo_score =
+      bench.score(pamo_result.best_config, pamo_result.best_schedule);
+
+  const auto jcab = baselines::run_jcab(bench.workload, {});
+  const auto fact = baselines::run_fact(bench.workload, {});
+  ASSERT_TRUE(jcab.feasible && fact.feasible);
+  const auto jcab_score = bench.score(jcab.config, jcab.schedule);
+  const auto fact_score = bench.score(fact.config, fact.schedule);
+  ASSERT_TRUE(pamo_score && jcab_score && fact_score);
+
+  EXPECT_GT(pamo_score->benefit, jcab_score->benefit);
+  EXPECT_GT(pamo_score->benefit, fact_score->benefit);
+}
+
+TEST(EndToEnd, PamoTracksPamoPlus) {
+  // Learned-preference PaMO should land within a modest gap of PaMO+.
+  Bench bench(11);
+  pref::PreferenceOracle oracle1(bench.benefit);
+  core::PamoScheduler pamo(bench.workload, fast_pamo(11));
+  const auto learned = pamo.run(oracle1);
+
+  core::PamoOptions plus_options = fast_pamo(11);
+  plus_options.use_true_preference = true;
+  core::PamoScheduler plus(bench.workload, plus_options);
+  pref::PreferenceOracle oracle2(bench.benefit);
+  const auto skyline = plus.run(oracle2);
+
+  ASSERT_TRUE(learned.feasible && skyline.feasible);
+  const auto score_learned =
+      bench.score(learned.best_config, learned.best_schedule);
+  const auto score_skyline =
+      bench.score(skyline.best_config, skyline.best_schedule);
+  ASSERT_TRUE(score_learned && score_skyline);
+  const double norm_learned = core::normalized_benefit(
+      score_learned->benefit, score_skyline->benefit, bench.benefit);
+  EXPECT_GT(norm_learned, 0.55)
+      << "learned PaMO fell too far below PaMO+ (normalized "
+      << norm_learned << ")";
+}
+
+TEST(EndToEnd, WeightedPreferenceShiftsEvaluation) {
+  // The same JCAB solution scores differently under different true
+  // preferences — the premise of the whole paper.
+  Bench uniform(13);
+  Bench latency_heavy(13, 5, 4, {5.0, 1.0, 1.0, 1.0, 1.0});
+  const auto jcab = baselines::run_jcab(uniform.workload, {});
+  ASSERT_TRUE(jcab.feasible);
+  const auto s1 = uniform.score(jcab.config, jcab.schedule);
+  const auto s2 = latency_heavy.score(jcab.config, jcab.schedule);
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_NE(s1->benefit, s2->benefit);
+}
+
+}  // namespace
+}  // namespace pamo

@@ -1,0 +1,174 @@
+// Cross-cutting property tests: invariances and conservation laws that
+// must hold regardless of configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "bo/acquisition.hpp"
+#include "core/evaluation.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo {
+namespace {
+
+// ---- Simulator: work conservation. ----
+// Total busy time on all servers equals Σ frames × proc_time: the FIFO
+// server neither loses nor invents work.
+TEST(Properties, SimulatorConservesWork) {
+  const eva::Workload w = eva::make_workload(5, 2, 301);
+  eva::JointConfig config(5, {960, 10});
+  const auto schedule = sched::schedule_first_fit(w, config);
+  ASSERT_TRUE(schedule.feasible);
+  const auto trace = sim::trace_frames(w, schedule);
+  double busy = 0.0;
+  std::vector<std::size_t> frames_per_stream(schedule.streams.size(), 0);
+  for (const auto& rec : trace) {
+    busy += rec.finish - rec.start;
+    ++frames_per_stream[rec.stream];
+  }
+  double expected = 0.0;
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    expected += static_cast<double>(frames_per_stream[i]) *
+                schedule.streams[i].proc_time;
+  }
+  EXPECT_NEAR(busy, expected, 1e-9);
+}
+
+// ---- Simulator: longer horizons only refine statistics. ----
+TEST(Properties, SimulatorLatencyStableAcrossHorizons) {
+  const eva::Workload w = eva::make_workload(4, 3, 302);
+  eva::JointConfig config(4, {720, 15});
+  const auto schedule = sched::schedule_zero_jitter(w, config);
+  ASSERT_TRUE(schedule.feasible);
+  sim::SimOptions short_run;
+  short_run.horizon_seconds = 2.0;
+  sim::SimOptions long_run;
+  long_run.horizon_seconds = 8.0;
+  const double lat_short = sim::simulate(w, schedule, short_run).mean_latency;
+  const double lat_long = sim::simulate(w, schedule, long_run).mean_latency;
+  // Small tolerance: the per-stream frame-count mix shifts slightly with
+  // the horizon (phase offsets truncate differently), but per-frame
+  // latencies themselves are constant.
+  EXPECT_NEAR(lat_short, lat_long, 1e-4)
+      << "zero-jitter latency must be horizon-independent";
+}
+
+// ---- Acquisition: shift equivariance / invariance. ----
+// Adding a constant to all samples (pool and incumbents) leaves qNEI and
+// qEI-with-shifted-incumbent unchanged, and shifts qSR by that constant.
+TEST(Properties, AcquisitionShiftBehaviour) {
+  Rng rng(303);
+  const std::size_t s = 64, c = 10;
+  la::Matrix z(s, c), z_shift(s, c), obs(s, 3), obs_shift(s, 3);
+  const double shift = 2.5;
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      z(i, j) = rng.normal();
+      z_shift(i, j) = z(i, j) + shift;
+    }
+    for (std::size_t j = 0; j < 3; ++j) {
+      obs(i, j) = rng.normal();
+      obs_shift(i, j) = obs(i, j) + shift;
+    }
+  }
+  bo::AcquisitionOptions qnei;
+  qnei.type = bo::AcquisitionType::kQNEI;
+  const auto a = bo::acquisition_scores(qnei, z, &obs, 0.0);
+  const auto b = bo::acquisition_scores(qnei, z_shift, &obs_shift, 0.0);
+  for (std::size_t j = 0; j < c; ++j) EXPECT_NEAR(a[j], b[j], 1e-12);
+
+  bo::AcquisitionOptions qsr;
+  qsr.type = bo::AcquisitionType::kQSR;
+  const auto sr_a = bo::acquisition_scores(qsr, z, nullptr, 0.0);
+  const auto sr_b = bo::acquisition_scores(qsr, z_shift, nullptr, 0.0);
+  for (std::size_t j = 0; j < c; ++j) {
+    EXPECT_NEAR(sr_b[j] - sr_a[j], shift, 1e-12);
+  }
+}
+
+// ---- Acquisition: scores never negative for improvement-based types. ----
+TEST(Properties, ImprovementScoresNonNegative) {
+  Rng rng(304);
+  la::Matrix z(32, 12), obs(32, 4);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) z(i, j) = rng.normal(0, 3);
+    for (std::size_t j = 0; j < 4; ++j) obs(i, j) = rng.normal(0, 3);
+  }
+  for (const auto type :
+       {bo::AcquisitionType::kQNEI, bo::AcquisitionType::kQEI}) {
+    bo::AcquisitionOptions options;
+    options.type = type;
+    const auto scores = bo::acquisition_scores(options, z, &obs, 0.5);
+    for (double v : scores) EXPECT_GE(v, 0.0);
+  }
+}
+
+// ---- Scheduler: stream order must not change feasibility. ----
+TEST(Properties, SchedulerFeasibilityIsPermutationRobust) {
+  Rng rng(305);
+  for (int trial = 0; trial < 25; ++trial) {
+    eva::Workload w = eva::make_workload(6, 3, 3050 + trial);
+    eva::JointConfig config;
+    for (std::size_t i = 0; i < 6; ++i) config.push_back(w.space.sample(rng));
+    const bool feasible = sched::schedule_zero_jitter(w, config).feasible;
+
+    // Permute streams (clips and configs together — same workload, new
+    // presentation order).
+    std::vector<std::size_t> perm(6);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    eva::Workload permuted = w;
+    eva::JointConfig permuted_config(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      permuted.clips[i] = w.clips[perm[i]];
+      permuted_config[i] = config[perm[i]];
+    }
+    const bool feasible_perm =
+        sched::schedule_zero_jitter(permuted, permuted_config).feasible;
+    EXPECT_EQ(feasible, feasible_perm) << "trial " << trial;
+  }
+}
+
+// ---- Evaluation: benefit is monotone in any single normalized loss. ----
+TEST(Properties, BenefitMonotoneInEachObjective) {
+  const pref::BenefitFunction benefit({1.5, 2.0, 0.5, 1.0, 3.0});
+  eva::OutcomeVector base{0.4, 0.4, 0.4, 0.4, 0.4};
+  const double u0 = benefit.value(base);
+  for (std::size_t k = 0; k < eva::kNumObjectives; ++k) {
+    eva::OutcomeVector worse = base;
+    worse[k] += 0.2;
+    EXPECT_LT(benefit.value(worse), u0) << "objective " << k;
+    eva::OutcomeVector better = base;
+    better[k] -= 0.2;
+    EXPECT_GT(benefit.value(better), u0) << "objective " << k;
+  }
+}
+
+// ---- Evaluation: scaling all weights scales the benefit linearly. ----
+TEST(Properties, BenefitHomogeneousInWeights) {
+  const pref::BenefitFunction one({1, 2, 3, 4, 5});
+  const pref::BenefitFunction two({2, 4, 6, 8, 10});
+  eva::OutcomeVector y{0.1, 0.3, 0.5, 0.7, 0.9};
+  EXPECT_NEAR(two.value(y), 2.0 * one.value(y), 1e-12);
+}
+
+// ---- End-to-end: uplink ordering respected by the assignment cost. ----
+TEST(Properties, FasterUplinksNeverHurt) {
+  // Upgrading every server's uplink can only lower (or keep) the
+  // jitter-free mean latency of the same configuration.
+  eva::Workload slow = eva::make_workload(5, 3, 306);
+  eva::Workload fast = slow;
+  for (double& b : fast.uplink_mbps) b *= 4.0;
+  eva::JointConfig config(5, {1200, 10});
+  const auto sched_slow = sched::schedule_zero_jitter(slow, config);
+  const auto sched_fast = sched::schedule_zero_jitter(fast, config);
+  ASSERT_TRUE(sched_slow.feasible && sched_fast.feasible);
+  const double lat_slow = sim::simulate(slow, sched_slow).mean_latency;
+  const double lat_fast = sim::simulate(fast, sched_fast).mean_latency;
+  EXPECT_LE(lat_fast, lat_slow + 1e-12);
+}
+
+}  // namespace
+}  // namespace pamo

@@ -1,0 +1,140 @@
+#include "opt/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::opt {
+namespace {
+
+double sphere(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    sum += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2) +
+           std::pow(1.0 - x[i], 2);
+  }
+  return sum;
+}
+
+Box unit_box(std::size_t d, double lo = -5.0, double hi = 5.0) {
+  Box box;
+  box.lo.assign(d, lo);
+  box.hi.assign(d, hi);
+  return box;
+}
+
+TEST(NelderMead, MinimizesSphere) {
+  const Box box = unit_box(3);
+  const OptResult r = nelder_mead(sphere, box, {2.0, -3.0, 1.0});
+  EXPECT_LT(r.value, 1e-8);
+  for (double x : r.x) EXPECT_NEAR(x, 0.0, 1e-3);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D) {
+  const Box box = unit_box(2);
+  NelderMeadOptions options;
+  options.max_evals = 5000;
+  const OptResult r = nelder_mead(rosenbrock, box, {-1.0, 2.0}, options);
+  EXPECT_LT(r.value, 1e-4);
+  EXPECT_NEAR(r.x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.x[1], 1.0, 0.05);
+}
+
+TEST(NelderMead, RespectsBoxConstraints) {
+  // Unconstrained optimum at (-3, -3) but the box is [0, 5]^2: the solution
+  // must sit on the boundary at (0, 0).
+  auto shifted = [](const std::vector<double>& x) {
+    return (x[0] + 3.0) * (x[0] + 3.0) + (x[1] + 3.0) * (x[1] + 3.0);
+  };
+  const Box box = unit_box(2, 0.0, 5.0);
+  const OptResult r = nelder_mead(shifted, box, {2.0, 2.0});
+  EXPECT_NEAR(r.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-6);
+}
+
+TEST(NelderMead, HandlesNonFiniteObjective) {
+  auto partial = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::nan("");
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  const Box box = unit_box(1, -2.0, 4.0);
+  const OptResult r = nelder_mead(partial, box, {3.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(NelderMead, EvalBudgetRespected) {
+  NelderMeadOptions options;
+  options.max_evals = 50;
+  const Box box = unit_box(4);
+  const OptResult r = nelder_mead(sphere, box, {1.0, 1.0, 1.0, 1.0}, options);
+  EXPECT_LE(r.evals, 60u);  // budget plus the initial simplex evaluations
+}
+
+TEST(NelderMead, RejectsEmptyBox) {
+  Box box;
+  EXPECT_THROW(nelder_mead(sphere, box, {}), Error);
+}
+
+TEST(NelderMead, RejectsInvertedBox) {
+  Box box;
+  box.lo = {1.0};
+  box.hi = {0.0};
+  EXPECT_THROW(nelder_mead(sphere, box, {0.5}), Error);
+}
+
+TEST(Multistart, EscapesLocalMinimum) {
+  // Double well: local minimum at x ≈ -1 (value 0.5), global at x ≈ 1.2
+  // (value 0). A single start at -1 stays local; multistart finds global.
+  auto doublewell = [](const std::vector<double>& x) {
+    const double v = x[0];
+    return 0.25 * std::pow(v * v - 1.44, 2) +
+           0.2 * (v < 0 ? 2.5 : 0.0);
+  };
+  const Box box = unit_box(1, -3.0, 3.0);
+  const OptResult single = nelder_mead(doublewell, box, {-1.2});
+  const OptResult multi = multistart_minimize(doublewell, box, 8, 7);
+  EXPECT_LT(multi.value, single.value - 0.1);
+  EXPECT_NEAR(multi.x[0], 1.2, 0.05);
+}
+
+TEST(Multistart, DeterministicPerSeed) {
+  const Box box = unit_box(2);
+  const OptResult a = multistart_minimize(sphere, box, 4, 99);
+  const OptResult b = multistart_minimize(sphere, box, 4, 99);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(Multistart, UsesProvidedStart) {
+  // Zero restarts but an explicit x0 still runs one optimization.
+  const Box box = unit_box(2);
+  const std::vector<double> x0{3.0, 3.0};
+  const OptResult r = multistart_minimize(sphere, box, 0, 1, &x0);
+  EXPECT_LT(r.value, 1e-6);
+}
+
+class NelderMeadDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NelderMeadDimSweep, SphereConvergesInAllDims) {
+  const std::size_t d = GetParam();
+  const Box box = unit_box(d, -2.0, 2.0);
+  std::vector<double> x0(d, 1.5);
+  NelderMeadOptions options;
+  options.max_evals = 4000;
+  const OptResult r = nelder_mead(sphere, box, x0, options);
+  EXPECT_LT(r.value, 1e-4) << "d = " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NelderMeadDimSweep,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace pamo::opt

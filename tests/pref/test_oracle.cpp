@@ -1,0 +1,81 @@
+#include "pref/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pamo::pref {
+namespace {
+
+TEST(BenefitFunction, UniformWeightsSumLosses) {
+  const BenefitFunction benefit = BenefitFunction::uniform();
+  eva::OutcomeVector y{0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_NEAR(benefit.value(y), -1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(benefit.weight_sum(), 5.0);
+}
+
+TEST(BenefitFunction, ZeroVectorIsUtopia) {
+  const BenefitFunction benefit({2.0, 1.0, 0.5, 3.0, 1.0});
+  eva::OutcomeVector utopia{0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(benefit.value(utopia), 0.0);
+}
+
+TEST(BenefitFunction, WeightsScaleContribution) {
+  const BenefitFunction benefit({10.0, 1.0, 1.0, 1.0, 1.0});
+  eva::OutcomeVector bad_latency{0.5, 0, 0, 0, 0};
+  eva::OutcomeVector bad_accuracy{0, 0.5, 0, 0, 0};
+  EXPECT_LT(benefit.value(bad_latency), benefit.value(bad_accuracy));
+}
+
+TEST(BenefitFunction, VectorOverloadMatchesArray) {
+  const BenefitFunction benefit({1, 2, 3, 4, 5});
+  eva::OutcomeVector y{0.1, 0.1, 0.1, 0.1, 0.1};
+  const std::vector<double> yv(y.begin(), y.end());
+  EXPECT_DOUBLE_EQ(benefit.value(y), benefit.value(yv));
+}
+
+TEST(BenefitFunction, RejectsNegativeWeightsAndBadSize) {
+  EXPECT_THROW(BenefitFunction({-1, 1, 1, 1, 1}), Error);
+  const BenefitFunction benefit = BenefitFunction::uniform();
+  EXPECT_THROW(benefit.value(std::vector<double>{0.1, 0.2}), Error);
+}
+
+TEST(PreferenceOracle, NoiselessFollowsBenefit) {
+  PreferenceOracle oracle(BenefitFunction::uniform());
+  const std::vector<double> good{0.1, 0.1, 0.1, 0.1, 0.1};
+  const std::vector<double> bad{0.9, 0.9, 0.9, 0.9, 0.9};
+  EXPECT_TRUE(oracle.prefers(good, bad));
+  EXPECT_FALSE(oracle.prefers(bad, good));
+  EXPECT_EQ(oracle.queries_answered(), 2u);
+}
+
+TEST(PreferenceOracle, NoisyOracleSometimesFlipsCloseCalls) {
+  OracleOptions options;
+  options.response_noise = 1.0;
+  PreferenceOracle oracle(BenefitFunction::uniform(), options, 3);
+  const std::vector<double> a{0.50, 0.5, 0.5, 0.5, 0.5};
+  const std::vector<double> b{0.51, 0.5, 0.5, 0.5, 0.5};
+  int a_wins = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (oracle.prefers(a, b)) ++a_wins;
+  }
+  // a is truly better but only slightly; heavy noise should flip some.
+  EXPECT_GT(a_wins, 80);
+  EXPECT_LT(a_wins, 160);
+}
+
+TEST(PreferenceOracle, NoisyOracleStillRespectsLargeGaps) {
+  OracleOptions options;
+  options.response_noise = 0.1;
+  PreferenceOracle oracle(BenefitFunction::uniform(), options, 4);
+  const std::vector<double> good{0.0, 0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> bad{1.0, 1.0, 1.0, 1.0, 1.0};
+  int good_wins = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (oracle.prefers(good, bad)) ++good_wins;
+  }
+  EXPECT_EQ(good_wins, 100);
+}
+
+}  // namespace
+}  // namespace pamo::pref

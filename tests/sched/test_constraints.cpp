@@ -1,0 +1,126 @@
+#include "sched/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pamo::sched {
+namespace {
+
+// A 30-ticks-per-second clock matching the standard config space.
+TickClock clock30() { return TickClock({5, 6, 10, 15, 30}); }
+
+PeriodicStream stream(std::uint64_t period_ticks, double proc_time,
+                      std::size_t parent = 0) {
+  PeriodicStream s;
+  s.parent = parent;
+  s.period_ticks = period_ticks;
+  s.proc_time = proc_time;
+  s.bits_per_frame = 1e5;
+  s.resolution = 960;
+  return s;
+}
+
+TEST(Constraints, GroupPeriodGcd) {
+  EXPECT_EQ(group_period_gcd({stream(6, 0.01), stream(3, 0.01)}), 3u);
+  EXPECT_EQ(group_period_gcd({stream(5, 0.01), stream(3, 0.01)}), 1u);
+  EXPECT_THROW(group_period_gcd({}), Error);
+}
+
+TEST(Constraints, Const1UtilizationBound) {
+  const TickClock clock = clock30();
+  // Periods of 3 ticks = 0.1 s → fps 10. Two streams at p = 0.04: util 0.8.
+  std::vector<PeriodicStream> streams{stream(3, 0.04), stream(3, 0.04)};
+  EXPECT_TRUE(const1_holds(streams, {0, 0}, 1, clock));
+  // Three such streams: util 1.2 > 1.
+  streams.push_back(stream(3, 0.04));
+  EXPECT_FALSE(const1_holds(streams, {0, 0, 0}, 1, clock));
+  // Spread over two servers: fine again.
+  EXPECT_TRUE(const1_holds(streams, {0, 0, 1}, 2, clock));
+}
+
+TEST(Constraints, Const2GcdBound) {
+  const TickClock clock = clock30();
+  // gcd(6, 3) = 3 ticks = 0.1 s. Σp = 0.06 ≤ 0.1: OK.
+  std::vector<PeriodicStream> ok{stream(6, 0.03), stream(3, 0.03)};
+  EXPECT_TRUE(const2_holds(ok, {0, 0}, 1, clock));
+  // gcd(5, 3) = 1 tick = 0.0333 s. Σp = 0.06 > 0.0333: violated.
+  std::vector<PeriodicStream> bad{stream(5, 0.03), stream(3, 0.03)};
+  EXPECT_FALSE(const2_holds(bad, {0, 0}, 1, clock));
+  // Separate servers: OK.
+  EXPECT_TRUE(const2_holds(bad, {0, 1}, 2, clock));
+}
+
+TEST(Constraints, Theorem2Const2ImpliesConst1) {
+  // Property test over random groups: whenever Const2 holds, Const1 holds.
+  const TickClock clock = clock30();
+  Rng rng(4);
+  const std::vector<std::uint64_t> periods{1, 2, 3, 5, 6};
+  int const2_count = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t k = 1 + rng.uniform_index(5);
+    std::vector<PeriodicStream> streams;
+    std::vector<std::size_t> assignment(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      streams.push_back(stream(periods[rng.uniform_index(periods.size())],
+                               rng.uniform(0.001, 0.08)));
+    }
+    if (const2_holds(streams, assignment, 1, clock)) {
+      ++const2_count;
+      EXPECT_TRUE(const1_holds(streams, assignment, 1, clock))
+          << "Theorem 2 violated at trial " << trial;
+    }
+  }
+  EXPECT_GT(const2_count, 100) << "test exercised too few Const2 cases";
+}
+
+TEST(Constraints, Theorem3ImpliesTheorem1Condition) {
+  // Theorem 3's (a)+(b) are sufficient for Theorem 1's gcd condition.
+  const TickClock clock = clock30();
+  Rng rng(5);
+  const std::vector<std::uint64_t> periods{1, 2, 3, 5, 6};
+  int cond_count = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t k = 1 + rng.uniform_index(4);
+    std::vector<PeriodicStream> group;
+    for (std::size_t i = 0; i < k; ++i) {
+      group.push_back(stream(periods[rng.uniform_index(periods.size())],
+                             rng.uniform(0.001, 0.05)));
+    }
+    if (theorem3_condition(group, clock)) {
+      ++cond_count;
+      EXPECT_TRUE(theorem1_condition(group, clock))
+          << "Theorem 3 ⇒ Theorem 1 violated at trial " << trial;
+    }
+  }
+  EXPECT_GT(cond_count, 100);
+}
+
+TEST(Constraints, Theorem3RejectsNonMultiplePeriods) {
+  const TickClock clock = clock30();
+  // T = {2, 3}: 3 is not a multiple of 2 → condition (a) fails even though
+  // Σp is small.
+  EXPECT_FALSE(theorem3_condition({stream(2, 0.001), stream(3, 0.001)},
+                                  clock));
+  // T = {2, 6}: multiples, Σp ≤ 2 ticks (0.0667 s).
+  EXPECT_TRUE(theorem3_condition({stream(2, 0.02), stream(6, 0.02)}, clock));
+}
+
+TEST(Constraints, EmptyGroupsAreVacuouslyFine) {
+  const TickClock clock = clock30();
+  EXPECT_TRUE(theorem1_condition({}, clock));
+  EXPECT_TRUE(theorem3_condition({}, clock));
+  // Streams on server 0 only; server 1 empty.
+  std::vector<PeriodicStream> streams{stream(3, 0.01)};
+  EXPECT_TRUE(const2_holds(streams, {0}, 2, clock));
+}
+
+TEST(Constraints, ValidatesAssignment) {
+  const TickClock clock = clock30();
+  std::vector<PeriodicStream> streams{stream(3, 0.01)};
+  EXPECT_THROW(const1_holds(streams, {5}, 2, clock), Error);
+  EXPECT_THROW(const1_holds(streams, {0, 0}, 2, clock), Error);
+}
+
+}  // namespace
+}  // namespace pamo::sched

@@ -1,0 +1,108 @@
+#include "sched/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pamo::sched {
+namespace {
+
+/// Brute-force optimal assignment by permutation enumeration (rows <= 8).
+double brute_force(const la::Matrix& cost) {
+  std::vector<std::size_t> cols(cost.cols());
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0.0;
+    for (std::size_t r = 0; r < cost.rows(); ++r) total += cost(r, cols[r]);
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(Hungarian, TrivialSingleCell) {
+  la::Matrix cost(1, 1);
+  cost(0, 0) = 3.5;
+  const AssignmentResult r = solve_assignment(cost);
+  EXPECT_EQ(r.col_of[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.5);
+}
+
+TEST(Hungarian, KnownThreeByThree) {
+  la::Matrix cost(3, 3);
+  const double values[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) cost(i, j) = values[i][j];
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);  // 1 + 2 + 2
+  EXPECT_EQ(r.col_of[0], 1u);
+  EXPECT_EQ(r.col_of[1], 0u);
+  EXPECT_EQ(r.col_of[2], 2u);
+}
+
+TEST(Hungarian, RectangularUsesBestColumns) {
+  // 2 rows, 4 columns; optimum picks the cheap columns.
+  la::Matrix cost(2, 4);
+  const double values[2][4] = {{9, 9, 1, 9}, {9, 2, 9, 9}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) cost(i, j) = values[i][j];
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+  EXPECT_EQ(r.col_of[0], 2u);
+  EXPECT_EQ(r.col_of[1], 1u);
+}
+
+TEST(Hungarian, ColumnsAreDistinct) {
+  Rng rng(3);
+  la::Matrix cost(6, 9);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) cost(i, j) = rng.uniform();
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  std::set<std::size_t> used(r.col_of.begin(), r.col_of.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(Hungarian, RejectsMoreRowsThanCols) {
+  EXPECT_THROW(solve_assignment(la::Matrix(3, 2)), Error);
+  EXPECT_THROW(solve_assignment(la::Matrix(0, 2)), Error);
+}
+
+TEST(Hungarian, TotalCostMatchesSelection) {
+  Rng rng(4);
+  la::Matrix cost(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) cost(i, j) = rng.uniform(0.0, 10.0);
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) total += cost(i, r.col_of[i]);
+  EXPECT_DOUBLE_EQ(r.total_cost, total);
+}
+
+class HungarianRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomSweep, MatchesBruteForce) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = 2 + rng.uniform_index(5);  // 2..6 rows
+  const std::size_t m = n + rng.uniform_index(3);  // up to 2 extra columns
+  la::Matrix cost(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) cost(i, j) = rng.uniform(0.0, 100.0);
+  }
+  const AssignmentResult r = solve_assignment(cost);
+  EXPECT_NEAR(r.total_cost, brute_force(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomSweep,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pamo::sched

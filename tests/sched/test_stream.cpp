@@ -1,0 +1,90 @@
+#include "sched/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::sched {
+namespace {
+
+eva::Workload workload_n(std::size_t streams) {
+  return eva::make_workload(streams, 4, 17);
+}
+
+TEST(SplitStreams, LowRateStreamsPassThrough) {
+  const eva::Workload w = workload_n(3);
+  eva::JointConfig config(3, {480, 5});  // tiny: p·s << 1
+  const auto streams = split_streams(w, config);
+  ASSERT_EQ(streams.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(streams[i].parent, i);
+    EXPECT_EQ(streams[i].period_ticks, w.space.clock().period_ticks(5));
+    EXPECT_DOUBLE_EQ(streams[i].proc_time, w.clips[i].proc_time(480));
+  }
+}
+
+TEST(SplitStreams, HighRateStreamsAreSplit) {
+  const eva::Workload w = workload_n(1);
+  eva::JointConfig config(1, {1920, 30});
+  const double p = w.clips[0].proc_time(1920);
+  ASSERT_GT(p * 30.0, 1.0) << "test premise: this must be a high-rate stream";
+  const auto expected_splits =
+      static_cast<std::size_t>(std::ceil(p * 30.0));
+  const auto streams = split_streams(w, config);
+  EXPECT_EQ(streams.size(), expected_splits);
+  const std::uint64_t base = w.space.clock().period_ticks(30);
+  for (const auto& s : streams) {
+    EXPECT_EQ(s.parent, 0u);
+    EXPECT_EQ(s.period_ticks, base * expected_splits);
+  }
+}
+
+TEST(SplitStreams, SplitStreamsSatisfyNoSelfContention) {
+  // After splitting, p <= T for every stream (the premise of §3).
+  const eva::Workload w = workload_n(6);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    eva::JointConfig config;
+    for (std::size_t i = 0; i < 6; ++i) config.push_back(w.space.sample(rng));
+    for (const auto& s : split_streams(w, config)) {
+      EXPECT_LE(s.proc_time,
+                w.space.clock().to_seconds(s.period_ticks) + 1e-12);
+    }
+  }
+}
+
+TEST(SplitStreams, CountMatchesPaperFormula) {
+  // M = M' - M* + Σ⌈s_i p_i⌉ over high-rate streams.
+  const eva::Workload w = workload_n(5);
+  eva::JointConfig config;
+  for (std::size_t i = 0; i < 5; ++i) {
+    config.push_back({w.space.resolutions()[i % 6], w.space.fps_knobs()[i % 5]});
+  }
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double sp =
+        w.clips[i].proc_time(config[i].resolution) * config[i].fps;
+    expected += sp > 1.0 ? static_cast<std::size_t>(std::ceil(sp)) : 1u;
+  }
+  EXPECT_EQ(split_streams(w, config).size(), expected);
+}
+
+TEST(SplitStreams, RejectsWrongConfigSize) {
+  const eva::Workload w = workload_n(3);
+  eva::JointConfig config(2, {480, 5});
+  EXPECT_THROW(split_streams(w, config), Error);
+}
+
+TEST(SplitStreams, CarriesResolutionAndBits) {
+  const eva::Workload w = workload_n(2);
+  eva::JointConfig config(2, {720, 10});
+  for (const auto& s : split_streams(w, config)) {
+    EXPECT_EQ(s.resolution, 720u);
+    EXPECT_DOUBLE_EQ(s.bits_per_frame, w.clips[s.parent].bits_per_frame(720));
+  }
+}
+
+}  // namespace
+}  // namespace pamo::sched

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sched/constraints.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::sched {
+namespace {
+
+TEST(WorstFit, SatisfiesConst1WhenFeasible) {
+  const eva::Workload w = eva::make_workload(8, 4, 61);
+  eva::JointConfig config(8, {960, 10});
+  const ScheduleResult r = schedule_worst_fit(w, config);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(const1_holds(r.streams, r.assignment, w.num_servers(),
+                           w.space.clock()));
+}
+
+TEST(WorstFit, BalancesLoadBetterThanFirstFit) {
+  const eva::Workload w = eva::make_workload(8, 4, 62);
+  eva::JointConfig config(8, {720, 10});
+  const ScheduleResult wf = schedule_worst_fit(w, config);
+  const ScheduleResult ff = schedule_first_fit(w, config);
+  ASSERT_TRUE(wf.feasible && ff.feasible);
+  auto max_utilization = [&](const ScheduleResult& r) {
+    std::vector<double> util(w.num_servers(), 0.0);
+    for (std::size_t i = 0; i < r.streams.size(); ++i) {
+      util[r.assignment[i]] +=
+          r.streams[i].proc_time /
+          w.space.clock().to_seconds(r.streams[i].period_ticks);
+    }
+    return *std::max_element(util.begin(), util.end());
+  };
+  EXPECT_LE(max_utilization(wf), max_utilization(ff) + 1e-12);
+}
+
+TEST(WorstFit, UsesAllServersWhenStreamsAreMany) {
+  const eva::Workload w = eva::make_workload(8, 4, 63);
+  eva::JointConfig config(8, {720, 10});
+  const ScheduleResult r = schedule_worst_fit(w, config);
+  ASSERT_TRUE(r.feasible);
+  std::set<std::size_t> used(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(used.size(), w.num_servers());
+}
+
+TEST(WorstFit, InfeasibleWhenOverloaded) {
+  const eva::Workload w = eva::make_workload(12, 1, 64);
+  eva::JointConfig config(12, {1920, 30});
+  EXPECT_FALSE(schedule_worst_fit(w, config).feasible);
+}
+
+TEST(WorstFit, PhasesAreZero) {
+  const eva::Workload w = eva::make_workload(4, 2, 65);
+  eva::JointConfig config(4, {480, 10});
+  const ScheduleResult r = schedule_worst_fit(w, config);
+  ASSERT_TRUE(r.feasible);
+  for (double phase : r.phase) EXPECT_DOUBLE_EQ(phase, 0.0);
+}
+
+}  // namespace
+}  // namespace pamo::sched

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::sim {
+namespace {
+
+TEST(SharedUplink, NeverFasterThanIndependentTransfers) {
+  const eva::Workload w = eva::make_workload(5, 2, 71);
+  eva::JointConfig config(5, {1200, 10});
+  const auto schedule = sched::schedule_first_fit(w, config);
+  ASSERT_TRUE(schedule.feasible);
+  SimOptions independent;
+  SimOptions shared;
+  shared.shared_uplink = true;
+  const double lat_ind = simulate(w, schedule, independent).mean_latency;
+  const double lat_shr = simulate(w, schedule, shared).mean_latency;
+  EXPECT_GE(lat_shr, lat_ind - 1e-12);
+}
+
+TEST(SharedUplink, SerializesSimultaneousTransfers) {
+  // Two streams, same server, zero phases: both frames emit at t = 0, so
+  // the channel must serialize them — the second frame's availability is
+  // pushed back by the first frame's transfer time.
+  eva::Workload w = eva::make_workload(2, 1, 72);
+  w.uplink_mbps = {5.0};  // slow link → transfers dominate
+  eva::JointConfig config(2, {1920, 5});
+  const auto schedule = sched::schedule_fixed_assignment(
+      w, config, std::vector<std::size_t>{0, 0});
+  SimOptions shared;
+  shared.shared_uplink = true;
+  shared.horizon_seconds = 0.19;  // one frame per stream
+  const auto trace = trace_frames(w, schedule, shared);
+  ASSERT_EQ(trace.size(), 2u);
+  const double t0 = w.clips[0].bits_per_frame(1920) / (5.0 * 1e6);
+  const double t1 = w.clips[1].bits_per_frame(1920) / (5.0 * 1e6);
+  // Second frame can start only after both transfers complete.
+  const double second_start = std::max(trace[0].start, trace[1].start);
+  EXPECT_GE(second_start, t0 + std::min(t0, t1) - 1e-9);
+  (void)t1;
+}
+
+TEST(SharedUplink, NoEffectWithoutNetwork) {
+  const eva::Workload w = eva::make_workload(3, 2, 73);
+  eva::JointConfig config(3, {960, 10});
+  const auto schedule = sched::schedule_zero_jitter(w, config);
+  ASSERT_TRUE(schedule.feasible);
+  SimOptions a;
+  a.include_network = false;
+  a.shared_uplink = true;
+  SimOptions b;
+  b.include_network = false;
+  b.shared_uplink = false;
+  EXPECT_DOUBLE_EQ(simulate(w, schedule, a).mean_latency,
+                   simulate(w, schedule, b).mean_latency);
+}
+
+TEST(SharedUplink, ZeroJitterScheduleDegradesGracefully) {
+  // The zero-jitter guarantee is proven under independent transfers; under
+  // a shared channel some queueing can appear but the simulation still
+  // completes and produces sane latencies.
+  const eva::Workload w = eva::make_workload(6, 3, 74);
+  eva::JointConfig config(6, {960, 10});
+  const auto schedule = sched::schedule_zero_jitter(w, config);
+  ASSERT_TRUE(schedule.feasible);
+  SimOptions shared;
+  shared.shared_uplink = true;
+  const auto report = simulate(w, schedule, shared);
+  EXPECT_GT(report.total_frames, 0u);
+  EXPECT_GT(report.mean_latency, 0.0);
+  EXPECT_LT(report.mean_latency, 1.0);
+}
+
+}  // namespace
+}  // namespace pamo::sim
