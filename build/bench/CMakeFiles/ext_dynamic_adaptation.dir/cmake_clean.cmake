@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_adaptation.dir/ext_dynamic_adaptation.cpp.o"
+  "CMakeFiles/ext_dynamic_adaptation.dir/ext_dynamic_adaptation.cpp.o.d"
+  "ext_dynamic_adaptation"
+  "ext_dynamic_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scalarizers.dir/ext_scalarizers.cpp.o"
+  "CMakeFiles/ext_scalarizers.dir/ext_scalarizers.cpp.o.d"
+  "ext_scalarizers"
+  "ext_scalarizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scalarizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

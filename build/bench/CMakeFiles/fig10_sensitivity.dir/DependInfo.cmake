@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_sensitivity.cpp" "bench/CMakeFiles/fig10_sensitivity.dir/fig10_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/fig10_sensitivity.dir/fig10_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pamo_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pamo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pamo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pamo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pamo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/pamo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pref/CMakeFiles/pamo_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/pamo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pamo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eva/CMakeFiles/pamo_eva.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pamo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pamo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_profiling.dir/fig2_profiling.cpp.o"
+  "CMakeFiles/fig2_profiling.dir/fig2_profiling.cpp.o.d"
+  "fig2_profiling"
+  "fig2_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_contention.dir/fig3_contention.cpp.o"
+  "CMakeFiles/fig3_contention.dir/fig3_contention.cpp.o.d"
+  "fig3_contention"
+  "fig3_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

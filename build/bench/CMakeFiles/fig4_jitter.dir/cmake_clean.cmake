@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_jitter.dir/fig4_jitter.cpp.o"
+  "CMakeFiles/fig4_jitter.dir/fig4_jitter.cpp.o.d"
+  "fig4_jitter"
+  "fig4_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

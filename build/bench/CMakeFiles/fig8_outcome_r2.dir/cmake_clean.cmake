@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_outcome_r2.dir/fig8_outcome_r2.cpp.o"
+  "CMakeFiles/fig8_outcome_r2.dir/fig8_outcome_r2.cpp.o.d"
+  "fig8_outcome_r2"
+  "fig8_outcome_r2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_outcome_r2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

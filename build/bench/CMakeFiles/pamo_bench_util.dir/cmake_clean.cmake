@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpamo_bench_util.a"
+  "../lib/libpamo_bench_util.pdb"
+  "CMakeFiles/pamo_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/pamo_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpamo_bench_util.a"
+)

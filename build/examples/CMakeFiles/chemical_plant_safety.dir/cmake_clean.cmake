@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_plant_safety.dir/chemical_plant_safety.cpp.o"
+  "CMakeFiles/chemical_plant_safety.dir/chemical_plant_safety.cpp.o.d"
+  "chemical_plant_safety"
+  "chemical_plant_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_plant_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_operation.dir/continuous_operation.cpp.o"
+  "CMakeFiles/continuous_operation.dir/continuous_operation.cpp.o.d"
+  "continuous_operation"
+  "continuous_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_cli.dir/pamo_cli.cpp.o"
+  "CMakeFiles/pamo_cli.dir/pamo_cli.cpp.o.d"
+  "pamo_cli"
+  "pamo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

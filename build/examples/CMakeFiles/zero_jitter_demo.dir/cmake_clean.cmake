@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_jitter_demo.dir/zero_jitter_demo.cpp.o"
+  "CMakeFiles/zero_jitter_demo.dir/zero_jitter_demo.cpp.o.d"
+  "zero_jitter_demo"
+  "zero_jitter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_jitter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

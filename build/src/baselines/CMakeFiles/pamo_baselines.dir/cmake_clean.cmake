@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_baselines.dir/fact.cpp.o"
+  "CMakeFiles/pamo_baselines.dir/fact.cpp.o.d"
+  "CMakeFiles/pamo_baselines.dir/jcab.cpp.o"
+  "CMakeFiles/pamo_baselines.dir/jcab.cpp.o.d"
+  "CMakeFiles/pamo_baselines.dir/scalarizers.cpp.o"
+  "CMakeFiles/pamo_baselines.dir/scalarizers.cpp.o.d"
+  "libpamo_baselines.a"
+  "libpamo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

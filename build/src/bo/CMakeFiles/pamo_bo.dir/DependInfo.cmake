@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/acquisition.cpp" "src/bo/CMakeFiles/pamo_bo.dir/acquisition.cpp.o" "gcc" "src/bo/CMakeFiles/pamo_bo.dir/acquisition.cpp.o.d"
+  "/root/repo/src/bo/candidates.cpp" "src/bo/CMakeFiles/pamo_bo.dir/candidates.cpp.o" "gcc" "src/bo/CMakeFiles/pamo_bo.dir/candidates.cpp.o.d"
+  "/root/repo/src/bo/optimizer.cpp" "src/bo/CMakeFiles/pamo_bo.dir/optimizer.cpp.o" "gcc" "src/bo/CMakeFiles/pamo_bo.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/pamo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pamo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pamo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pamo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_bo.dir/acquisition.cpp.o"
+  "CMakeFiles/pamo_bo.dir/acquisition.cpp.o.d"
+  "CMakeFiles/pamo_bo.dir/candidates.cpp.o"
+  "CMakeFiles/pamo_bo.dir/candidates.cpp.o.d"
+  "CMakeFiles/pamo_bo.dir/optimizer.cpp.o"
+  "CMakeFiles/pamo_bo.dir/optimizer.cpp.o.d"
+  "libpamo_bo.a"
+  "libpamo_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_common.dir/normal.cpp.o"
+  "CMakeFiles/pamo_common.dir/normal.cpp.o.d"
+  "CMakeFiles/pamo_common.dir/quasi.cpp.o"
+  "CMakeFiles/pamo_common.dir/quasi.cpp.o.d"
+  "CMakeFiles/pamo_common.dir/rng.cpp.o"
+  "CMakeFiles/pamo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pamo_common.dir/stats.cpp.o"
+  "CMakeFiles/pamo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pamo_common.dir/table.cpp.o"
+  "CMakeFiles/pamo_common.dir/table.cpp.o.d"
+  "CMakeFiles/pamo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pamo_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/pamo_common.dir/ticks.cpp.o"
+  "CMakeFiles/pamo_common.dir/ticks.cpp.o.d"
+  "libpamo_common.a"
+  "libpamo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

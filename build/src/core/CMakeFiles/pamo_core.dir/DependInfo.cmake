@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/pamo_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/pamo_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/outcome_models.cpp" "src/core/CMakeFiles/pamo_core.dir/outcome_models.cpp.o" "gcc" "src/core/CMakeFiles/pamo_core.dir/outcome_models.cpp.o.d"
+  "/root/repo/src/core/pamo.cpp" "src/core/CMakeFiles/pamo_core.dir/pamo.cpp.o" "gcc" "src/core/CMakeFiles/pamo_core.dir/pamo.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/pamo_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/pamo_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/pamo_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/pamo_core.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eva/CMakeFiles/pamo_eva.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pamo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pamo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/pamo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pref/CMakeFiles/pamo_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/pamo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pamo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pamo_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_core.dir/evaluation.cpp.o"
+  "CMakeFiles/pamo_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/pamo_core.dir/outcome_models.cpp.o"
+  "CMakeFiles/pamo_core.dir/outcome_models.cpp.o.d"
+  "CMakeFiles/pamo_core.dir/pamo.cpp.o"
+  "CMakeFiles/pamo_core.dir/pamo.cpp.o.d"
+  "CMakeFiles/pamo_core.dir/pareto.cpp.o"
+  "CMakeFiles/pamo_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/pamo_core.dir/service.cpp.o"
+  "CMakeFiles/pamo_core.dir/service.cpp.o.d"
+  "libpamo_core.a"
+  "libpamo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

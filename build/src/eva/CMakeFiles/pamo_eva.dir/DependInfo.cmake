@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eva/clip.cpp" "src/eva/CMakeFiles/pamo_eva.dir/clip.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/clip.cpp.o.d"
+  "/root/repo/src/eva/config.cpp" "src/eva/CMakeFiles/pamo_eva.dir/config.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/config.cpp.o.d"
+  "/root/repo/src/eva/dynamics.cpp" "src/eva/CMakeFiles/pamo_eva.dir/dynamics.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/dynamics.cpp.o.d"
+  "/root/repo/src/eva/hetero.cpp" "src/eva/CMakeFiles/pamo_eva.dir/hetero.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/hetero.cpp.o.d"
+  "/root/repo/src/eva/outcomes.cpp" "src/eva/CMakeFiles/pamo_eva.dir/outcomes.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/outcomes.cpp.o.d"
+  "/root/repo/src/eva/profiler.cpp" "src/eva/CMakeFiles/pamo_eva.dir/profiler.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/profiler.cpp.o.d"
+  "/root/repo/src/eva/workload.cpp" "src/eva/CMakeFiles/pamo_eva.dir/workload.cpp.o" "gcc" "src/eva/CMakeFiles/pamo_eva.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pamo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_eva.dir/clip.cpp.o"
+  "CMakeFiles/pamo_eva.dir/clip.cpp.o.d"
+  "CMakeFiles/pamo_eva.dir/config.cpp.o"
+  "CMakeFiles/pamo_eva.dir/config.cpp.o.d"
+  "CMakeFiles/pamo_eva.dir/dynamics.cpp.o"
+  "CMakeFiles/pamo_eva.dir/dynamics.cpp.o.d"
+  "CMakeFiles/pamo_eva.dir/hetero.cpp.o"
+  "CMakeFiles/pamo_eva.dir/hetero.cpp.o.d"
+  "CMakeFiles/pamo_eva.dir/outcomes.cpp.o"
+  "CMakeFiles/pamo_eva.dir/outcomes.cpp.o.d"
+  "CMakeFiles/pamo_eva.dir/profiler.cpp.o"
+  "CMakeFiles/pamo_eva.dir/profiler.cpp.o.d"
+  "CMakeFiles/pamo_eva.dir/workload.cpp.o"
+  "CMakeFiles/pamo_eva.dir/workload.cpp.o.d"
+  "libpamo_eva.a"
+  "libpamo_eva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_eva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

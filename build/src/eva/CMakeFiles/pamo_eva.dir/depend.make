@@ -1,0 +1,2 @@
+# Empty dependencies file for pamo_eva.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_gp.dir/gp_regressor.cpp.o"
+  "CMakeFiles/pamo_gp.dir/gp_regressor.cpp.o.d"
+  "CMakeFiles/pamo_gp.dir/kernel.cpp.o"
+  "CMakeFiles/pamo_gp.dir/kernel.cpp.o.d"
+  "libpamo_gp.a"
+  "libpamo_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_la.dir/cholesky.cpp.o"
+  "CMakeFiles/pamo_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/pamo_la.dir/matrix.cpp.o"
+  "CMakeFiles/pamo_la.dir/matrix.cpp.o.d"
+  "libpamo_la.a"
+  "libpamo_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

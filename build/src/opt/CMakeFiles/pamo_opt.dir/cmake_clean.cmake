@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/pamo_opt.dir/nelder_mead.cpp.o.d"
+  "libpamo_opt.a"
+  "libpamo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

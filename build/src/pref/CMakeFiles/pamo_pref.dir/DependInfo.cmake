@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pref/learner.cpp" "src/pref/CMakeFiles/pamo_pref.dir/learner.cpp.o" "gcc" "src/pref/CMakeFiles/pamo_pref.dir/learner.cpp.o.d"
+  "/root/repo/src/pref/oracle.cpp" "src/pref/CMakeFiles/pamo_pref.dir/oracle.cpp.o" "gcc" "src/pref/CMakeFiles/pamo_pref.dir/oracle.cpp.o.d"
+  "/root/repo/src/pref/preference_gp.cpp" "src/pref/CMakeFiles/pamo_pref.dir/preference_gp.cpp.o" "gcc" "src/pref/CMakeFiles/pamo_pref.dir/preference_gp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/pamo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/eva/CMakeFiles/pamo_eva.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pamo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pamo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pamo_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

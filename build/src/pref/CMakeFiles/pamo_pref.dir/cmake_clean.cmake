@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_pref.dir/learner.cpp.o"
+  "CMakeFiles/pamo_pref.dir/learner.cpp.o.d"
+  "CMakeFiles/pamo_pref.dir/oracle.cpp.o"
+  "CMakeFiles/pamo_pref.dir/oracle.cpp.o.d"
+  "CMakeFiles/pamo_pref.dir/preference_gp.cpp.o"
+  "CMakeFiles/pamo_pref.dir/preference_gp.cpp.o.d"
+  "libpamo_pref.a"
+  "libpamo_pref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_pref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_sched.dir/constraints.cpp.o"
+  "CMakeFiles/pamo_sched.dir/constraints.cpp.o.d"
+  "CMakeFiles/pamo_sched.dir/exact.cpp.o"
+  "CMakeFiles/pamo_sched.dir/exact.cpp.o.d"
+  "CMakeFiles/pamo_sched.dir/hungarian.cpp.o"
+  "CMakeFiles/pamo_sched.dir/hungarian.cpp.o.d"
+  "CMakeFiles/pamo_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/pamo_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pamo_sched.dir/stream.cpp.o"
+  "CMakeFiles/pamo_sched.dir/stream.cpp.o.d"
+  "libpamo_sched.a"
+  "libpamo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pamo_sim.dir/simulator.cpp.o.d"
+  "libpamo_sim.a"
+  "libpamo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

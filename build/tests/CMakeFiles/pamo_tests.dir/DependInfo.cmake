@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_fact.cpp" "tests/CMakeFiles/pamo_tests.dir/baselines/test_fact.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/baselines/test_fact.cpp.o.d"
+  "/root/repo/tests/baselines/test_jcab.cpp" "tests/CMakeFiles/pamo_tests.dir/baselines/test_jcab.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/baselines/test_jcab.cpp.o.d"
+  "/root/repo/tests/baselines/test_scalarizers.cpp" "tests/CMakeFiles/pamo_tests.dir/baselines/test_scalarizers.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/baselines/test_scalarizers.cpp.o.d"
+  "/root/repo/tests/bo/test_acquisition.cpp" "tests/CMakeFiles/pamo_tests.dir/bo/test_acquisition.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/bo/test_acquisition.cpp.o.d"
+  "/root/repo/tests/bo/test_candidates.cpp" "tests/CMakeFiles/pamo_tests.dir/bo/test_candidates.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/bo/test_candidates.cpp.o.d"
+  "/root/repo/tests/bo/test_optimizer.cpp" "tests/CMakeFiles/pamo_tests.dir/bo/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/bo/test_optimizer.cpp.o.d"
+  "/root/repo/tests/common/test_error.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_error.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_error.cpp.o.d"
+  "/root/repo/tests/common/test_normal.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_normal.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_normal.cpp.o.d"
+  "/root/repo/tests/common/test_quasi.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_quasi.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_quasi.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/common/test_ticks.cpp" "tests/CMakeFiles/pamo_tests.dir/common/test_ticks.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/common/test_ticks.cpp.o.d"
+  "/root/repo/tests/core/test_evaluation.cpp" "tests/CMakeFiles/pamo_tests.dir/core/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/core/test_evaluation.cpp.o.d"
+  "/root/repo/tests/core/test_outcome_models.cpp" "tests/CMakeFiles/pamo_tests.dir/core/test_outcome_models.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/core/test_outcome_models.cpp.o.d"
+  "/root/repo/tests/core/test_pamo.cpp" "tests/CMakeFiles/pamo_tests.dir/core/test_pamo.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/core/test_pamo.cpp.o.d"
+  "/root/repo/tests/core/test_pamo_edge.cpp" "tests/CMakeFiles/pamo_tests.dir/core/test_pamo_edge.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/core/test_pamo_edge.cpp.o.d"
+  "/root/repo/tests/core/test_pareto.cpp" "tests/CMakeFiles/pamo_tests.dir/core/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/core/test_pareto.cpp.o.d"
+  "/root/repo/tests/core/test_service.cpp" "tests/CMakeFiles/pamo_tests.dir/core/test_service.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/core/test_service.cpp.o.d"
+  "/root/repo/tests/eva/test_clip.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_clip.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_clip.cpp.o.d"
+  "/root/repo/tests/eva/test_config.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_config.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_config.cpp.o.d"
+  "/root/repo/tests/eva/test_dynamics.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_dynamics.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_dynamics.cpp.o.d"
+  "/root/repo/tests/eva/test_hetero.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_hetero.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_hetero.cpp.o.d"
+  "/root/repo/tests/eva/test_outcomes.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_outcomes.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_outcomes.cpp.o.d"
+  "/root/repo/tests/eva/test_profiler.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_profiler.cpp.o.d"
+  "/root/repo/tests/eva/test_workload.cpp" "tests/CMakeFiles/pamo_tests.dir/eva/test_workload.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/eva/test_workload.cpp.o.d"
+  "/root/repo/tests/gp/test_gp_math.cpp" "tests/CMakeFiles/pamo_tests.dir/gp/test_gp_math.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/gp/test_gp_math.cpp.o.d"
+  "/root/repo/tests/gp/test_gp_regressor.cpp" "tests/CMakeFiles/pamo_tests.dir/gp/test_gp_regressor.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/gp/test_gp_regressor.cpp.o.d"
+  "/root/repo/tests/gp/test_kernel.cpp" "tests/CMakeFiles/pamo_tests.dir/gp/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/gp/test_kernel.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/pamo_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/pamo_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_theorems.cpp" "tests/CMakeFiles/pamo_tests.dir/integration/test_theorems.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/integration/test_theorems.cpp.o.d"
+  "/root/repo/tests/la/test_cholesky.cpp" "tests/CMakeFiles/pamo_tests.dir/la/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/la/test_cholesky.cpp.o.d"
+  "/root/repo/tests/la/test_matrix.cpp" "tests/CMakeFiles/pamo_tests.dir/la/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/la/test_matrix.cpp.o.d"
+  "/root/repo/tests/opt/test_nelder_mead.cpp" "tests/CMakeFiles/pamo_tests.dir/opt/test_nelder_mead.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/opt/test_nelder_mead.cpp.o.d"
+  "/root/repo/tests/pref/test_learner.cpp" "tests/CMakeFiles/pamo_tests.dir/pref/test_learner.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/pref/test_learner.cpp.o.d"
+  "/root/repo/tests/pref/test_oracle.cpp" "tests/CMakeFiles/pamo_tests.dir/pref/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/pref/test_oracle.cpp.o.d"
+  "/root/repo/tests/pref/test_preference_gp.cpp" "tests/CMakeFiles/pamo_tests.dir/pref/test_preference_gp.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/pref/test_preference_gp.cpp.o.d"
+  "/root/repo/tests/sched/test_constraints.cpp" "tests/CMakeFiles/pamo_tests.dir/sched/test_constraints.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sched/test_constraints.cpp.o.d"
+  "/root/repo/tests/sched/test_exact.cpp" "tests/CMakeFiles/pamo_tests.dir/sched/test_exact.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sched/test_exact.cpp.o.d"
+  "/root/repo/tests/sched/test_hungarian.cpp" "tests/CMakeFiles/pamo_tests.dir/sched/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sched/test_hungarian.cpp.o.d"
+  "/root/repo/tests/sched/test_scheduler.cpp" "tests/CMakeFiles/pamo_tests.dir/sched/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sched/test_scheduler.cpp.o.d"
+  "/root/repo/tests/sched/test_stream.cpp" "tests/CMakeFiles/pamo_tests.dir/sched/test_stream.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sched/test_stream.cpp.o.d"
+  "/root/repo/tests/sched/test_worst_fit.cpp" "tests/CMakeFiles/pamo_tests.dir/sched/test_worst_fit.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sched/test_worst_fit.cpp.o.d"
+  "/root/repo/tests/sim/test_shared_uplink.cpp" "tests/CMakeFiles/pamo_tests.dir/sim/test_shared_uplink.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sim/test_shared_uplink.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/pamo_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/pamo_tests.dir/sim/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pamo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pamo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pamo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pamo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/pamo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pref/CMakeFiles/pamo_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/pamo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pamo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eva/CMakeFiles/pamo_eva.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pamo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pamo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
