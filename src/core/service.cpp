@@ -1,7 +1,11 @@
 #include "core/service.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "core/pareto.hpp"
+#include "eva/faults.hpp"
 
 namespace pamo::core {
 
@@ -17,6 +21,12 @@ void SchedulingService::set_workload(eva::Workload workload) {
              "service requires a non-empty workload");
   workload_ = std::move(workload);
 }
+
+void SchedulingService::set_fault_plan(sim::FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+}
+
+void SchedulingService::clear_fault_plan() { fault_plan_.reset(); }
 
 void SchedulingService::ensure_learner(pref::PreferenceOracle& oracle) {
   if (learner_.has_value()) return;
@@ -39,6 +49,182 @@ void SchedulingService::ensure_learner(pref::PreferenceOracle& oracle) {
   learner_->run(oracle, options_.initial_comparisons);
 }
 
+bool SchedulingService::step_down(eva::StreamConfig& config,
+                                  bool resolution_first) const {
+  auto lower = [](const std::vector<std::uint32_t>& knobs,
+                  std::uint32_t value) -> std::uint32_t {
+    for (std::size_t k = knobs.size(); k-- > 1;) {
+      if (knobs[k] == value) return knobs[k - 1];
+    }
+    return value;  // already at (or below) the smallest knob
+  };
+  const auto& space = workload_.space;
+  const std::uint32_t res = lower(space.resolutions(), config.resolution);
+  const std::uint32_t fps = lower(space.fps_knobs(), config.fps);
+  if (resolution_first && res != config.resolution) {
+    config.resolution = res;
+    return true;
+  }
+  if (fps != config.fps) {
+    config.fps = fps;
+    return true;
+  }
+  if (res != config.resolution) {
+    config.resolution = res;
+    return true;
+  }
+  return false;
+}
+
+void SchedulingService::attempt_repair(EpochReport& report) {
+  const sim::SimReport& sim0 = report.sim;
+  const std::size_t num_servers = workload_.num_servers();
+  if (sim0.server_up_at_end.size() != num_servers) return;
+  const ResilienceOptions& policy = options_.resilience;
+
+  // ---- Detect fault signatures from the epoch's measurements. ----
+  std::vector<bool> usable(num_servers, true);
+  std::vector<double> factors(num_servers, 1.0);
+  double headroom = 1.0;
+  bool any_dead = false;
+  bool degraded_net = false;
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    if (!sim0.server_up_at_end[s] ||
+        sim0.slowdown_at_end[s] >= policy.straggler_exclusion) {
+      usable[s] = false;
+      any_dead = true;
+      continue;
+    }
+    factors[s] = std::clamp(sim0.uplink_factor_at_end[s], 1e-6, 1.0);
+    if (factors[s] < 1.0) degraded_net = true;
+    headroom = std::max(headroom, sim0.slowdown_at_end[s]);
+  }
+  bool orphaned = false;
+  if (any_dead) {
+    for (std::size_t server : report.schedule.assignment) {
+      if (server < num_servers && !usable[server]) {
+        orphaned = true;
+        break;
+      }
+    }
+  }
+  const bool slo_breached =
+      sim0.slo_violations > 0 || sim0.unserved_streams > 0;
+  if (!orphaned && !degraded_net && headroom == 1.0 && !slo_breached) {
+    return;  // healthy epoch — nothing to repair
+  }
+
+  auto log = [&report](RepairKind kind, std::string detail) {
+    report.repairs.push_back({kind, std::move(detail)});
+  };
+
+  // ---- The environment as it will look going forward: collapse folded
+  // ---- into the uplinks, dead servers dead from t = 0, stragglers still
+  // ---- slow, measured frame loss persisting.
+  const eva::Workload view = eva::scale_uplinks(workload_, factors);
+  sim::FaultPlan residual;
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    if (!usable[s]) residual.kill_server(s, 0.0);
+    if (usable[s] && sim0.slowdown_at_end[s] > 1.0) {
+      residual.slow_server(s, 0.0, sim0.slowdown_at_end[s]);
+    }
+  }
+  if (sim0.dropped_by_loss > 0 && sim0.total_emitted > 0) {
+    residual.drop_frames(static_cast<double>(sim0.dropped_by_loss) /
+                             static_cast<double>(sim0.total_emitted),
+                         options_.seed + 0xFA11 + epoch_);
+  }
+  sim::SimOptions validate = options_.sim;
+  validate.faults = &residual;
+  if (policy.slo_latency > 0.0) validate.slo_latency = policy.slo_latency;
+
+  // ---- Step 1: repair placement with the zero-jitter heuristic (no BO
+  // ---- re-run). Prefer the pinned fast path: survivors stay put.
+  eva::JointConfig config = report.config;
+  sched::ScheduleResult candidate;
+  if (orphaned) {
+    candidate =
+        sched::reschedule_pinned(view, config, report.schedule, usable,
+                                 headroom);
+    if (candidate.feasible) {
+      std::ostringstream detail;
+      detail << "re-placed orphans of dead server(s) onto survivors "
+                "(pinned fast path)";
+      log(RepairKind::kReplaceOrphans, detail.str());
+    } else {
+      candidate =
+          sched::schedule_zero_jitter_masked(view, config, usable, headroom);
+      if (candidate.feasible) {
+        log(RepairKind::kFullRepack,
+            "pinned repair infeasible; Algorithm 1 re-run on survivors");
+      }
+    }
+  } else {
+    candidate =
+        sched::schedule_zero_jitter_masked(view, config, usable, headroom);
+    if (candidate.feasible) {
+      log(RepairKind::kRephase,
+          "re-solved placement/phasing on the degraded network view");
+    }
+  }
+
+  // ---- Step 2: validate under the residual faults; degrade knobs until
+  // ---- every surviving stream is served within the SLO (or the floor).
+  for (std::size_t round = 0; round <= policy.max_degrade_rounds; ++round) {
+    if (candidate.feasible) {
+      const sim::SimReport post = sim::simulate(view, candidate, validate);
+      if (post.unserved_streams == 0 && post.slo_violations == 0) {
+        report.repaired = true;
+        report.repaired_config = std::move(config);
+        report.repaired_schedule = std::move(candidate);
+        report.post_repair_sim = post;
+        return;
+      }
+      if (round == policy.max_degrade_rounds) break;
+      // Blame the parents that missed the SLO or went unserved; if the
+      // signal does not single anyone out, degrade everyone a step.
+      std::vector<bool> blame(workload_.num_streams(), false);
+      bool any_blame = false;
+      for (std::size_t i = 0; i < post.per_stream.size(); ++i) {
+        const auto& stats = post.per_stream[i];
+        if (stats.slo_violations > 0 ||
+            (stats.emitted > 0 && stats.frames == 0)) {
+          blame[candidate.streams[i].parent] = true;
+          any_blame = true;
+        }
+      }
+      bool stepped = false;
+      for (std::size_t p = 0; p < config.size(); ++p) {
+        if (any_blame && !blame[p]) continue;
+        // Under a collapsed uplink shrink the frame first (fewer bits);
+        // otherwise shed frame rate first (more period slack).
+        stepped |= step_down(config[p], /*resolution_first=*/degraded_net);
+      }
+      if (!stepped) break;  // every blamed stream is at the knob floor
+      std::ostringstream detail;
+      detail << "round " << round + 1 << ": stepped down "
+             << (degraded_net ? "resolution-first" : "fps-first")
+             << " to recover the SLO";
+      log(RepairKind::kKnobStepDown, detail.str());
+    } else {
+      if (round == policy.max_degrade_rounds) break;
+      bool stepped = false;
+      for (auto& stream_config : config) {
+        stepped |= step_down(stream_config, /*resolution_first=*/false);
+      }
+      if (!stepped) break;
+      std::ostringstream detail;
+      detail << "round " << round + 1
+             << ": no feasible packing on survivors; stepped all knobs down";
+      log(RepairKind::kKnobStepDown, detail.str());
+    }
+    candidate =
+        sched::schedule_zero_jitter_masked(view, config, usable, headroom);
+  }
+  // Repair failed: the report keeps the (faulted) measured behaviour and
+  // the action log; report.repaired stays false so callers can escalate.
+}
+
 SchedulingService::EpochReport SchedulingService::run_epoch(
     pref::PreferenceOracle& oracle) {
   EpochReport report;
@@ -57,12 +243,52 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   const PamoResult result = scheduler.run(oracle);
   ++epoch_;
   report.oracle_queries = oracle.queries_answered() - queries_before;
-  if (!result.feasible) return report;
 
-  report.feasible = true;
-  report.config = result.best_config;
-  report.schedule = result.best_schedule;
-  report.sim = sim::simulate(workload_, result.best_schedule);
+  if (result.feasible) {
+    report.feasible = true;
+    report.config = result.best_config;
+    report.schedule = result.best_schedule;
+    last_good_ = LastGood{report.config, report.schedule};
+  } else if (last_good_.has_value()) {
+    // An infeasible epoch must never leave callers running with nothing:
+    // carry the last-known-good decision forward, re-scheduled against
+    // the current workload when possible, verbatim otherwise.
+    sched::ScheduleResult rebuilt =
+        sched::schedule_zero_jitter(workload_, last_good_->config);
+    const bool previous_fits = std::all_of(
+        last_good_->schedule.assignment.begin(),
+        last_good_->schedule.assignment.end(),
+        [&](std::size_t server) { return server < workload_.num_servers(); });
+    if (rebuilt.feasible) {
+      report.feasible = true;
+      report.fallback = true;
+      report.config = last_good_->config;
+      report.schedule = std::move(rebuilt);
+      report.repairs.push_back(
+          {RepairKind::kFallbackSchedule,
+           "epoch optimization infeasible; last-known-good configuration "
+           "re-scheduled on the current workload"});
+    } else if (previous_fits) {
+      report.feasible = true;
+      report.fallback = true;
+      report.config = last_good_->config;
+      report.schedule = last_good_->schedule;
+      report.repairs.push_back(
+          {RepairKind::kFallbackSchedule,
+           "epoch optimization infeasible; previous epoch's schedule "
+           "carried forward verbatim"});
+    }
+  }
+  if (!report.feasible) return report;
+
+  sim::SimOptions sim_options = options_.sim;
+  if (fault_plan_.has_value()) sim_options.faults = &*fault_plan_;
+  if (options_.resilience.slo_latency > 0.0) {
+    sim_options.slo_latency = options_.resilience.slo_latency;
+  }
+  report.sim = sim::simulate(workload_, report.schedule, sim_options);
+
+  if (options_.resilience.enabled) attempt_repair(report);
   return report;
 }
 

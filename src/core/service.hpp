@@ -11,16 +11,41 @@
 //   * each epoch re-optimizes against the current workload (callers feed
 //     content drift / churn via set_workload) with a trimmed BO budget;
 //   * every decision is validated in the discrete-event simulator and the
-//     report carries the measured latency/jitter.
+//     report carries the measured latency/jitter;
+//   * a resilience loop reads the fault signatures out of that validation
+//     (dead servers, collapsed uplinks, stragglers, frame loss) and
+//     repairs the decision *without a full BO re-run*: orphaned streams
+//     are re-placed onto surviving servers with the zero-jitter heuristic,
+//     knobs are stepped down until the latency SLO holds again, and an
+//     infeasible epoch falls back to the last-known-good schedule instead
+//     of silently returning nothing.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/pamo.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace pamo::core {
+
+/// Graceful-degradation policy of the service's resilience loop.
+struct ResilienceOptions {
+  /// Master switch; when off, epochs behave exactly like the fault-naive
+  /// service (no repair attempts, no fallback simulation changes).
+  bool enabled = true;
+  /// Per-stream end-to-end latency SLO (seconds) enforced by the
+  /// validation simulations; 0 disables latency-driven degradation.
+  double slo_latency = 0.0;
+  /// Maximum (resolution, fps) step-down rounds while degrading.
+  std::size_t max_degrade_rounds = 4;
+  /// A server still slowed by at least this factor at the epoch boundary
+  /// is routed around like a dead one instead of being padded for.
+  double straggler_exclusion = 4.0;
+};
 
 struct ServiceOptions {
   /// Epoch-0 optimization (full preference interview + BO).
@@ -39,7 +64,24 @@ struct ServiceOptions {
   std::size_t pref_pool_size = 28;
   /// Comparison queries asked when the service first starts.
   std::size_t initial_comparisons = 18;
+  /// Validation-simulation parameters shared by every epoch.
+  sim::SimOptions sim;
+  ResilienceOptions resilience;
   std::uint64_t seed = 1;
+};
+
+/// What the resilience loop did to an epoch's decision, and why.
+enum class RepairKind {
+  kFallbackSchedule,  // infeasible epoch: previous decision carried forward
+  kReplaceOrphans,    // dead server: orphans re-packed, survivors pinned
+  kFullRepack,        // Algorithm 1 re-run on the surviving servers
+  kRephase,           // schedule re-solved on the degraded network view
+  kKnobStepDown,      // (resolution, fps) degraded to restore the SLO
+};
+
+struct RepairAction {
+  RepairKind kind;
+  std::string detail;
 };
 
 class SchedulingService {
@@ -49,13 +91,29 @@ class SchedulingService {
   /// Replace the environment (content drift, stream churn, new uplinks).
   void set_workload(eva::Workload workload);
 
+  /// Install the fault schedule the validation simulator will honour from
+  /// the next epoch on (the test/bench stand-in for real-world failures).
+  void set_fault_plan(sim::FaultPlan plan);
+  void clear_fault_plan();
+
   struct EpochReport {
     std::size_t epoch = 0;
     bool feasible = false;
+    /// True when the epoch's optimization failed and the last-known-good
+    /// decision was carried forward instead.
+    bool fallback = false;
     eva::JointConfig config;
     sched::ScheduleResult schedule;
-    sim::SimReport sim;                // measured behaviour of the decision
-    std::size_t oracle_queries = 0;    // asked during this epoch
+    sim::SimReport sim;              // measured behaviour of the decision
+    std::size_t oracle_queries = 0;  // asked during this epoch
+    // -- Resilience loop output. --
+    bool repaired = false;
+    eva::JointConfig repaired_config;        // valid when repaired
+    sched::ScheduleResult repaired_schedule;
+    /// Repaired decision re-validated under the residual fault state
+    /// (dead servers stay dead, collapse/slowdown/loss persist).
+    sim::SimReport post_repair_sim;
+    std::vector<RepairAction> repairs;  // what degraded, and why
   };
 
   /// Run one scheduling epoch against the decision-maker.
@@ -66,13 +124,26 @@ class SchedulingService {
     return learner_ ? &*learner_ : nullptr;
   }
   [[nodiscard]] const eva::Workload& workload() const { return workload_; }
+  [[nodiscard]] bool has_last_good() const { return last_good_.has_value(); }
 
  private:
+  struct LastGood {
+    eva::JointConfig config;
+    sched::ScheduleResult schedule;
+  };
+
   void ensure_learner(pref::PreferenceOracle& oracle);
+  /// Detect fault signatures in report.sim and repair the decision with
+  /// the zero-jitter heuristic + knob degradation (never a BO re-run).
+  void attempt_repair(EpochReport& report);
+  /// Step one configuration down one knob; returns false at the floor.
+  bool step_down(eva::StreamConfig& config, bool resolution_first) const;
 
   eva::Workload workload_;
   ServiceOptions options_;
   std::optional<pref::PreferenceLearner> learner_;
+  std::optional<sim::FaultPlan> fault_plan_;
+  std::optional<LastGood> last_good_;
   std::size_t epoch_ = 0;
 };
 

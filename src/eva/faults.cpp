@@ -1,0 +1,36 @@
+#include "eva/faults.hpp"
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+
+Workload scale_uplinks(const Workload& base,
+                       const std::vector<double>& factors) {
+  PAMO_CHECK(factors.size() == base.num_servers(),
+             "uplink factor count must match the server count");
+  Workload scaled = base;
+  for (std::size_t s = 0; s < factors.size(); ++s) {
+    PAMO_CHECK(factors[s] > 0.0 && factors[s] <= 1.0,
+               "uplink factors must be in (0, 1]");
+    scaled.uplink_mbps[s] = base.uplink_mbps[s] * factors[s];
+  }
+  return scaled;
+}
+
+std::pair<Workload, SurvivorMap> restrict_servers(
+    const Workload& base, const std::vector<bool>& server_usable) {
+  PAMO_CHECK(server_usable.size() == base.num_servers(),
+             "usable-server mask size mismatch");
+  Workload survivors = base;
+  survivors.uplink_mbps.clear();
+  SurvivorMap map;
+  for (std::size_t s = 0; s < server_usable.size(); ++s) {
+    if (!server_usable[s]) continue;
+    survivors.uplink_mbps.push_back(base.uplink_mbps[s]);
+    map.original_server.push_back(s);
+  }
+  PAMO_CHECK(!survivors.uplink_mbps.empty(), "no usable servers left");
+  return {std::move(survivors), std::move(map)};
+}
+
+}  // namespace pamo::eva

@@ -1,0 +1,37 @@
+// Fault-aware workload views.
+//
+// When the cluster degrades at runtime (crashed servers, collapsed
+// uplinks), the repair path needs to reason about the environment as it
+// *currently is* without renumbering anything the schedule refers to.
+// These helpers derive such views from a base workload:
+//   * scale_uplinks — bandwidth collapse folded into the per-server
+//     uplinks, indices unchanged (for re-scheduling/re-phasing in place);
+//   * restrict_servers — dead servers dropped entirely (for a full
+//     re-optimization on the survivors), with an index map back to the
+//     original cluster.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eva/workload.hpp"
+
+namespace pamo::eva {
+
+/// Per-server uplink bandwidths multiplied by `factors` (one entry per
+/// server, each in (0, 1]). Server indices are unchanged.
+Workload scale_uplinks(const Workload& base,
+                       const std::vector<double>& factors);
+
+/// Maps indices of a survivors-only workload back to the original cluster.
+struct SurvivorMap {
+  /// original_server[j] is the base-workload index of survivor server j.
+  std::vector<std::size_t> original_server;
+};
+
+/// Drop the servers whose mask entry is false. At least one server must
+/// survive. Clips and the configuration space are unchanged.
+std::pair<Workload, SurvivorMap> restrict_servers(
+    const Workload& base, const std::vector<bool>& server_usable);
+
+}  // namespace pamo::eva

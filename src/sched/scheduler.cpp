@@ -16,8 +16,10 @@ namespace {
 /// uplinks and jitter-free latencies, and the communication cost.
 /// `stagger` enables the Theorem-1 start-offset staggering (the zero-jitter
 /// scheduler's trick); First-Fit is jitter-oblivious and leaves phases at 0.
+/// `proc_headroom` widens the stagger spacing for straggler-aware repair
+/// schedules; the Eq. 5 latency bookkeeping always uses nominal times.
 void finalize(const eva::Workload& workload, ScheduleResult& result,
-              bool stagger) {
+              bool stagger, double proc_headroom = 1.0) {
   const std::size_t num_parents = workload.num_streams();
   const std::size_t num_servers = workload.num_servers();
 
@@ -35,7 +37,7 @@ void finalize(const eva::Workload& workload, ScheduleResult& result,
                               (workload.uplink_mbps[server] * 1e6);
       result.phase[i] = server_offset[server] - transfer;
       min_phase[server] = std::min(min_phase[server], result.phase[i]);
-      server_offset[server] += result.streams[i].proc_time;
+      server_offset[server] += result.streams[i].proc_time * proc_headroom;
     }
     for (std::size_t i = 0; i < result.streams.size(); ++i) {
       result.phase[i] -= min_phase[result.assignment[i]];
@@ -62,29 +64,63 @@ void finalize(const eva::Workload& workload, ScheduleResult& result,
   }
 }
 
-}  // namespace
+/// One co-scheduled set being packed under the Theorem 3 conditions.
+struct Group {
+  std::vector<std::size_t> members;
+  std::uint64_t tmin = 0;
+  double proc = 0.0;  // Σ of (possibly headroom-inflated) processing times
+};
 
-ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
-                                    const eva::JointConfig& config) {
-  ScheduleResult result;
-  result.streams = split_streams(workload, config);
-  const auto& clock = workload.space.clock();
-  const std::size_t num_servers = workload.num_servers();
-  const std::size_t m = result.streams.size();
+/// Membership test of Algorithm 1 lines 4–19: all periods must be integer
+/// multiples of the new group minimum, and Σp must fit in it (Theorem 3
+/// (a)+(b), generalized to allow a new stream with a smaller period).
+/// Joins the group and returns true on success.
+bool try_join(Group& group, std::size_t idx,
+              const std::vector<PeriodicStream>& streams,
+              const std::vector<double>& proc, const TickClock& clock) {
+  const auto& stream = streams[idx];
+  if (group.members.empty()) {
+    group.members.push_back(idx);
+    group.tmin = stream.period_ticks;
+    group.proc = proc[idx];
+    return true;
+  }
+  const std::uint64_t new_tmin = std::min(group.tmin, stream.period_ticks);
+  bool divisible = stream.period_ticks % new_tmin == 0;
+  if (divisible && new_tmin != group.tmin) {
+    for (std::size_t member : group.members) {
+      if (streams[member].period_ticks % new_tmin != 0) {
+        divisible = false;
+        break;
+      }
+    }
+  }
+  const double new_proc = group.proc + proc[idx];
+  if (!divisible || new_proc > clock.to_seconds(new_tmin) + 1e-12) {
+    return false;
+  }
+  group.members.push_back(idx);
+  group.tmin = new_tmin;
+  group.proc = new_proc;
+  return true;
+}
 
-  // Lines 1–3: sort by period ascending, compute divisor-count priorities,
-  // re-sort by priority ascending (stable, so period order breaks ties).
-  std::vector<std::size_t> order(m);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return result.streams[a].period_ticks < result.streams[b].period_ticks;
-  });
+/// Lines 1–3 of Algorithm 1 over a subset of stream indices: sort by
+/// period ascending, compute divisor-count priorities, re-sort by priority
+/// ascending (stable, so period order breaks ties).
+std::vector<std::size_t> alg1_order(const std::vector<PeriodicStream>& streams,
+                                    std::vector<std::size_t> subset) {
+  std::stable_sort(subset.begin(), subset.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return streams[a].period_ticks < streams[b].period_ticks;
+                   });
+  const std::size_t m = subset.size();
   std::vector<std::size_t> priority(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
-    const std::uint64_t ti = result.streams[order[i]].period_ticks;
+    const std::uint64_t ti = streams[subset[i]].period_ticks;
     std::size_t count = 0;
     for (std::size_t j = 0; j < i; ++j) {
-      if (ti % result.streams[order[j]].period_ticks == 0) ++count;
+      if (ti % streams[subset[j]].period_ticks == 0) ++count;
     }
     priority[i] = count;
   }
@@ -93,43 +129,38 @@ ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
   std::stable_sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
     return priority[a] < priority[b];
   });
+  std::vector<std::size_t> ordered(m);
+  for (std::size_t r = 0; r < m; ++r) ordered[r] = subset[rank[r]];
+  return ordered;
+}
 
-  // Lines 4–19: greedy group packing under the Theorem 3 conditions.
-  std::vector<std::vector<std::size_t>> groups(num_servers);
-  std::vector<std::uint64_t> group_tmin(num_servers, 0);
-  std::vector<double> group_proc(num_servers, 0.0);
-  for (std::size_t r = 0; r < m; ++r) {
-    const std::size_t idx = order[rank[r]];
-    const auto& stream = result.streams[idx];
+/// Algorithm 1 over the given (ascending) list of usable server indices.
+ScheduleResult zero_jitter_impl(const eva::Workload& workload,
+                                const eva::JointConfig& config,
+                                const std::vector<std::size_t>& servers,
+                                double proc_headroom) {
+  ScheduleResult result;
+  result.streams = split_streams(workload, config);
+  const auto& clock = workload.space.clock();
+  const std::size_t m = result.streams.size();
+  std::vector<double> proc(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    proc[i] = result.streams[i].proc_time * proc_headroom;
+  }
+
+  std::vector<std::size_t> all(m);
+  std::iota(all.begin(), all.end(), 0);
+  const std::vector<std::size_t> ordered = alg1_order(result.streams, all);
+
+  // Lines 4–19: greedy group packing under the Theorem 3 conditions, one
+  // potential group per usable server.
+  std::vector<Group> groups(servers.size());
+  for (std::size_t idx : ordered) {
     bool placed = false;
-    for (std::size_t g = 0; g < num_servers && !placed; ++g) {
-      if (groups[g].empty()) {
-        groups[g].push_back(idx);
-        group_tmin[g] = stream.period_ticks;
-        group_proc[g] = stream.proc_time;
+    for (auto& group : groups) {
+      if (try_join(group, idx, result.streams, proc, clock)) {
         placed = true;
         break;
-      }
-      // Candidate membership test: all periods must be integer multiples of
-      // the new group minimum, and Σp must fit in it (Theorem 3 (a)+(b),
-      // generalized to allow a new stream with a smaller period).
-      const std::uint64_t new_tmin =
-          std::min(group_tmin[g], stream.period_ticks);
-      bool divisible = stream.period_ticks % new_tmin == 0;
-      if (divisible && new_tmin != group_tmin[g]) {
-        for (std::size_t member : groups[g]) {
-          if (result.streams[member].period_ticks % new_tmin != 0) {
-            divisible = false;
-            break;
-          }
-        }
-      }
-      const double new_proc = group_proc[g] + stream.proc_time;
-      if (divisible && new_proc <= clock.to_seconds(new_tmin) + 1e-12) {
-        groups[g].push_back(idx);
-        group_tmin[g] = new_tmin;
-        group_proc[g] = new_proc;
-        placed = true;
       }
     }
     if (!placed) {
@@ -138,36 +169,154 @@ ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
     }
   }
 
-  // Line 20: assign non-empty groups to servers, minimizing total
-  // communication latency Σ θ_bit(r_i)/B_{q_i}.
+  // Line 20: assign non-empty groups to the usable servers, minimizing
+  // total communication latency Σ θ_bit(r_i)/B_{q_i}.
   std::vector<std::size_t> active;
-  for (std::size_t g = 0; g < num_servers; ++g) {
-    if (!groups[g].empty()) active.push_back(g);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!groups[g].members.empty()) active.push_back(g);
   }
-  la::Matrix cost(active.size(), num_servers);
+  la::Matrix cost(active.size(), servers.size());
   for (std::size_t a = 0; a < active.size(); ++a) {
     double bits = 0.0;
-    for (std::size_t member : groups[active[a]]) {
+    for (std::size_t member : groups[active[a]].members) {
       bits += result.streams[member].bits_per_frame;
     }
-    for (std::size_t server = 0; server < num_servers; ++server) {
-      cost(a, server) = bits / (workload.uplink_mbps[server] * 1e6);
+    for (std::size_t j = 0; j < servers.size(); ++j) {
+      cost(a, j) = bits / (workload.uplink_mbps[servers[j]] * 1e6);
     }
   }
   const AssignmentResult assignment = solve_assignment(cost);
 
   result.assignment.assign(m, 0);
   for (std::size_t a = 0; a < active.size(); ++a) {
-    for (std::size_t member : groups[active[a]]) {
-      result.assignment[member] = assignment.col_of[a];
+    for (std::size_t member : groups[active[a]].members) {
+      result.assignment[member] = servers[assignment.col_of[a]];
     }
   }
   result.feasible = true;
-  finalize(workload, result, /*stagger=*/true);
+  finalize(workload, result, /*stagger=*/true, proc_headroom);
+
+  PAMO_ASSERT(const2_holds(result.streams, result.assignment,
+                           workload.num_servers(), clock),
+              "Algorithm 1 produced a Const2-violating schedule");
+  return result;
+}
+
+/// Usable-server index list from a mask (with validation).
+std::vector<std::size_t> usable_list(const eva::Workload& workload,
+                                     const std::vector<bool>& server_usable) {
+  PAMO_CHECK(server_usable.size() == workload.num_servers(),
+             "usable-server mask size mismatch");
+  std::vector<std::size_t> servers;
+  for (std::size_t s = 0; s < server_usable.size(); ++s) {
+    if (server_usable[s]) servers.push_back(s);
+  }
+  PAMO_CHECK(!servers.empty(), "no usable servers left");
+  return servers;
+}
+
+}  // namespace
+
+ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
+                                    const eva::JointConfig& config) {
+  std::vector<std::size_t> servers(workload.num_servers());
+  std::iota(servers.begin(), servers.end(), 0);
+  return zero_jitter_impl(workload, config, servers, /*proc_headroom=*/1.0);
+}
+
+ScheduleResult schedule_zero_jitter_masked(
+    const eva::Workload& workload, const eva::JointConfig& config,
+    const std::vector<bool>& server_usable, double proc_headroom) {
+  PAMO_CHECK(proc_headroom >= 1.0, "processing headroom must be >= 1");
+  return zero_jitter_impl(workload, config,
+                          usable_list(workload, server_usable),
+                          proc_headroom);
+}
+
+ScheduleResult reschedule_pinned(const eva::Workload& workload,
+                                 const eva::JointConfig& config,
+                                 const ScheduleResult& previous,
+                                 const std::vector<bool>& server_usable,
+                                 double proc_headroom) {
+  PAMO_CHECK(proc_headroom >= 1.0, "processing headroom must be >= 1");
+  const std::vector<std::size_t> servers =
+      usable_list(workload, server_usable);
+  const std::size_t num_servers = workload.num_servers();
+
+  ScheduleResult result;
+  result.streams = split_streams(workload, config);
+  PAMO_CHECK(previous.streams.size() == result.streams.size() &&
+                 previous.assignment.size() == previous.streams.size(),
+             "previous schedule does not match this configuration");
+  const auto& clock = workload.space.clock();
+  const std::size_t m = result.streams.size();
+  std::vector<double> proc(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    proc[i] = result.streams[i].proc_time * proc_headroom;
+  }
+
+  std::vector<std::size_t> group_of(num_servers, num_servers);
+  for (std::size_t g = 0; g < servers.size(); ++g) {
+    group_of[servers[g]] = g;
+  }
+
+  // Partition: streams on usable servers stay pinned; the rest are
+  // orphans. Pinned members re-join their group in ascending-period order
+  // (any Theorem 3 group is prefix-valid in that order), which also
+  // re-validates the group under the inflated processing times.
+  std::vector<Group> groups(servers.size());
+  std::vector<std::size_t> pinned;
+  std::vector<std::size_t> orphans;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t prev = previous.assignment[i];
+    PAMO_CHECK(prev < num_servers, "previous assignment out of range");
+    if (server_usable[prev]) {
+      pinned.push_back(i);
+    } else {
+      orphans.push_back(i);
+    }
+  }
+  std::stable_sort(pinned.begin(), pinned.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.streams[a].period_ticks <
+                            result.streams[b].period_ticks;
+                   });
+  for (std::size_t idx : pinned) {
+    Group& group = groups[group_of[previous.assignment[idx]]];
+    if (!try_join(group, idx, result.streams, proc, clock)) {
+      // The surviving placement no longer fits (e.g. straggler headroom
+      // ate the slack): signal the caller to fall back to a full re-pack.
+      result.feasible = false;
+      return result;
+    }
+  }
+
+  for (std::size_t idx : alg1_order(result.streams, orphans)) {
+    bool placed = false;
+    for (auto& group : groups) {
+      if (try_join(group, idx, result.streams, proc, clock)) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      result.feasible = false;
+      return result;
+    }
+  }
+
+  result.assignment.assign(m, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t member : groups[g].members) {
+      result.assignment[member] = servers[g];
+    }
+  }
+  result.feasible = true;
+  finalize(workload, result, /*stagger=*/true, proc_headroom);
 
   PAMO_ASSERT(const2_holds(result.streams, result.assignment, num_servers,
                            clock),
-              "Algorithm 1 produced a Const2-violating schedule");
+              "pinned repair produced a Const2-violating schedule");
   return result;
 }
 

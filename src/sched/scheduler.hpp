@@ -39,6 +39,30 @@ struct ScheduleResult {
 ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
                                     const eva::JointConfig& config);
 
+/// Algorithm 1 restricted to the servers marked usable (crashed servers
+/// are excluded from grouping and assignment). `proc_headroom` >= 1
+/// inflates processing times during group packing and phase staggering —
+/// slack for servers known to be running slow (stragglers) so the packed
+/// groups stay contention-free at the degraded speed.
+ScheduleResult schedule_zero_jitter_masked(
+    const eva::Workload& workload, const eva::JointConfig& config,
+    const std::vector<bool>& server_usable, double proc_headroom = 1.0);
+
+/// Fast-repair entry point: re-place only the streams orphaned by
+/// unusable servers. Streams whose previous server is still usable stay
+/// *pinned* to it (their groups are re-validated under `proc_headroom`);
+/// orphans are packed into the surviving groups under the Theorem 3
+/// conditions. No Hungarian re-assignment — pinned groups must not move —
+/// so repair cost is O(M·N) instead of a full re-optimization.
+/// `previous` must be a schedule of the same (workload, config) split.
+/// Returns feasible = false when the orphans cannot be absorbed (callers
+/// then fall back to schedule_zero_jitter_masked or degrade knobs).
+ScheduleResult reschedule_pinned(const eva::Workload& workload,
+                                 const eva::JointConfig& config,
+                                 const ScheduleResult& previous,
+                                 const std::vector<bool>& server_usable,
+                                 double proc_headroom = 1.0);
+
 /// First-Fit on Const1 only (utilization <= 1), ignoring Const2 — the
 /// placement rule of JCAB and the ablation contrast for Figure 4.
 ScheduleResult schedule_first_fit(const eva::Workload& workload,

@@ -1,0 +1,131 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::sim {
+
+FaultPlan& FaultPlan::kill_server(std::size_t server, double at,
+                                  double recovery) {
+  PAMO_CHECK(at >= 0.0, "crash time must be non-negative");
+  PAMO_CHECK(recovery > at, "recovery must be after the crash");
+  crashes_.push_back({server, at, recovery});
+  return *this;
+}
+
+FaultPlan& FaultPlan::collapse_uplink(std::size_t server, double at,
+                                      double factor, double until) {
+  PAMO_CHECK(at >= 0.0, "collapse time must be non-negative");
+  PAMO_CHECK(until > at, "collapse end must be after its start");
+  PAMO_CHECK(factor > 0.0 && factor <= 1.0,
+             "uplink collapse factor must be in (0, 1]");
+  collapses_.push_back({server, at, until, factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_server(std::size_t server, double at,
+                                  double factor, double until) {
+  PAMO_CHECK(at >= 0.0, "slowdown time must be non-negative");
+  PAMO_CHECK(until > at, "slowdown end must be after its start");
+  PAMO_CHECK(factor >= 1.0, "inference slowdown factor must be >= 1");
+  slowdowns_.push_back({server, at, until, factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_frames(double probability, std::uint64_t seed) {
+  PAMO_CHECK(probability >= 0.0 && probability <= 1.0,
+             "frame-loss probability must be in [0, 1]");
+  frame_loss_prob_ = probability;
+  frame_loss_seed_ = seed;
+  return *this;
+}
+
+bool FaultPlan::server_up(std::size_t server, double t) const {
+  for (const auto& crash : crashes_) {
+    if (crash.server == server && t >= crash.at && t < crash.recovery) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double FaultPlan::next_up(std::size_t server, double t) const {
+  // Crash windows may overlap; chase the latest covering recovery until a
+  // fixed point (bounded by the number of crash entries).
+  double candidate = t;
+  for (std::size_t pass = 0; pass <= crashes_.size(); ++pass) {
+    bool moved = false;
+    for (const auto& crash : crashes_) {
+      if (crash.server == server && candidate >= crash.at &&
+          candidate < crash.recovery) {
+        if (!std::isfinite(crash.recovery)) return kNever;
+        candidate = crash.recovery;
+        moved = true;
+      }
+    }
+    if (!moved) return candidate;
+  }
+  return candidate;
+}
+
+double FaultPlan::next_crash_in(std::size_t server, double t0,
+                                double t1) const {
+  double earliest = kNever;
+  for (const auto& crash : crashes_) {
+    if (crash.server == server && crash.at > t0 && crash.at < t1) {
+      earliest = std::min(earliest, crash.at);
+    }
+  }
+  return earliest;
+}
+
+double FaultPlan::uplink_factor(std::size_t server, double t) const {
+  double factor = 1.0;
+  for (const auto& collapse : collapses_) {
+    if (collapse.server == server && t >= collapse.at && t < collapse.until) {
+      factor = std::min(factor, collapse.factor);
+    }
+  }
+  return factor;
+}
+
+double FaultPlan::slowdown(std::size_t server, double t) const {
+  double factor = 1.0;
+  for (const auto& slow : slowdowns_) {
+    if (slow.server == server && t >= slow.at && t < slow.until) {
+      factor = std::max(factor, slow.factor);
+    }
+  }
+  return factor;
+}
+
+double FaultPlan::availability(std::size_t server, double horizon) const {
+  PAMO_CHECK(horizon > 0.0, "horizon must be positive");
+  std::vector<std::pair<double, double>> down;
+  for (const auto& crash : crashes_) {
+    if (crash.server != server) continue;
+    const double lo = std::max(0.0, crash.at);
+    const double hi = std::min(horizon, crash.recovery);
+    if (hi > lo) down.emplace_back(lo, hi);
+  }
+  if (down.empty()) return 1.0;
+  std::sort(down.begin(), down.end());
+  double covered = 0.0;
+  double lo = down.front().first;
+  double hi = down.front().second;
+  for (std::size_t i = 1; i < down.size(); ++i) {
+    if (down[i].first > hi) {
+      covered += hi - lo;
+      lo = down[i].first;
+      hi = down[i].second;
+    } else {
+      hi = std::max(hi, down[i].second);
+    }
+  }
+  covered += hi - lo;
+  return 1.0 - covered / horizon;
+}
+
+}  // namespace pamo::sim

@@ -1,9 +1,11 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace pamo::sim {
 
@@ -16,9 +18,24 @@ struct PendingFrame {
   double proc_time;
 };
 
-std::vector<FrameRecord> run(const eva::Workload& workload,
-                             const sched::ScheduleResult& schedule,
-                             const SimOptions& options) {
+struct RunOutput {
+  std::vector<FrameRecord> records;        // served frames only
+  std::vector<std::size_t> emitted;        // per split stream
+  std::vector<std::size_t> dropped;        // per split stream (all causes)
+  std::size_t dropped_by_loss = 0;
+};
+
+/// The active plan, or null when running fault-free (empty plans are
+/// normalized to null so they take the exact fault-free code path).
+const FaultPlan* active_plan(const SimOptions& options) {
+  return options.faults != nullptr && !options.faults->empty()
+             ? options.faults
+             : nullptr;
+}
+
+RunOutput run(const eva::Workload& workload,
+              const sched::ScheduleResult& schedule,
+              const SimOptions& options) {
   PAMO_CHECK(schedule.streams.size() == schedule.assignment.size(),
              "schedule assignment size mismatch");
   PAMO_CHECK(schedule.streams.size() == schedule.phase.size(),
@@ -26,6 +43,11 @@ std::vector<FrameRecord> run(const eva::Workload& workload,
   PAMO_CHECK(options.horizon_seconds > 0, "horizon must be positive");
   const auto& clock = workload.space.clock();
   const std::size_t num_servers = workload.num_servers();
+  const FaultPlan* plan = active_plan(options);
+
+  RunOutput out;
+  out.emitted.assign(schedule.streams.size(), 0);
+  out.dropped.assign(schedule.streams.size(), 0);
 
   // Enumerate all frames per server.
   std::vector<std::vector<PendingFrame>> per_server(num_servers);
@@ -38,9 +60,31 @@ std::vector<FrameRecord> run(const eva::Workload& workload,
         options.include_network
             ? stream.bits_per_frame / (workload.uplink_mbps[server] * 1e6)
             : 0.0;
+    // Per-stream loss RNG: frame k of stream i loses deterministically,
+    // independent of server ordering and of other streams.
+    Rng loss_rng = plan != nullptr ? Rng(plan->frame_loss_seed()).fork(i)
+                                   : Rng(0);
+    const bool lossy = plan != nullptr && plan->frame_loss_prob() > 0.0;
     for (double t = schedule.phase[i]; t < options.horizon_seconds;
          t += period) {
-      per_server[server].push_back({i, t, t + transfer, stream.proc_time});
+      ++out.emitted[i];
+      if (lossy && loss_rng.uniform() < plan->frame_loss_prob()) {
+        ++out.dropped[i];
+        ++out.dropped_by_loss;
+        continue;
+      }
+      double available;
+      if (plan != nullptr && options.include_network) {
+        // Transfer under the uplink factor active when the frame leaves
+        // the camera (collapses are epoch-scale events; a frame does not
+        // straddle them meaningfully).
+        const double factor = plan->uplink_factor(server, t);
+        available = t + stream.bits_per_frame /
+                            (workload.uplink_mbps[server] * factor * 1e6);
+      } else {
+        available = t + transfer;
+      }
+      per_server[server].push_back({i, t, available, stream.proc_time});
     }
   }
 
@@ -64,8 +108,8 @@ std::vector<FrameRecord> run(const eva::Workload& workload,
     }
   }
 
-  std::vector<FrameRecord> records;
-  for (auto& frames : per_server) {
+  for (std::size_t server = 0; server < num_servers; ++server) {
+    auto& frames = per_server[server];
     // FIFO in order of availability at the server (stable stream tie-break).
     std::sort(frames.begin(), frames.end(),
               [](const PendingFrame& a, const PendingFrame& b) {
@@ -77,18 +121,58 @@ std::vector<FrameRecord> run(const eva::Workload& workload,
       FrameRecord rec;
       rec.stream = frame.stream;
       rec.arrival = frame.arrival;
-      rec.start = std::max(frame.available, server_free);
-      rec.finish = rec.start + frame.proc_time;
+      if (plan == nullptr) {
+        rec.start = std::max(frame.available, server_free);
+        rec.finish = rec.start + frame.proc_time;
+      } else {
+        // Crash-aware non-preemptive service: a frame whose service window
+        // would straddle a crash restarts after the recovery; frames on a
+        // server that never recovers are lost.
+        double start = std::max(frame.available, server_free);
+        double proc = frame.proc_time;
+        bool lost = false;
+        const std::size_t passes = plan->crashes().size() + 2;
+        for (std::size_t pass = 0; pass < passes; ++pass) {
+          if (!plan->server_up(server, start)) {
+            const double up = plan->next_up(server, start);
+            if (!std::isfinite(up)) {
+              lost = true;
+              break;
+            }
+            start = up;
+            continue;
+          }
+          proc = frame.proc_time * plan->slowdown(server, start);
+          const double crash =
+              plan->next_crash_in(server, start, start + proc);
+          if (std::isfinite(crash)) {
+            const double up = plan->next_up(server, crash);
+            if (!std::isfinite(up)) {
+              lost = true;
+              break;
+            }
+            start = up;
+            continue;
+          }
+          break;
+        }
+        if (lost) {
+          ++out.dropped[frame.stream];
+          continue;
+        }
+        rec.start = start;
+        rec.finish = start + proc;
+      }
       server_free = rec.finish;
-      records.push_back(rec);
+      out.records.push_back(rec);
     }
   }
-  std::sort(records.begin(), records.end(),
+  std::sort(out.records.begin(), out.records.end(),
             [](const FrameRecord& a, const FrameRecord& b) {
               if (a.arrival != b.arrival) return a.arrival < b.arrival;
               return a.stream < b.stream;
             });
-  return records;
+  return out;
 }
 
 }  // namespace
@@ -96,13 +180,18 @@ std::vector<FrameRecord> run(const eva::Workload& workload,
 std::vector<FrameRecord> trace_frames(const eva::Workload& workload,
                                       const sched::ScheduleResult& schedule,
                                       const SimOptions& options) {
-  return run(workload, schedule, options);
+  return run(workload, schedule, options).records;
 }
 
 SimReport simulate(const eva::Workload& workload,
                    const sched::ScheduleResult& schedule,
                    const SimOptions& options) {
-  const std::vector<FrameRecord> records = run(workload, schedule, options);
+  if (!options.slo_per_parent.empty()) {
+    PAMO_CHECK(options.slo_per_parent.size() == workload.num_streams(),
+               "per-parent SLO deadline size mismatch");
+  }
+  RunOutput out = run(workload, schedule, options);
+  const std::vector<FrameRecord>& records = out.records;
   const std::size_t m = schedule.streams.size();
 
   SimReport report;
@@ -112,8 +201,12 @@ SimReport simulate(const eva::Workload& workload,
   std::vector<double> lat_max(m, std::numeric_limits<double>::lowest());
   double total_latency = 0.0;
 
+  auto deadline_of = [&](std::size_t parent) {
+    return options.slo_per_parent.empty() ? options.slo_latency
+                                          : options.slo_per_parent[parent];
+  };
+
   // Reconstruct each frame's queue delay: waiting beyond its own transfer.
-  const auto& clock = workload.space.clock();
   for (const auto& rec : records) {
     const auto& stream = schedule.streams[rec.stream];
     const double transfer =
@@ -129,6 +222,8 @@ SimReport simulate(const eva::Workload& workload,
     lat_max[rec.stream] = std::max(lat_max[rec.stream], latency);
     stats.queue_delay += rec.start - (rec.arrival + transfer);
     total_latency += latency;
+    const double deadline = deadline_of(stream.parent);
+    if (deadline > 0.0 && latency > deadline) ++stats.slo_violations;
   }
 
   report.total_frames = records.size();
@@ -139,6 +234,8 @@ SimReport simulate(const eva::Workload& workload,
   std::vector<std::size_t> parent_frames(workload.num_streams(), 0);
   for (std::size_t i = 0; i < m; ++i) {
     auto& stats = report.per_stream[i];
+    stats.emitted = out.emitted[i];
+    stats.dropped = out.dropped[i];
     if (stats.frames > 0) {
       stats.mean_latency = latency_sum[i] / static_cast<double>(stats.frames);
       stats.min_latency = lat_min[i];
@@ -146,11 +243,19 @@ SimReport simulate(const eva::Workload& workload,
       stats.jitter = stats.max_latency - stats.min_latency;
       report.max_jitter = std::max(report.max_jitter, stats.jitter);
       report.total_queue_delay += stats.queue_delay;
+    } else if (stats.emitted > 0) {
+      // A stream that emitted but was never served (crashed server, total
+      // loss): every latency statistic stays at a well-defined 0.
+      ++report.unserved_streams;
     }
+    report.total_emitted += stats.emitted;
+    report.total_dropped += stats.dropped;
+    report.slo_violations += stats.slo_violations;
     const std::size_t parent = schedule.streams[i].parent;
     parent_sum[parent] += latency_sum[i];
     parent_frames[parent] += stats.frames;
   }
+  report.dropped_by_loss = out.dropped_by_loss;
   report.latency_per_parent.assign(workload.num_streams(), 0.0);
   for (std::size_t parent = 0; parent < workload.num_streams(); ++parent) {
     if (parent_frames[parent] > 0) {
@@ -158,7 +263,22 @@ SimReport simulate(const eva::Workload& workload,
           parent_sum[parent] / static_cast<double>(parent_frames[parent]);
     }
   }
-  (void)clock;
+
+  // End-of-horizon environment observables (monitoring signals).
+  const std::size_t num_servers = workload.num_servers();
+  report.server_availability.assign(num_servers, 1.0);
+  report.server_up_at_end.assign(num_servers, true);
+  report.uplink_factor_at_end.assign(num_servers, 1.0);
+  report.slowdown_at_end.assign(num_servers, 1.0);
+  if (const FaultPlan* plan = active_plan(options)) {
+    const double end = options.horizon_seconds;
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      report.server_availability[s] = plan->availability(s, end);
+      report.server_up_at_end[s] = plan->server_up(s, end);
+      report.uplink_factor_at_end[s] = plan->uplink_factor(s, end);
+      report.slowdown_at_end[s] = plan->slowdown(s, end);
+    }
+  }
   return report;
 }
 

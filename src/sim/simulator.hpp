@@ -6,6 +6,11 @@
 // runs non-preemptive FIFO inference. Queueing delay and delay jitter
 // (Figs. 3a and 4) *emerge* from the event dynamics — nothing is scripted —
 // which lets the tests verify Theorems 1–3 against actual behaviour.
+//
+// An optional FaultPlan injects runtime disturbances (crashes, uplink
+// collapse, stragglers, frame loss); drops, SLO violations and queueing
+// blow-ups then emerge the same way. Running without a plan (or with an
+// empty one) is bit-for-bit identical to the fault-free model.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +18,7 @@
 
 #include "eva/workload.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
 
 namespace pamo::sim {
 
@@ -26,11 +32,20 @@ struct SimOptions {
   /// paper's latency model (Eq. 5) treats transfers as independent — but
   /// useful to stress-test schedules under a more hostile network.
   bool shared_uplink = false;
+  /// Fault schedule to honour (not owned; may be null). An empty plan
+  /// behaves exactly like no plan.
+  const FaultPlan* faults = nullptr;
+  /// End-to-end latency SLO (seconds) applied to every stream; served
+  /// frames above it count as violations. 0 disables SLO accounting.
+  double slo_latency = 0.0;
+  /// Optional per-parent-stream deadlines overriding `slo_latency`
+  /// (indexed like the workload's streams; 0 entries disable that stream).
+  std::vector<double> slo_per_parent;
 };
 
 /// Latency statistics of one (split-)stream over the simulation.
 struct StreamStats {
-  std::size_t frames = 0;
+  std::size_t frames = 0;  // frames actually served
   double mean_latency = 0.0;  // arrival (camera) → inference finish
   double min_latency = 0.0;
   double max_latency = 0.0;
@@ -39,6 +54,10 @@ struct StreamStats {
   double jitter = 0.0;
   /// Total time frames spent waiting behind other frames.
   double queue_delay = 0.0;
+  // -- Fault-aware accounting (zero in fault-free runs). --
+  std::size_t emitted = 0;         // camera emissions inside the horizon
+  std::size_t dropped = 0;         // frames lost (loss or dead server)
+  std::size_t slo_violations = 0;  // served frames over the deadline
 };
 
 struct SimReport {
@@ -48,6 +67,20 @@ struct SimReport {
   double max_jitter = 0.0;                 // worst stream jitter
   double total_queue_delay = 0.0;
   std::size_t total_frames = 0;
+  // -- Fault-aware accounting. --
+  std::size_t total_emitted = 0;
+  std::size_t total_dropped = 0;
+  std::size_t dropped_by_loss = 0;  // subset of total_dropped due to loss
+  std::size_t slo_violations = 0;
+  /// Split streams that emitted frames but had none served (crashed
+  /// server or total loss).
+  std::size_t unserved_streams = 0;
+  // -- End-of-horizon environment observables (the monitoring signals the
+  // -- operating loop of Fig. 1 would collect; all-nominal without faults).
+  std::vector<double> server_availability;  // up-time fraction per server
+  std::vector<bool> server_up_at_end;       // health probe at the horizon
+  std::vector<double> uplink_factor_at_end;
+  std::vector<double> slowdown_at_end;
 };
 
 /// Simulate a (possibly infeasible w.r.t. Const2) schedule. The schedule
@@ -66,7 +99,8 @@ struct FrameRecord {
   [[nodiscard]] double latency() const { return finish - arrival; }
 };
 
-/// Full frame trace of a simulation (same model as simulate()).
+/// Full frame trace of a simulation (same model as simulate(); under a
+/// FaultPlan only the frames that were actually served appear).
 std::vector<FrameRecord> trace_frames(const eva::Workload& workload,
                                       const sched::ScheduleResult& schedule,
                                       const SimOptions& options = {});

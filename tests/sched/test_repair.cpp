@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/constraints.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::sched {
+namespace {
+
+eva::Workload workload(std::size_t streams, std::size_t servers,
+                       std::uint64_t seed = 31) {
+  return eva::make_workload(streams, servers, seed);
+}
+
+void expect_schedules_identical(const ScheduleResult& a,
+                                const ScheduleResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.phase, b.phase);
+  EXPECT_EQ(a.uplink_per_parent, b.uplink_per_parent);
+  EXPECT_EQ(a.latency_per_parent, b.latency_per_parent);
+  EXPECT_EQ(a.comm_cost, b.comm_cost);
+}
+
+TEST(Repair, MaskedWithAllServersMatchesUnmaskedBitForBit) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const eva::Workload w = workload(6, 4, seed);
+    const eva::JointConfig config(6, {720, 10});
+    const auto full = schedule_zero_jitter(w, config);
+    const auto masked = schedule_zero_jitter_masked(
+        w, config, std::vector<bool>(w.num_servers(), true));
+    expect_schedules_identical(full, masked);
+  }
+}
+
+TEST(Repair, MaskedNeverUsesExcludedServers) {
+  const eva::Workload w = workload(6, 4);
+  const eva::JointConfig config(6, {720, 10});
+  std::vector<bool> usable(w.num_servers(), true);
+  usable[1] = false;
+  const auto schedule = schedule_zero_jitter_masked(w, config, usable);
+  ASSERT_TRUE(schedule.feasible);
+  for (std::size_t server : schedule.assignment) {
+    EXPECT_TRUE(usable[server]) << "stream placed on excluded server";
+  }
+  // Still a zero-jitter decision on the survivors.
+  const auto report = sim::simulate(w, schedule);
+  EXPECT_NEAR(report.max_jitter, 0.0, 1e-9);
+  EXPECT_TRUE(const2_holds(schedule.streams, schedule.assignment,
+                           w.num_servers(), w.space.clock()));
+}
+
+TEST(Repair, MaskedRejectsBadMasks) {
+  const eva::Workload w = workload(4, 3);
+  const eva::JointConfig config(4, {720, 10});
+  EXPECT_THROW(
+      schedule_zero_jitter_masked(w, config, std::vector<bool>(2, true)),
+      Error);
+  EXPECT_THROW(schedule_zero_jitter_masked(
+                   w, config, std::vector<bool>(w.num_servers(), false)),
+               Error);
+  EXPECT_THROW(schedule_zero_jitter_masked(
+                   w, config, std::vector<bool>(w.num_servers(), true), 0.5),
+               Error);
+}
+
+TEST(Repair, PinnedKeepsSurvivorsAndAbsorbsOrphans) {
+  const eva::Workload w = workload(8, 4);
+  const eva::JointConfig config(8, {720, 10});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+
+  // Kill the server hosting stream 0.
+  std::vector<bool> usable(w.num_servers(), true);
+  const std::size_t dead = before.assignment[0];
+  usable[dead] = false;
+
+  const auto after = reschedule_pinned(w, config, before, usable);
+  ASSERT_TRUE(after.feasible);
+  ASSERT_EQ(after.assignment.size(), before.assignment.size());
+  std::size_t orphans = 0;
+  for (std::size_t i = 0; i < before.assignment.size(); ++i) {
+    if (before.assignment[i] == dead) {
+      ++orphans;
+      EXPECT_NE(after.assignment[i], dead) << "orphan left on dead server";
+    } else {
+      // Survivors stay exactly where they were.
+      EXPECT_EQ(after.assignment[i], before.assignment[i]) << i;
+    }
+  }
+  EXPECT_GT(orphans, 0u);
+
+  // The repaired schedule is still Theorem-3 valid and contention-free.
+  EXPECT_TRUE(const2_holds(after.streams, after.assignment, w.num_servers(),
+                           w.space.clock()));
+  const auto report = sim::simulate(w, after);
+  EXPECT_NEAR(report.max_jitter, 0.0, 1e-9);
+  EXPECT_NEAR(report.total_queue_delay, 0.0, 1e-9);
+}
+
+TEST(Repair, PinnedWithNothingOrphanedReturnsSameAssignment) {
+  const eva::Workload w = workload(6, 4);
+  const eva::JointConfig config(6, {720, 10});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+  const auto after = reschedule_pinned(
+      w, config, before, std::vector<bool>(w.num_servers(), true));
+  ASSERT_TRUE(after.feasible);
+  EXPECT_EQ(after.assignment, before.assignment);
+}
+
+TEST(Repair, PinnedSignalsInfeasibilityInsteadOfThrowing) {
+  // With an enormous processing headroom even the pinned groups no longer
+  // satisfy Theorem 3 — the repair must report infeasible, not crash.
+  const eva::Workload w = workload(6, 3);
+  const eva::JointConfig config(6, {720, 10});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+  std::vector<bool> usable(w.num_servers(), true);
+  usable[before.assignment[0]] = false;
+  const auto after =
+      reschedule_pinned(w, config, before, usable, /*proc_headroom=*/1e4);
+  EXPECT_FALSE(after.feasible);
+}
+
+TEST(Repair, HeadroomKeepsScheduleJitterFreeUnderSlowdown) {
+  // Pack with headroom h, then run on servers actually slowed by h: frames
+  // must still never queue (the straggler-tolerant repair property).
+  const double h = 2.0;
+  const eva::Workload w = workload(6, 3);
+  const eva::JointConfig config(6, {480, 5});
+  const auto schedule = schedule_zero_jitter_masked(
+      w, config, std::vector<bool>(w.num_servers(), true), h);
+  ASSERT_TRUE(schedule.feasible);
+  sim::FaultPlan plan;
+  for (std::size_t s = 0; s < w.num_servers(); ++s) {
+    plan.slow_server(s, 0.0, h);
+  }
+  sim::SimOptions options;
+  options.faults = &plan;
+  const auto report = sim::simulate(w, schedule, options);
+  EXPECT_GT(report.total_frames, 0u);
+  EXPECT_NEAR(report.total_queue_delay, 0.0, 1e-9);
+  EXPECT_NEAR(report.max_jitter, 0.0, 1e-9);
+}
+
+TEST(Repair, PinnedValidatesInputSizes) {
+  const eva::Workload w = workload(4, 3);
+  const eva::JointConfig config(4, {720, 10});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+  EXPECT_THROW(
+      reschedule_pinned(w, config, before, std::vector<bool>(1, true)),
+      Error);
+  ScheduleResult mangled = before;
+  mangled.assignment.pop_back();
+  EXPECT_THROW(reschedule_pinned(w, config, mangled,
+                                 std::vector<bool>(w.num_servers(), true)),
+               Error);
+}
+
+}  // namespace
+}  // namespace pamo::sched

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::sim {
+namespace {
+
+eva::Workload workload(std::size_t streams, std::size_t servers,
+                       std::uint64_t seed = 23) {
+  return eva::make_workload(streams, servers, seed);
+}
+
+sched::ScheduleResult zj(const eva::Workload& w,
+                         const eva::JointConfig& config) {
+  auto schedule = sched::schedule_zero_jitter(w, config);
+  EXPECT_TRUE(schedule.feasible);
+  return schedule;
+}
+
+void expect_reports_identical(const SimReport& a, const SimReport& b) {
+  ASSERT_EQ(a.per_stream.size(), b.per_stream.size());
+  for (std::size_t i = 0; i < a.per_stream.size(); ++i) {
+    const auto& sa = a.per_stream[i];
+    const auto& sb = b.per_stream[i];
+    EXPECT_EQ(sa.frames, sb.frames) << i;
+    EXPECT_EQ(sa.mean_latency, sb.mean_latency) << i;  // bit-for-bit
+    EXPECT_EQ(sa.min_latency, sb.min_latency) << i;
+    EXPECT_EQ(sa.max_latency, sb.max_latency) << i;
+    EXPECT_EQ(sa.jitter, sb.jitter) << i;
+    EXPECT_EQ(sa.queue_delay, sb.queue_delay) << i;
+    EXPECT_EQ(sa.emitted, sb.emitted) << i;
+    EXPECT_EQ(sa.dropped, sb.dropped) << i;
+    EXPECT_EQ(sa.slo_violations, sb.slo_violations) << i;
+  }
+  EXPECT_EQ(a.latency_per_parent, b.latency_per_parent);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.max_jitter, b.max_jitter);
+  EXPECT_EQ(a.total_queue_delay, b.total_queue_delay);
+  EXPECT_EQ(a.total_frames, b.total_frames);
+  EXPECT_EQ(a.total_emitted, b.total_emitted);
+  EXPECT_EQ(a.total_dropped, b.total_dropped);
+  EXPECT_EQ(a.dropped_by_loss, b.dropped_by_loss);
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
+  EXPECT_EQ(a.unserved_streams, b.unserved_streams);
+  EXPECT_EQ(a.server_availability, b.server_availability);
+  EXPECT_EQ(a.server_up_at_end, b.server_up_at_end);
+  EXPECT_EQ(a.uplink_factor_at_end, b.uplink_factor_at_end);
+  EXPECT_EQ(a.slowdown_at_end, b.slowdown_at_end);
+}
+
+TEST(FaultInjection, EmptyPlanIsBitForBitIdenticalToNoPlan) {
+  const eva::Workload w = workload(6, 4);
+  const auto schedule = zj(w, eva::JointConfig(6, {720, 10}));
+  const SimReport baseline = simulate(w, schedule);
+
+  FaultPlan empty;
+  ASSERT_TRUE(empty.empty());
+  SimOptions options;
+  options.faults = &empty;
+  const SimReport with_empty = simulate(w, schedule, options);
+  expect_reports_identical(baseline, with_empty);
+
+  const auto trace_a = trace_frames(w, schedule);
+  const auto trace_b = trace_frames(w, schedule, options);
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i].stream, trace_b[i].stream);
+    EXPECT_EQ(trace_a[i].arrival, trace_b[i].arrival);
+    EXPECT_EQ(trace_a[i].start, trace_b[i].start);
+    EXPECT_EQ(trace_a[i].finish, trace_b[i].finish);
+  }
+}
+
+TEST(FaultInjection, FaultFreeRunReportsNominalObservables) {
+  const eva::Workload w = workload(4, 3);
+  const auto schedule = zj(w, eva::JointConfig(4, {720, 10}));
+  const SimReport report = simulate(w, schedule);
+  ASSERT_EQ(report.server_availability.size(), w.num_servers());
+  for (std::size_t s = 0; s < w.num_servers(); ++s) {
+    EXPECT_EQ(report.server_availability[s], 1.0);
+    EXPECT_TRUE(report.server_up_at_end[s]);
+    EXPECT_EQ(report.uplink_factor_at_end[s], 1.0);
+    EXPECT_EQ(report.slowdown_at_end[s], 1.0);
+  }
+  EXPECT_EQ(report.total_emitted, report.total_frames);
+  EXPECT_EQ(report.total_dropped, 0u);
+  EXPECT_EQ(report.slo_violations, 0u);
+  EXPECT_EQ(report.unserved_streams, 0u);
+}
+
+TEST(FaultInjection, PermanentCrashDropsEveryFrameOfThatServer) {
+  const eva::Workload w = workload(6, 3);
+  const auto schedule = zj(w, eva::JointConfig(6, {720, 10}));
+  const std::size_t victim = schedule.assignment[0];
+
+  FaultPlan plan;
+  plan.kill_server(victim, 0.0);
+  SimOptions options;
+  options.faults = &plan;
+  const SimReport report = simulate(w, schedule, options);
+
+  EXPECT_FALSE(report.server_up_at_end[victim]);
+  EXPECT_EQ(report.server_availability[victim], 0.0);
+  EXPECT_GT(report.total_dropped, 0u);
+  EXPECT_EQ(report.dropped_by_loss, 0u);
+  EXPECT_GT(report.unserved_streams, 0u);
+  std::size_t victim_streams = 0;
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    const auto& stats = report.per_stream[i];
+    EXPECT_GT(stats.emitted, 0u) << i;
+    if (schedule.assignment[i] == victim) {
+      ++victim_streams;
+      EXPECT_EQ(stats.frames, 0u) << i;
+      EXPECT_EQ(stats.dropped, stats.emitted) << i;
+    } else {
+      EXPECT_EQ(stats.frames, stats.emitted) << i;
+      EXPECT_EQ(stats.dropped, 0u) << i;
+    }
+  }
+  EXPECT_GT(victim_streams, 0u);
+  EXPECT_EQ(report.unserved_streams, victim_streams);
+  // Surviving servers stay contention-free.
+  EXPECT_NEAR(report.max_jitter, 0.0, 1e-9);
+}
+
+TEST(FaultInjection, ZeroFrameStreamStatsStayAtZero) {
+  // Regression: min/max/jitter of a stream with zero served frames must be
+  // exactly 0, not numeric_limits sentinels.
+  const eva::Workload w = workload(4, 2);
+  const auto schedule = zj(w, eva::JointConfig(4, {720, 10}));
+  FaultPlan plan;
+  plan.kill_server(0, 0.0).kill_server(1, 0.0);
+  SimOptions options;
+  options.faults = &plan;
+  const SimReport report = simulate(w, schedule, options);
+  EXPECT_EQ(report.total_frames, 0u);
+  EXPECT_EQ(report.unserved_streams, schedule.streams.size());
+  for (const auto& stats : report.per_stream) {
+    EXPECT_EQ(stats.frames, 0u);
+    EXPECT_EQ(stats.mean_latency, 0.0);
+    EXPECT_EQ(stats.min_latency, 0.0);
+    EXPECT_EQ(stats.max_latency, 0.0);
+    EXPECT_EQ(stats.jitter, 0.0);
+    EXPECT_EQ(stats.queue_delay, 0.0);
+  }
+  EXPECT_EQ(report.mean_latency, 0.0);
+  EXPECT_EQ(report.max_jitter, 0.0);
+  for (double latency : report.latency_per_parent) {
+    EXPECT_EQ(latency, 0.0);
+  }
+}
+
+TEST(FaultInjection, CrashWithRecoveryServesQueuedFramesLate) {
+  const eva::Workload w = workload(5, 3);
+  const auto schedule = zj(w, eva::JointConfig(5, {720, 10}));
+  const std::size_t victim = schedule.assignment[0];
+
+  const SimReport clean = simulate(w, schedule);
+  FaultPlan plan;
+  plan.kill_server(victim, 1.0, 2.0);  // down over [1, 2)
+  SimOptions options;
+  options.faults = &plan;
+  const SimReport report = simulate(w, schedule, options);
+
+  EXPECT_TRUE(report.server_up_at_end[victim]);
+  EXPECT_NEAR(report.server_availability[victim],
+              1.0 - 1.0 / options.horizon_seconds, 1e-12);
+  // Nothing is lost — the queue drains after the recovery...
+  EXPECT_EQ(report.total_dropped, 0u);
+  EXPECT_EQ(report.total_frames, clean.total_frames);
+  EXPECT_EQ(report.unserved_streams, 0u);
+  // ...but frames emitted during the outage finish late: jitter appears and
+  // the victim's worst latency exceeds the fault-free one.
+  EXPECT_GT(report.max_jitter, 0.0);
+  double worst_clean = 0.0;
+  double worst_faulted = 0.0;
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    if (schedule.assignment[i] != victim) continue;
+    worst_clean = std::max(worst_clean, clean.per_stream[i].max_latency);
+    worst_faulted =
+        std::max(worst_faulted, report.per_stream[i].max_latency);
+  }
+  EXPECT_GT(worst_faulted, worst_clean);
+}
+
+TEST(FaultInjection, UplinkCollapseStretchesTransfers) {
+  const eva::Workload w = workload(4, 2);
+  const auto schedule = zj(w, eva::JointConfig(4, {1200, 10}));
+  const std::size_t victim = schedule.assignment[0];
+
+  const SimReport clean = simulate(w, schedule);
+  FaultPlan plan;
+  plan.collapse_uplink(victim, 0.0, 0.25);
+  SimOptions options;
+  options.faults = &plan;
+  const SimReport report = simulate(w, schedule, options);
+
+  EXPECT_EQ(report.uplink_factor_at_end[victim], 0.25);
+  EXPECT_TRUE(report.server_up_at_end[victim]);
+  EXPECT_EQ(report.total_dropped, 0u);
+  EXPECT_GT(report.mean_latency, clean.mean_latency);
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    if (schedule.assignment[i] != victim) continue;
+    EXPECT_GT(report.per_stream[i].mean_latency,
+              clean.per_stream[i].mean_latency)
+        << i;
+  }
+  // A bounded collapse ends on time.
+  FaultPlan bounded;
+  bounded.collapse_uplink(victim, 0.0, 0.25, /*until=*/1.0);
+  options.faults = &bounded;
+  const SimReport rep2 = simulate(w, schedule, options);
+  EXPECT_EQ(rep2.uplink_factor_at_end[victim], 1.0);
+}
+
+TEST(FaultInjection, StragglerStretchesServiceTimes) {
+  const eva::Workload w = workload(4, 2);
+  const auto schedule = zj(w, eva::JointConfig(4, {960, 10}));
+  const std::size_t victim = schedule.assignment[0];
+
+  const SimReport clean = simulate(w, schedule);
+  FaultPlan plan;
+  plan.slow_server(victim, 0.0, 3.0);
+  SimOptions options;
+  options.faults = &plan;
+  const SimReport report = simulate(w, schedule, options);
+
+  EXPECT_EQ(report.slowdown_at_end[victim], 3.0);
+  EXPECT_EQ(report.total_dropped, 0u);
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    const bool on_victim = schedule.assignment[i] == victim;
+    if (on_victim) {
+      EXPECT_GT(report.per_stream[i].mean_latency,
+                clean.per_stream[i].mean_latency)
+          << i;
+    } else {
+      EXPECT_EQ(report.per_stream[i].mean_latency,
+                clean.per_stream[i].mean_latency)
+          << i;
+    }
+  }
+}
+
+TEST(FaultInjection, FrameLossIsDeterministicAndAccounted) {
+  const eva::Workload w = workload(5, 3);
+  const auto schedule = zj(w, eva::JointConfig(5, {720, 10}));
+  FaultPlan plan;
+  plan.drop_frames(0.3, 77);
+  SimOptions options;
+  options.faults = &plan;
+  const SimReport a = simulate(w, schedule, options);
+  const SimReport b = simulate(w, schedule, options);
+  expect_reports_identical(a, b);
+
+  const SimReport clean = simulate(w, schedule);
+  EXPECT_EQ(a.total_emitted, clean.total_frames);
+  EXPECT_GT(a.dropped_by_loss, 0u);
+  EXPECT_EQ(a.dropped_by_loss, a.total_dropped);
+  EXPECT_EQ(a.total_frames + a.total_dropped, a.total_emitted);
+  for (const auto& stats : a.per_stream) {
+    EXPECT_EQ(stats.frames + stats.dropped, stats.emitted);
+  }
+  // A different seed loses a different subset.
+  FaultPlan reseeded;
+  reseeded.drop_frames(0.3, 78);
+  options.faults = &reseeded;
+  const SimReport c = simulate(w, schedule, options);
+  EXPECT_EQ(c.total_emitted, a.total_emitted);
+  bool any_difference = c.total_frames != a.total_frames;
+  for (std::size_t i = 0; !any_difference && i < a.per_stream.size(); ++i) {
+    any_difference = a.per_stream[i].frames != c.per_stream[i].frames;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjection, SloViolationsCountedAgainstDeadline) {
+  const eva::Workload w = workload(4, 2);
+  const auto schedule = zj(w, eva::JointConfig(4, {960, 10}));
+  SimOptions options;
+  // Impossible deadline: every served frame violates.
+  options.slo_latency = 1e-6;
+  const SimReport all_late = simulate(w, schedule, options);
+  EXPECT_EQ(all_late.slo_violations, all_late.total_frames);
+  // Generous deadline: no violations.
+  options.slo_latency = 100.0;
+  const SimReport all_fine = simulate(w, schedule, options);
+  EXPECT_EQ(all_fine.slo_violations, 0u);
+  // Per-parent override: only parent 0 has the impossible deadline.
+  options.slo_latency = 0.0;
+  options.slo_per_parent.assign(w.num_streams(), 100.0);
+  options.slo_per_parent[0] = 1e-6;
+  const SimReport mixed = simulate(w, schedule, options);
+  std::size_t parent0_frames = 0;
+  for (std::size_t i = 0; i < schedule.streams.size(); ++i) {
+    if (schedule.streams[i].parent == 0) {
+      parent0_frames += mixed.per_stream[i].frames;
+    }
+  }
+  EXPECT_EQ(mixed.slo_violations, parent0_frames);
+  EXPECT_GT(mixed.slo_violations, 0u);
+}
+
+TEST(FaultInjection, PlanQueriesAndValidation) {
+  FaultPlan plan;
+  plan.kill_server(1, 2.0, 3.0).collapse_uplink(0, 1.0, 0.5, 2.0);
+  plan.slow_server(2, 0.5, 2.0, /*until=*/3.0);
+  EXPECT_TRUE(plan.server_up(1, 1.9));
+  EXPECT_FALSE(plan.server_up(1, 2.0));
+  EXPECT_TRUE(plan.server_up(1, 3.0));
+  EXPECT_EQ(plan.next_up(1, 2.5), 3.0);
+  EXPECT_EQ(plan.next_up(1, 0.0), 0.0);
+  EXPECT_EQ(plan.next_crash_in(1, 1.0, 4.0), 2.0);
+  EXPECT_EQ(plan.next_crash_in(1, 2.5, 4.0), kNever);
+  EXPECT_EQ(plan.uplink_factor(0, 1.5), 0.5);
+  EXPECT_EQ(plan.uplink_factor(0, 2.5), 1.0);
+  EXPECT_EQ(plan.slowdown(2, 1.0), 2.0);
+  EXPECT_EQ(plan.slowdown(2, 3.0), 1.0);
+  EXPECT_NEAR(plan.availability(1, 4.0), 0.75, 1e-12);
+  EXPECT_EQ(plan.availability(0, 4.0), 1.0);
+
+  FaultPlan bad;
+  EXPECT_THROW(bad.collapse_uplink(0, 0.0, 0.0), Error);
+  EXPECT_THROW(bad.collapse_uplink(0, 0.0, 1.5), Error);
+  EXPECT_THROW(bad.slow_server(0, 0.0, 0.5), Error);
+  EXPECT_THROW(bad.drop_frames(1.5, 1), Error);
+  EXPECT_THROW(bad.kill_server(0, 2.0, 1.0), Error);
+}
+
+TEST(FaultInjection, CrashStraddlingServiceRestartsAfterRecovery) {
+  // One stream, one server: frame proc windows are deterministic, so a
+  // crash cutting a window forces the frame to restart after recovery.
+  const eva::Workload w = workload(1, 1);
+  const auto schedule = zj(w, eva::JointConfig(1, {960, 5}));
+  const auto clean = trace_frames(w, schedule);
+  ASSERT_FALSE(clean.empty());
+  // Crash in the middle of the first frame's service window.
+  const double mid = 0.5 * (clean[0].start + clean[0].finish);
+  FaultPlan plan;
+  plan.kill_server(0, mid, mid + 0.05);
+  SimOptions options;
+  options.faults = &plan;
+  const auto faulted = trace_frames(w, schedule, options);
+  ASSERT_EQ(faulted.size(), clean.size());
+  EXPECT_GE(faulted[0].start, mid + 0.05 - 1e-12);
+  EXPECT_GT(faulted[0].finish, clean[0].finish);
+}
+
+}  // namespace
+}  // namespace pamo::sim
