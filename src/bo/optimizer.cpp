@@ -45,12 +45,26 @@ BoResult maximize(const std::function<double(const std::vector<double>&)>& f,
     return z;
   };
 
+  EpochWatchdog watchdog(options.watchdog);
+  watchdog.arm();
+
   {
     HaltonSequence halton(dim, rng.next_u64());
     for (std::size_t i = 0; i < options.init_samples; ++i) {
-      observe(halton.next());
+      if (!watchdog.enabled()) {
+        observe(halton.next());
+        continue;
+      }
+      if (watchdog.breached()) break;
+      try {
+        observe(halton.next());
+      } catch (const Error& e) {
+        watchdog.record_failure(e.what());
+      }
     }
   }
+  PAMO_CHECK(observed_u.size() >= 2,
+             "BO: fewer than 2 initial evaluations succeeded");
 
   gp::GpRegressor model(options.gp);
   model.fit(observed_u, observed_z);
@@ -58,9 +72,8 @@ BoResult maximize(const std::function<double(const std::vector<double>&)>& f,
   double incumbent = *std::max_element(observed_z.begin(), observed_z.end());
   std::size_t stall = 0;
 
-  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
-    ++result.iterations;
-
+  // One BO iteration; returns false to stop the loop (convergence).
+  auto step = [&](std::size_t iter) {
     // Incumbent-centred candidate pool.
     std::vector<std::vector<double>> incumbents;
     {
@@ -115,14 +128,34 @@ BoResult maximize(const std::function<double(const std::vector<double>&)>& f,
       if (new_incumbent - incumbent < options.convergence_delta) {
         if (++stall >= 2) {
           incumbent = new_incumbent;
-          break;
+          return false;
         }
       } else {
         stall = 0;
       }
     }
     incumbent = new_incumbent;
+    return true;
+  };
+
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    if (watchdog.breached()) break;
+    ++result.iterations;
+    if (!watchdog.enabled()) {
+      if (!step(iter)) break;
+      continue;
+    }
+    // Tolerant mode: one failed iteration (corrupt objective, broken fit)
+    // burns failure budget instead of killing the epoch; the next
+    // iteration retries with the observations gathered so far.
+    try {
+      if (!step(iter)) break;
+    } catch (const Error& e) {
+      watchdog.record_failure(e.what());
+    }
   }
+  result.failures = watchdog.failures();
+  result.watchdog_fired = watchdog.fired();
 
   const auto best_it =
       std::max_element(observed_z.begin(), observed_z.end());

@@ -15,6 +15,7 @@
 
 #include "bo/acquisition.hpp"
 #include "bo/candidates.hpp"
+#include "bo/watchdog.hpp"
 #include "gp/gp_regressor.hpp"
 #include "opt/nelder_mead.hpp"
 
@@ -38,6 +39,11 @@ struct BoOptimizerOptions {
   /// Stop early when the incumbent improves by less than this for two
   /// consecutive iterations (0 disables early stopping).
   double convergence_delta = 0.0;
+  /// Epoch watchdog. When enabled (either budget set), iteration failures
+  /// (pamo::Error, including non-finite objective values) are tolerated
+  /// up to the budget, and on breach the loop stops and returns
+  /// best-so-far. Disabled by default: any failure then propagates.
+  WatchdogOptions watchdog;
   std::uint64_t seed = 1;
 };
 
@@ -48,6 +54,10 @@ struct BoResult {
   std::size_t iterations = 0;
   /// Incumbent best value after each iteration.
   std::vector<double> trace;
+  /// Iteration failures tolerated by the watchdog (0 when disabled).
+  std::size_t failures = 0;
+  /// True when the watchdog stopped the loop early (best-so-far returned).
+  bool watchdog_fired = false;
 };
 
 /// Maximize `f` over `box`. `f` may be noisy; the final best_x/best_value

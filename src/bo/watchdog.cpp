@@ -1,0 +1,43 @@
+#include "bo/watchdog.hpp"
+
+#include <utility>
+
+namespace pamo::bo {
+
+EpochWatchdog::EpochWatchdog(WatchdogOptions options) : options_(options) {}
+
+void EpochWatchdog::arm() {
+  start_ = std::chrono::steady_clock::now();
+  failures_ = 0;
+  armed_ = true;
+  fired_ = false;
+  last_error_.clear();
+}
+
+bool EpochWatchdog::enabled() const {
+  return options_.deadline_seconds > 0.0 || options_.max_failures > 0;
+}
+
+void EpochWatchdog::record_failure(std::string message) {
+  ++failures_;
+  last_error_ = std::move(message);
+}
+
+double EpochWatchdog::elapsed_seconds() const {
+  if (!armed_) return 0.0;
+  const auto dt = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+bool EpochWatchdog::breached() {
+  if (!armed_ || !enabled()) return false;
+  if (fired_) return true;
+  const bool over_deadline = options_.deadline_seconds > 0.0 &&
+                             elapsed_seconds() > options_.deadline_seconds;
+  const bool over_failures =
+      options_.max_failures > 0 && failures_ >= options_.max_failures;
+  fired_ = over_deadline || over_failures;
+  return fired_;
+}
+
+}  // namespace pamo::bo

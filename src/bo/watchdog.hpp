@@ -1,0 +1,58 @@
+// Epoch watchdog for the learning stack.
+//
+// A BO epoch can stall for reasons outside its control: corrupted
+// telemetry makes every objective evaluation fail, a pathological GP fit
+// grinds through Cholesky recoveries, an oracle stops answering. The
+// watchdog bounds the damage with two budgets — a wall-clock deadline and
+// a per-epoch failure budget — and latches the first breach so the owner
+// can stop iterating and return its best-so-far answer instead of dying
+// or spinning. A default-constructed watchdog is disabled and never
+// breaches.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace pamo::bo {
+
+struct WatchdogOptions {
+  /// Wall-clock budget for one epoch of learning; 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// Tolerated per-epoch iteration failures (caught pamo::Error) before
+  /// the watchdog fires; 0 disables the failure budget.
+  std::size_t max_failures = 0;
+};
+
+class EpochWatchdog {
+ public:
+  explicit EpochWatchdog(WatchdogOptions options = {});
+
+  /// (Re)start the clock and clear the failure count and the latch.
+  void arm();
+
+  /// False when both budgets are disabled — breached() is then never true.
+  [[nodiscard]] bool enabled() const;
+
+  /// Record one tolerated iteration failure (keeps the latest message).
+  void record_failure(std::string message);
+
+  /// True once either budget is exhausted; latches until the next arm().
+  [[nodiscard]] bool breached();
+
+  /// Whether the latch has tripped (without re-evaluating the budgets).
+  [[nodiscard]] bool fired() const { return fired_; }
+  [[nodiscard]] std::size_t failures() const { return failures_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  WatchdogOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t failures_ = 0;
+  bool armed_ = false;
+  bool fired_ = false;
+  std::string last_error_;
+};
+
+}  // namespace pamo::bo

@@ -1,5 +1,7 @@
 #include "core/outcome_models.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace pamo::core {
@@ -105,6 +107,20 @@ std::vector<la::Matrix> OutcomeModels::sample_grid_tables(
     tables.push_back(models_[m].sample_joint(grid_inputs_, num_samples, rng));
   }
   return tables;
+}
+
+gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
+  gp::GpFitDiagnostics total;
+  for (const auto& model : models_) {
+    const auto& d = model.diagnostics();
+    total.rows_rejected += d.rows_rejected;
+    total.outliers_downweighted += d.outliers_downweighted;
+    total.cholesky_recoveries += d.cholesky_recoveries;
+    total.fit_jitter = std::max(total.fit_jitter, d.fit_jitter);
+    total.posterior_jitter =
+        std::max(total.posterior_jitter, d.posterior_jitter);
+  }
+  return total;
 }
 
 la::Matrix OutcomeModels::mean_grid_table() const {

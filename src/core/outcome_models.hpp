@@ -64,6 +64,10 @@ class OutcomeModels {
   /// Posterior-mean table over the grid (one row per metric).
   [[nodiscard]] la::Matrix mean_grid_table() const;
 
+  /// Robustness diagnostics aggregated across the five metric GPs
+  /// (counts summed, jitters maxed).
+  [[nodiscard]] gp::GpFitDiagnostics diagnostics() const;
+
  private:
   std::vector<eva::StreamConfig> grid_;
   std::vector<std::vector<double>> grid_inputs_;

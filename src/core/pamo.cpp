@@ -16,14 +16,34 @@ std::vector<double> to_vector(const eva::OutcomeVector& y) {
 
 }  // namespace
 
+PamoOptions PamoScheduler::harden(PamoOptions options) {
+  if (options.telemetry != nullptr && options.telemetry->enabled()) {
+    options.gp.reject_nonfinite = true;
+    options.gp.robust_noise = true;
+    options.pref_learner.model.downweight_inconsistent = true;
+  }
+  return options;
+}
+
 PamoScheduler::PamoScheduler(const eva::Workload& workload,
                              PamoOptions options)
     : workload_(workload),
-      options_(std::move(options)),
+      options_(harden(std::move(options))),
       normalizer_(eva::OutcomeNormalizer::for_workload(workload)),
       models_(workload.space, options_.gp) {
   PAMO_CHECK(workload_.num_streams() > 0, "empty workload");
   PAMO_CHECK(options_.batch_size >= 1, "batch size must be >= 1");
+}
+
+eva::StreamMeasurement PamoScheduler::model_mean_measurement(
+    const eva::StreamConfig& config) const {
+  eva::StreamMeasurement m{};
+  m.accuracy = models_.mean(Metric::kAccuracy, config);
+  m.bandwidth_mbps = models_.mean(Metric::kBandwidth, config);
+  m.compute_tflops = models_.mean(Metric::kCompute, config);
+  m.power_watts = models_.mean(Metric::kPower, config);
+  m.proc_time = models_.mean(Metric::kProcTime, config);
+  return m;
 }
 
 std::optional<std::pair<eva::JointConfig, sched::ScheduleResult>>
@@ -59,15 +79,50 @@ PamoScheduler::Observation PamoScheduler::observe(
   obs.schedule = std::move(schedule);
   obs.unit = workload_.space.joint_to_unit(config);
 
+  eva::TelemetryCorruption* telemetry = options_.telemetry;
+  const bool corrupting = telemetry != nullptr && telemetry->enabled();
+
   const eva::Profiler profiler;
   std::vector<eva::StreamMeasurement> measurements;
   std::vector<double> latencies;
+  std::vector<eva::StreamConfig> feed_configs;
+  std::vector<eva::StreamMeasurement> feed_measurements;
   measurements.reserve(config.size());
   latencies.reserve(config.size());
   for (std::size_t i = 0; i < config.size(); ++i) {
     Rng stream_rng = rng.fork(profiles_taken_ * 1000 + i);
-    measurements.push_back(
-        profiler.measure(workload_.clips[i], config[i], stream_rng));
+    eva::StreamMeasurement meas =
+        profiler.measure(workload_.clips[i], config[i], stream_rng);
+    bool feed = true;
+    if (corrupting) {
+      const std::uint64_t tag = 0xB0000000ULL + profiles_taken_ * 1000 + i;
+      if (!telemetry->corrupt(meas, i, tag)) {
+        // Report lost: stand in the models' current belief so the
+        // aggregate stays defined — but never feed it back (a model
+        // retrained on its own predictions learns nothing).
+        meas = model_mean_measurement(config[i]);
+        ++health_.samples_rejected;
+        feed = false;
+      } else {
+        bool repaired = false;
+        auto fix = [&](double& field, Metric metric) {
+          if (!std::isfinite(field)) {
+            field = models_.mean(metric, config[i]);
+            repaired = true;
+          }
+        };
+        fix(meas.accuracy, Metric::kAccuracy);
+        fix(meas.bandwidth_mbps, Metric::kBandwidth);
+        fix(meas.compute_tflops, Metric::kCompute);
+        fix(meas.power_watts, Metric::kPower);
+        fix(meas.proc_time, Metric::kProcTime);
+        if (repaired) {
+          ++health_.samples_repaired;
+          feed = false;  // a repaired row is belief, not evidence
+        }
+      }
+    }
+    measurements.push_back(meas);
     // Measured e2e latency: noisy processing time + transfer of the
     // measured frame bits over the assigned uplink (Eq. 5); the schedule
     // is zero-jitter so there is no queueing term.
@@ -75,6 +130,10 @@ PamoScheduler::Observation PamoScheduler::observe(
         measurements.back().bandwidth_mbps * 1e6 / config[i].fps;
     const double uplink = obs.schedule.uplink_per_parent[i];
     latencies.push_back(measurements.back().proc_time + bits / (uplink * 1e6));
+    if (feed) {
+      feed_configs.push_back(config[i]);
+      feed_measurements.push_back(meas);
+    }
   }
   ++profiles_taken_;
   obs.raw = eva::aggregate_outcomes(measurements, latencies);
@@ -82,9 +141,9 @@ PamoScheduler::Observation PamoScheduler::observe(
 
   // Feed the outcome models (respecting the training-size cap: past the
   // cap the models are informative enough and refits dominate runtime).
-  if (model_points_ < options_.max_model_points) {
-    models_.update(config, measurements);
-    model_points_ += config.size();
+  if (model_points_ < options_.max_model_points && !feed_configs.empty()) {
+    models_.update(feed_configs, feed_measurements);
+    model_points_ += feed_configs.size();
   }
   return obs;
 }
@@ -128,10 +187,49 @@ double PamoScheduler::utility(const eva::OutcomeVector& normalized,
   return active_learner_->model().utility_mean(to_vector(normalized));
 }
 
+void PamoScheduler::heuristic_fallback(PamoResult& result,
+                                       const pref::PreferenceOracle& oracle,
+                                       Rng& rng) {
+  health_.heuristic_fallback = true;
+  if (!models_.is_fit()) return;  // nothing to score with
+  // One clean "scenario" built from posterior point estimates — no MC
+  // sampling, no acquisition, just Algorithm 1 feasibility plus the
+  // models' best guess of each candidate's utility.
+  const la::Matrix means = models_.mean_grid_table();
+  const std::size_t grid_size = models_.grid().size();
+  std::vector<la::Matrix> tables;
+  tables.reserve(kNumMetrics);
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    la::Matrix t(1, grid_size);
+    for (std::size_t g = 0; g < grid_size; ++g) t(0, g) = means(m, g);
+    tables.push_back(std::move(t));
+  }
+  double best_utility = -1e300;
+  for (std::size_t attempt = 0; attempt < 16; ++attempt) {
+    auto drawn = random_feasible(rng);
+    if (!drawn) continue;
+    const auto& [config, schedule] = *drawn;
+    const eva::OutcomeVector y =
+        outcomes_from_tables(tables, 0, config, schedule);
+    const double u = utility(normalizer_.normalize(y), oracle);
+    if (u > best_utility) {
+      best_utility = u;
+      result.best_config = config;
+      result.best_schedule = schedule;
+      result.feasible = true;
+    }
+  }
+}
+
 PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   Rng rng(options_.seed);
   PamoResult result;
+  health_ = {};
   const std::size_t queries_before = oracle.queries_answered();
+  const bool corrupting =
+      options_.telemetry != nullptr && options_.telemetry->enabled();
+  bo::EpochWatchdog watchdog(options_.watchdog);
+  watchdog.arm();
 
   // ---- Phase 1: outcome-function fitting (Alg. 2 lines 1–4). ----
   {
@@ -143,8 +241,16 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
       const auto& clip = workload_.clips[u % workload_.num_streams()];
       const eva::StreamConfig config = workload_.space.sample(rng);
       Rng sample_rng = rng.fork(0xA000 + u);
+      eva::StreamMeasurement meas = profiler.measure(clip, config, sample_rng);
+      if (corrupting && !options_.telemetry->corrupt(
+                            meas, u % workload_.num_streams(), 0xA000 + u)) {
+        ++health_.samples_rejected;  // report lost before it reached us
+        continue;
+      }
+      // Non-finite fields survive here on purpose: the (hardened) outcome
+      // GPs reject those rows per metric and count them.
       configs.push_back(config);
-      measurements.push_back(profiler.measure(clip, config, sample_rng));
+      measurements.push_back(meas);
     }
     models_.fit(configs, measurements);
     model_points_ = configs.size();
@@ -193,23 +299,51 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
     active_learner_ = &*learner_;
   }
 
+  // Health bookkeeping shared by every exit path.
+  auto finalize_health = [&]() {
+    const gp::GpFitDiagnostics d = models_.diagnostics();
+    health_.samples_rejected += d.rows_rejected;
+    health_.outliers_downweighted = d.outliers_downweighted;
+    health_.cholesky_recoveries = d.cholesky_recoveries;
+    health_.max_jitter_applied = std::max(d.fit_jitter, d.posterior_jitter);
+    health_.iteration_failures = watchdog.failures();
+    if (watchdog.fired()) health_.watchdog_fires = 1;
+    if (!options_.use_true_preference && active_learner_ != nullptr) {
+      health_.inconsistent_pairs =
+          active_learner_->model().num_inconsistent_pairs();
+    }
+    result.health = health_;
+  };
+
   // ---- Phase 3: best-configuration solving (lines 12–26). ----
   std::vector<Observation> observed;
   for (std::size_t i = 0; i < options_.init_observations; ++i) {
+    if (watchdog.breached()) break;
     auto drawn = random_feasible(rng);
     if (!drawn) break;
-    observed.push_back(observe(drawn->first, std::move(drawn->second), rng));
+    if (!watchdog.enabled()) {
+      observed.push_back(observe(drawn->first, std::move(drawn->second), rng));
+      continue;
+    }
+    try {
+      observed.push_back(observe(drawn->first, std::move(drawn->second), rng));
+    } catch (const Error& e) {
+      watchdog.record_failure(e.what());
+    }
   }
   if (observed.empty()) {
     result.feasible = false;
+    heuristic_fallback(result, oracle, rng);
+    result.oracle_queries = oracle.queries_answered() - queries_before;
+    result.profiles_taken = profiles_taken_;
+    finalize_health();
     return result;
   }
 
   const std::size_t dim = 2 * workload_.num_streams();
   double z_prev = -1e300;
-  for (std::size_t iter = 0; iter < options_.max_iters; ++iter) {
-    ++result.iterations;
-
+  // One BO iteration; returns false to stop the loop.
+  auto step = [&](std::size_t iter) {
     // Incumbents: the best few observed configurations by current utility.
     std::vector<std::size_t> obs_order(observed.size());
     for (std::size_t i = 0; i < obs_order.size(); ++i) obs_order[i] = i;
@@ -238,7 +372,7 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
       pool_configs.push_back(std::move(config));
       pool_schedules.push_back(std::move(schedule));
     }
-    if (pool_configs.empty()) break;
+    if (pool_configs.empty()) return false;
 
     // Joint MC scenarios over the knob grid.
     const std::size_t num_samples = options_.mc_samples;
@@ -291,9 +425,27 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
 
     result.benefit_trace.push_back(z_best_batch);
     if (std::fabs(z_best_batch - z_prev) < options_.delta && iter > 0) {
-      break;  // line 21: |z − z_p| < δ
+      return false;  // line 21: |z − z_p| < δ
     }
     z_prev = z_best_batch;
+    return true;
+  };
+
+  for (std::size_t iter = 0; iter < options_.max_iters; ++iter) {
+    if (watchdog.breached()) break;
+    ++result.iterations;
+    if (!watchdog.enabled()) {
+      if (!step(iter)) break;
+      continue;
+    }
+    // Tolerant mode: a failed iteration (corrupt profile that defeats
+    // repair, broken model refit) burns failure budget instead of killing
+    // the epoch; the next iteration retries with what was gathered so far.
+    try {
+      if (!step(iter)) break;
+    } catch (const Error& e) {
+      watchdog.record_failure(e.what());
+    }
   }
 
   // Final recommendation: the observed configuration with the highest
@@ -312,6 +464,7 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   result.best_schedule = observed[best].schedule;
   result.oracle_queries = oracle.queries_answered() - queries_before;
   result.profiles_taken = profiles_taken_;
+  finalize_health();
   return result;
 }
 

@@ -22,14 +22,42 @@
 
 #include "bo/acquisition.hpp"
 #include "bo/candidates.hpp"
+#include "bo/watchdog.hpp"
 #include "core/outcome_models.hpp"
 #include "eva/outcomes.hpp"
+#include "eva/telemetry.hpp"
 #include "eva/workload.hpp"
 #include "pref/learner.hpp"
 #include "pref/oracle.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pamo::core {
+
+/// Robustness counters of one learning epoch (PamoScheduler::run). All
+/// fields stay zero on a clean, untampered run with the watchdog off.
+struct LearningHealth {
+  /// Telemetry reports dropped outright plus GP training rows rejected as
+  /// non-finite (per metric: a NaN in one field rejects one metric's row).
+  std::size_t samples_rejected = 0;
+  /// Phase-3 measurements whose non-finite fields were replaced by the
+  /// outcome models' posterior means (used for utility, not fed back).
+  std::size_t samples_repaired = 0;
+  /// Training points whose noise the robust GP fit inflated.
+  std::size_t outliers_downweighted = 0;
+  /// Cholesky failures recovered by widening the jitter cap.
+  std::size_t cholesky_recoveries = 0;
+  /// Largest diagonal jitter any GP factorization needed.
+  double max_jitter_applied = 0.0;
+  /// BO iterations that failed and were absorbed by the watchdog budget.
+  std::size_t iteration_failures = 0;
+  /// 1 when the epoch watchdog stopped the BO loop early.
+  std::size_t watchdog_fires = 0;
+  /// Oracle comparisons flagged as contradictory and down-weighted.
+  std::size_t inconsistent_pairs = 0;
+  /// True when the BO loop produced no observation and the recommendation
+  /// fell back to the zero-jitter heuristic on model point estimates.
+  bool heuristic_fallback = false;
+};
 
 struct PamoOptions {
   // Phase 1 (outcome models).
@@ -67,6 +95,20 @@ struct PamoOptions {
   bo::AcquisitionOptions acquisition;
   bo::PoolOptions pool;
 
+  /// Optional telemetry corruption injected into every profiler
+  /// measurement (externally owned; survives across epochs so stuck-at
+  /// memory and counters are continuous). When the model is enabled, the
+  /// scheduler hardens itself automatically: the outcome GPs reject
+  /// non-finite rows and down-weight outliers, and the preference model
+  /// down-weights contradictory comparisons. Null or disabled leaves
+  /// every code path bit-for-bit identical to the unhardened scheduler.
+  eva::TelemetryCorruption* telemetry = nullptr;
+
+  /// Epoch watchdog over the whole run (profiling + BO loop). Disabled by
+  /// default; when enabled, failed BO iterations burn budget instead of
+  /// throwing, and a breach returns best-so-far.
+  bo::WatchdogOptions watchdog;
+
   std::uint64_t seed = 42;
 };
 
@@ -79,6 +121,8 @@ struct PamoResult {
   std::size_t profiles_taken = 0;
   /// Model-estimated benefit of the incumbent after each BO iteration.
   std::vector<double> benefit_trace;
+  /// Robustness counters of this epoch (all-zero on a clean run).
+  LearningHealth health;
 };
 
 class PamoScheduler {
@@ -123,6 +167,23 @@ class PamoScheduler {
   double utility(const eva::OutcomeVector& normalized,
                  const pref::PreferenceOracle& oracle) const;
 
+  /// Auto-enable the robust GP / preference options when a telemetry
+  /// corruption model is attached and enabled (no-op otherwise, keeping
+  /// the clean path bit-for-bit unchanged).
+  static PamoOptions harden(PamoOptions options);
+
+  /// A synthetic measurement from the outcome models' posterior means
+  /// (the stand-in for a lost or unrepairable telemetry report).
+  [[nodiscard]] eva::StreamMeasurement model_mean_measurement(
+      const eva::StreamConfig& config) const;
+
+  /// Degraded-mode recommendation when the BO loop produced no feasible
+  /// observation: score random feasible candidates on the models' clean
+  /// point estimates (zero-jitter schedules, no MC sampling) and return
+  /// the best. Fills `result` and sets health.heuristic_fallback.
+  void heuristic_fallback(PamoResult& result,
+                          const pref::PreferenceOracle& oracle, Rng& rng);
+
   const eva::Workload& workload_;
   PamoOptions options_;
   eva::OutcomeNormalizer normalizer_;
@@ -131,6 +192,7 @@ class PamoScheduler {
   pref::PreferenceLearner* active_learner_ = nullptr;
   std::size_t model_points_ = 0;
   std::size_t profiles_taken_ = 0;
+  LearningHealth health_;
 };
 
 }  // namespace pamo::core

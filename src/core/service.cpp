@@ -28,6 +28,13 @@ void SchedulingService::set_fault_plan(sim::FaultPlan plan) {
 
 void SchedulingService::clear_fault_plan() { fault_plan_.reset(); }
 
+void SchedulingService::set_telemetry_corruption(
+    eva::TelemetryCorruptionOptions options) {
+  telemetry_.emplace(options);
+}
+
+void SchedulingService::clear_telemetry_corruption() { telemetry_.reset(); }
+
 void SchedulingService::ensure_learner(pref::PreferenceOracle& oracle) {
   if (learner_.has_value()) return;
   // Anchor the persistent preference model on normalized outcomes of
@@ -87,6 +94,7 @@ void SchedulingService::attempt_repair(EpochReport& report) {
   std::vector<double> factors(num_servers, 1.0);
   double headroom = 1.0;
   bool any_dead = false;
+  bool any_usable = false;
   bool degraded_net = false;
   for (std::size_t s = 0; s < num_servers; ++s) {
     if (!sim0.server_up_at_end[s] ||
@@ -95,9 +103,15 @@ void SchedulingService::attempt_repair(EpochReport& report) {
       any_dead = true;
       continue;
     }
+    any_usable = true;
     factors[s] = std::clamp(sim0.uplink_factor_at_end[s], 1e-6, 1.0);
     if (factors[s] < 1.0) degraded_net = true;
     headroom = std::max(headroom, sim0.slowdown_at_end[s]);
+  }
+  if (!any_usable) {
+    // Every server is dead or excluded: nothing to re-pack onto. Leave the
+    // epoch unrepaired (report.repaired stays false) so callers escalate.
+    return;
   }
   bool orphaned = false;
   if (any_dead) {
@@ -231,16 +245,29 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   report.epoch = epoch_;
   const std::size_t queries_before = oracle.queries_answered();
 
-  PamoOptions options = epoch_ == 0 ? options_.initial : options_.steady;
-  if (!options.use_true_preference) {
-    ensure_learner(oracle);
-    options.shared_learner = &*learner_;
-  }
-  // Decorrelate epochs while keeping the service deterministic.
-  options.seed = options_.seed + 7919 * (epoch_ + 1);
+  // The optimization may die wholesale under corrupted telemetry (too few
+  // finite profiles to fit any model at all). Absorb the error: the epoch
+  // is then infeasible and flows into the last-known-good fallback below
+  // — the service invariant is that no pamo::Error escapes run_epoch.
+  PamoResult result;
+  try {
+    PamoOptions options = epoch_ == 0 ? options_.initial : options_.steady;
+    if (!options.use_true_preference) {
+      ensure_learner(oracle);
+      options.shared_learner = &*learner_;
+    }
+    // Decorrelate epochs while keeping the service deterministic.
+    options.seed = options_.seed + 7919 * (epoch_ + 1);
+    if (telemetry_.has_value()) options.telemetry = &*telemetry_;
 
-  PamoScheduler scheduler(workload_, options);
-  const PamoResult result = scheduler.run(oracle);
+    PamoScheduler scheduler(workload_, options);
+    result = scheduler.run(oracle);
+  } catch (const Error& e) {
+    result.feasible = false;
+    report.health.optimizer_error = true;
+    report.health.error_message = e.what();
+  }
+  report.health.learning = result.health;
   ++epoch_;
   report.oracle_queries = oracle.queries_answered() - queries_before;
 
@@ -279,6 +306,7 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
            "carried forward verbatim"});
     }
   }
+  report.health.fallback_taken = report.fallback;
   if (!report.feasible) return report;
 
   sim::SimOptions sim_options = options_.sim;
@@ -288,7 +316,16 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   }
   report.sim = sim::simulate(workload_, report.schedule, sim_options);
 
-  if (options_.resilience.enabled) attempt_repair(report);
+  if (options_.resilience.enabled) {
+    try {
+      attempt_repair(report);
+    } catch (const Error& e) {
+      // A failed repair must not take the epoch down with it: keep the
+      // (faulted) measured report and record what broke.
+      report.health.repair_error = true;
+      report.health.error_message = e.what();
+    }
+  }
   return report;
 }
 

@@ -27,10 +27,29 @@
 #include <vector>
 
 #include "core/pamo.hpp"
+#include "eva/telemetry.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace pamo::core {
+
+/// Structured health record of one service epoch. Invariant: run_epoch
+/// never lets a pamo::Error from the math stack escape — a failed
+/// optimization or repair is recorded here and the epoch degrades (last
+/// known good, unrepaired report) instead of throwing.
+struct EpochHealth {
+  /// Learning-stack counters (sanitized samples, robust-fit activity,
+  /// watchdog state) of this epoch's PamoScheduler run.
+  LearningHealth learning;
+  /// The epoch's optimization threw and was absorbed (see error_message).
+  bool optimizer_error = false;
+  /// The resilience repair threw and was absorbed (see error_message).
+  bool repair_error = false;
+  /// Message of the last absorbed error, empty when none.
+  std::string error_message;
+  /// True when the last-known-good fallback produced this epoch's decision.
+  bool fallback_taken = false;
+};
 
 /// Graceful-degradation policy of the service's resilience loop.
 struct ResilienceOptions {
@@ -96,6 +115,17 @@ class SchedulingService {
   void set_fault_plan(sim::FaultPlan plan);
   void clear_fault_plan();
 
+  /// Install a telemetry-corruption model applied to every profiler
+  /// measurement from the next epoch on (the learning-side analogue of
+  /// set_fault_plan). The model persists across epochs, so its stuck-at
+  /// memory and counters are continuous; a disabled model (all rates 0)
+  /// leaves every epoch bit-for-bit identical to a clean service.
+  void set_telemetry_corruption(eva::TelemetryCorruptionOptions options);
+  void clear_telemetry_corruption();
+  [[nodiscard]] const eva::TelemetryCorruption* telemetry_corruption() const {
+    return telemetry_ ? &*telemetry_ : nullptr;
+  }
+
   struct EpochReport {
     std::size_t epoch = 0;
     bool feasible = false;
@@ -114,6 +144,8 @@ class SchedulingService {
     /// (dead servers stay dead, collapse/slowdown/loss persist).
     sim::SimReport post_repair_sim;
     std::vector<RepairAction> repairs;  // what degraded, and why
+    /// Robustness record: what the learning stack absorbed this epoch.
+    EpochHealth health;
   };
 
   /// Run one scheduling epoch against the decision-maker.
@@ -143,6 +175,7 @@ class SchedulingService {
   ServiceOptions options_;
   std::optional<pref::PreferenceLearner> learner_;
   std::optional<sim::FaultPlan> fault_plan_;
+  std::optional<eva::TelemetryCorruption> telemetry_;
   std::optional<LastGood> last_good_;
   std::size_t epoch_ = 0;
 };

@@ -28,10 +28,45 @@ std::vector<double> GpRegressor::scale_input(
   return scaled;
 }
 
+void GpRegressor::sanitize(std::vector<std::vector<double>>& x,
+                           std::vector<double>& y) {
+  auto row_finite = [](const std::vector<double>& row, double yi) {
+    if (!std::isfinite(yi)) return false;
+    for (const double v : row) {
+      if (!std::isfinite(v)) return false;
+    }
+    return true;
+  };
+  if (!options_.reject_nonfinite) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      PAMO_CHECK(row_finite(x[i], y[i]),
+                 "non-finite observation (NaN/Inf) in GP training data; set "
+                 "GpOptions::reject_nonfinite to drop such rows");
+    }
+    return;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (row_finite(x[i], y[i])) {
+      if (kept != i) {
+        x[kept] = std::move(x[i]);
+        y[kept] = y[i];
+      }
+      ++kept;
+    } else {
+      ++diagnostics_.rows_rejected;
+    }
+  }
+  x.resize(kept);
+  y.resize(kept);
+}
+
 void GpRegressor::fit(std::vector<std::vector<double>> x,
                       std::vector<double> y) {
   PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
-  PAMO_CHECK(x.size() >= 2, "GP fit requires at least 2 points");
+  diagnostics_ = {};
+  sanitize(x, y);
+  PAMO_CHECK(x.size() >= 2, "GP fit requires at least 2 finite points");
   dim_ = x.front().size();
   PAMO_CHECK(dim_ >= 1, "GP inputs must have dimension >= 1");
   for (const auto& row : x) {
@@ -46,11 +81,14 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
                          const std::vector<double>& y, bool reoptimize) {
   PAMO_CHECK(is_fit(), "update before fit");
   PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
-  for (const auto& row : x) {
+  std::vector<std::vector<double>> xs = x;
+  std::vector<double> ys = y;
+  for (const auto& row : xs) {
     PAMO_CHECK(row.size() == dim_, "input dimension mismatch");
-    x_raw_.push_back(row);
   }
-  y_raw_.insert(y_raw_.end(), y.begin(), y.end());
+  sanitize(xs, ys);
+  for (auto& row : xs) x_raw_.push_back(std::move(row));
+  y_raw_.insert(y_raw_.end(), ys.begin(), ys.end());
   rebuild(reoptimize && !options_.fixed_params.has_value());
 }
 
@@ -130,10 +168,59 @@ void GpRegressor::rebuild(bool optimize_hyperparams) {
     params_ = KernelParams::unpack(best.x, dim_);
   }
 
+  noise_scale_.assign(n, 1.0);
+  solve_system();
+  if (options_.robust_noise) {
+    for (std::size_t round = 0; round < options_.robust_rounds; ++round) {
+      if (!reweight_outliers()) break;
+    }
+  }
+}
+
+void GpRegressor::solve_system() {
   la::Matrix k = kernel_matrix(options_.kernel, params_, x_);
-  k.add_diagonal(std::exp(params_.log_noise_var));
-  chol_.emplace(k);
+  const double noise = std::exp(params_.log_noise_var);
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    k(i, i) += noise * noise_scale_[i];
+  }
+  // Degrade to a wider jitter cap instead of throwing: a near-singular
+  // training covariance (duplicated inputs, heavily inflated outlier rows)
+  // yields a smoother posterior rather than a dead learner.
+  constexpr double kJitterLadder[] = {1e-4, 1e-2, 1.0};
+  constexpr std::size_t kAttempts = 3;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      chol_.emplace(k, kJitterLadder[attempt]);
+      break;
+    } catch (const Error&) {
+      if (attempt + 1 >= kAttempts) throw;
+      ++diagnostics_.cholesky_recoveries;
+    }
+  }
+  diagnostics_.fit_jitter = std::max(diagnostics_.fit_jitter, chol_->jitter());
   alpha_ = chol_->solve(y_);
+}
+
+bool GpRegressor::reweight_outliers() {
+  const double noise = std::exp(params_.log_noise_var);
+  bool changed = false;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    const double var_i = noise * noise_scale_[i];
+    // At the training points the posterior mean is y − Σnoise·α, so the
+    // residual is var_i·α_i and its standardized form is √var_i·α_i.
+    const double z = std::sqrt(var_i) * alpha_[i];
+    if (std::fabs(z) <= options_.robust_threshold) continue;
+    const double ratio = std::fabs(z) / options_.robust_threshold;
+    const double target = std::min(options_.robust_inflation_cap,
+                                   noise_scale_[i] * ratio * ratio);
+    if (target > noise_scale_[i]) {
+      if (noise_scale_[i] == 1.0) ++diagnostics_.outliers_downweighted;
+      noise_scale_[i] = target;
+      changed = true;
+    }
+  }
+  if (changed) solve_system();
+  return changed;
 }
 
 double GpRegressor::lml_on(const std::vector<std::vector<double>>& xs,
@@ -232,7 +319,9 @@ la::Matrix GpRegressor::sample_joint(const std::vector<std::vector<double>>& x,
   const std::size_t m = x.size();
   la::Matrix cov = post.covariance;
   // Small jitter for numerical PSD-ness of the posterior covariance.
-  const la::Cholesky chol(cov, /*max_jitter=*/1e-2);
+  const la::Cholesky chol(cov, options_.posterior_max_jitter);
+  diagnostics_.posterior_jitter =
+      std::max(diagnostics_.posterior_jitter, chol.jitter());
   la::Matrix samples(num_samples, m);
   la::Vector z(m);
   for (std::size_t s = 0; s < num_samples; ++s) {

@@ -31,7 +31,42 @@ struct GpOptions {
   /// likelihood is O(n³) per evaluation, so this caps fit cost on large
   /// training sets. 0 disables subsampling.
   std::size_t mle_subsample = 220;
+  /// When true, non-finite (NaN/Inf) training rows are dropped and counted
+  /// in diagnostics() instead of failing the fit — at least 2 finite rows
+  /// must remain. When false, fit()/update() reject non-finite data with a
+  /// clear precondition error.
+  bool reject_nonfinite = false;
+  /// Outlier-robust fitting: after the standard solve, training points
+  /// whose standardized residual exceeds `robust_threshold` get their
+  /// observation-noise variance inflated proportionally and the linear
+  /// algebra is re-solved (iteratively reweighted noise). A heavy-tailed
+  /// outlier is then explained as noise instead of bending the posterior
+  /// mean. No-op (bit-for-bit) when no residual crosses the threshold.
+  bool robust_noise = false;
+  std::size_t robust_rounds = 3;
+  double robust_threshold = 3.0;
+  /// Cap on the per-point noise-variance inflation factor.
+  double robust_inflation_cap = 1e4;
+  /// PSD-repair jitter cap for posterior covariance sampling
+  /// (sample_joint); the jitter actually applied is recorded in
+  /// diagnostics().posterior_jitter.
+  double posterior_max_jitter = 1e-2;
   std::uint64_t seed = 0xC0FFEE;
+};
+
+/// Robustness bookkeeping of the most recent fit (reset by fit(),
+/// accumulated across update() calls).
+struct GpFitDiagnostics {
+  /// Non-finite training rows dropped by sanitization.
+  std::size_t rows_rejected = 0;
+  /// Training points whose noise variance the robust fit inflated.
+  std::size_t outliers_downweighted = 0;
+  /// Cholesky failures recovered by re-factorizing with a wider jitter cap.
+  std::size_t cholesky_recoveries = 0;
+  /// Largest diagonal jitter added to the training-covariance factorization.
+  double fit_jitter = 0.0;
+  /// Largest jitter used to repair a sampled posterior covariance.
+  double posterior_jitter = 0.0;
 };
 
 struct Posterior {
@@ -57,6 +92,12 @@ class GpRegressor {
   [[nodiscard]] std::size_t dim() const { return dim_; }
   [[nodiscard]] const KernelParams& params() const { return params_; }
 
+  /// Robustness bookkeeping since the last fit(). posterior_jitter is
+  /// additionally updated by sample_joint (hence mutable state).
+  [[nodiscard]] const GpFitDiagnostics& diagnostics() const {
+    return diagnostics_;
+  }
+
   /// Posterior mean at one point (original target scale).
   [[nodiscard]] double predict_mean(const std::vector<double>& x) const;
 
@@ -80,6 +121,16 @@ class GpRegressor {
 
  private:
   void rebuild(bool optimize_hyperparams);
+  /// Factorize K(x_, x_) + σ²·diag(noise_scale_) and solve for alpha_,
+  /// recovering from Cholesky failures by widening the jitter cap.
+  void solve_system();
+  /// One pass of iteratively reweighted noise: inflate noise_scale_ for
+  /// points with large standardized residuals, then re-solve. Returns
+  /// false (leaving the solve untouched, bit-for-bit) when no residual
+  /// crosses the threshold.
+  bool reweight_outliers();
+  /// Drop non-finite rows (reject_nonfinite) or reject them loudly.
+  void sanitize(std::vector<std::vector<double>>& x, std::vector<double>& y);
   [[nodiscard]] double lml_on(const std::vector<std::vector<double>>& xs,
                               const std::vector<double>& ys,
                               const KernelParams& params) const;
@@ -103,6 +154,11 @@ class GpRegressor {
   KernelParams params_;
   std::optional<la::Cholesky> chol_;
   la::Vector alpha_;  // (K + σ²I)⁻¹ y
+
+  // Per-point noise-variance inflation factors (≥ 1; 1 when the robust
+  // fit is off or the point is an inlier).
+  std::vector<double> noise_scale_;
+  mutable GpFitDiagnostics diagnostics_;
 };
 
 }  // namespace pamo::gp

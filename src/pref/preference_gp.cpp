@@ -1,6 +1,7 @@
 #include "pref/preference_gp.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/normal.hpp"
@@ -58,9 +59,34 @@ void PreferenceGp::update(const std::vector<std::vector<double>>& points,
   laplace();
 }
 
-void PreferenceGp::laplace() {
+void PreferenceGp::compute_pair_weights() {
   const std::size_t n = points_.size();
   const double inv_noise = 1.0 / (kSqrt2 * options_.lambda);
+  pair_inv_noise_.assign(pairs_.size(), inv_noise);
+  num_inconsistent_ = 0;
+  if (!options_.downweight_inconsistent || pairs_.empty()) return;
+
+  // Directed comparison graph: edge w→l for every asserted w ≻ l.
+  std::vector<std::uint8_t> edge(n * n, 0);
+  for (const auto& [winner, loser] : pairs_) edge[winner * n + loser] = 1;
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const auto [winner, loser] = pairs_[p];
+    // Direct contradiction (l ≻ w also asserted) or an intransitive
+    // triple l ≻ c ≻ w that implies the opposite ordering.
+    bool inconsistent = edge[loser * n + winner] != 0;
+    for (std::size_t c = 0; !inconsistent && c < n; ++c) {
+      inconsistent = edge[loser * n + c] != 0 && edge[c * n + winner] != 0;
+    }
+    if (inconsistent) {
+      pair_inv_noise_[p] = inv_noise / options_.inconsistency_penalty;
+      ++num_inconsistent_;
+    }
+  }
+}
+
+void PreferenceGp::laplace() {
+  const std::size_t n = points_.size();
+  compute_pair_weights();
 
   la::Matrix k = gp::kernel_matrix(options_.kernel, params_, points_);
   k.add_diagonal(kKernelJitter);
@@ -69,8 +95,9 @@ void PreferenceGp::laplace() {
   // Negative log posterior (up to constants): ψ(g) = -Σ logΦ(z_v) + ½gᵀK⁻¹g.
   auto psi = [&](const la::Vector& g) {
     double nll = 0.0;
-    for (const auto& [winner, loser] : pairs_) {
-      const double z = (g[winner] - g[loser]) * inv_noise;
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      const auto [winner, loser] = pairs_[p];
+      const double z = (g[winner] - g[loser]) * pair_inv_noise_[p];
       nll -= log_normal_cdf(z);
     }
     const la::Vector kinv_g = k_chol_->solve(g);
@@ -82,7 +109,9 @@ void PreferenceGp::laplace() {
     // Gradient of the log likelihood (b) and its negative Hessian (W).
     la::Vector b(n, 0.0);
     w_ = la::Matrix(n, n, 0.0);
-    for (const auto& [winner, loser] : pairs_) {
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      const auto [winner, loser] = pairs_[p];
+      const double inv_noise = pair_inv_noise_[p];
       const double z = (g_map_[winner] - g_map_[loser]) * inv_noise;
       const double h = normal_hazard(z);
       const double grad = h * inv_noise;
@@ -131,7 +160,9 @@ void PreferenceGp::laplace() {
 
   // Final Hessian at the MAP (for the predictive covariance).
   w_ = la::Matrix(n, n, 0.0);
-  for (const auto& [winner, loser] : pairs_) {
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const auto [winner, loser] = pairs_[p];
+    const double inv_noise = pair_inv_noise_[p];
     const double z = (g_map_[winner] - g_map_[loser]) * inv_noise;
     const double h = normal_hazard(z);
     const double kappa = h * (z + h) * inv_noise * inv_noise;

@@ -35,6 +35,14 @@ struct PreferenceGpOptions {
   double lambda = 0.10;
   std::size_t max_newton_iters = 60;
   double newton_tol = 1e-9;
+  /// Tolerate inconsistent oracle answers: a comparison contradicted by
+  /// another pair (directly, or through an intransitive chain w ≻ l while
+  /// l ≻ c ≻ w) gets its effective λ inflated by `inconsistency_penalty`
+  /// instead of corrupting the MAP fit at full weight. Off by default —
+  /// every pair then carries identical weight (bit-for-bit unchanged).
+  bool downweight_inconsistent = false;
+  /// λ multiplier for flagged pairs (>1 softens their likelihood).
+  double inconsistency_penalty = 4.0;
 };
 
 class PreferenceGp {
@@ -54,6 +62,11 @@ class PreferenceGp {
   [[nodiscard]] bool is_fit() const { return !points_.empty(); }
   [[nodiscard]] std::size_t num_points() const { return points_.size(); }
   [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
+  /// Comparisons flagged as contradictory in the latest fit (0 unless
+  /// downweight_inconsistent is on).
+  [[nodiscard]] std::size_t num_inconsistent_pairs() const {
+    return num_inconsistent_;
+  }
 
   /// Posterior mean/covariance of the latent utility at `y`.
   [[nodiscard]] gp::Posterior posterior(
@@ -72,12 +85,17 @@ class PreferenceGp {
 
  private:
   void laplace();
+  /// Per-pair probit precision 1/(√2·λ_p); flags contradicted pairs and
+  /// softens their λ when downweight_inconsistent is on.
+  void compute_pair_weights();
 
   PreferenceGpOptions options_;
   gp::KernelParams params_;
 
   std::vector<std::vector<double>> points_;
   std::vector<ComparisonPair> pairs_;
+  std::vector<double> pair_inv_noise_;
+  std::size_t num_inconsistent_ = 0;
 
   la::Vector g_map_;          // MAP latent utilities
   la::Matrix w_;              // negative log-likelihood Hessian at the MAP

@@ -239,6 +239,16 @@ ScheduleResult reschedule_pinned(const eva::Workload& workload,
                                  const std::vector<bool>& server_usable,
                                  double proc_headroom) {
   PAMO_CHECK(proc_headroom >= 1.0, "processing headroom must be >= 1");
+  PAMO_CHECK(server_usable.size() == workload.num_servers(),
+             "usable-server mask size mismatch");
+  if (std::none_of(server_usable.begin(), server_usable.end(),
+                   [](bool u) { return u; })) {
+    // Repair entry point: zero survivors is an environment state, not a
+    // caller bug — report infeasible so the resilience loop can escalate.
+    ScheduleResult result;
+    result.feasible = false;
+    return result;
+  }
   const std::vector<std::size_t> servers =
       usable_list(workload, server_usable);
   const std::size_t num_servers = workload.num_servers();

@@ -56,7 +56,9 @@ ScheduleResult schedule_zero_jitter_masked(
 /// so repair cost is O(M·N) instead of a full re-optimization.
 /// `previous` must be a schedule of the same (workload, config) split.
 /// Returns feasible = false when the orphans cannot be absorbed (callers
-/// then fall back to schedule_zero_jitter_masked or degrade knobs).
+/// then fall back to schedule_zero_jitter_masked or degrade knobs) — and
+/// also when *no* server survives, since at this repair entry point an
+/// empty fleet is an environment state rather than a caller bug.
 ScheduleResult reschedule_pinned(const eva::Workload& workload,
                                  const eva::JointConfig& config,
                                  const ScheduleResult& previous,

@@ -1,0 +1,156 @@
+#include "eva/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+namespace {
+
+StreamMeasurement reading(double base = 1.0) {
+  StreamMeasurement m;
+  m.accuracy = 0.8 * base;
+  m.bandwidth_mbps = 4.0 * base;
+  m.compute_tflops = 0.3 * base;
+  m.power_watts = 25.0 * base;
+  m.proc_time = 0.02 * base;
+  return m;
+}
+
+bool identical(const StreamMeasurement& a, const StreamMeasurement& b) {
+  return a.accuracy == b.accuracy && a.bandwidth_mbps == b.bandwidth_mbps &&
+         a.compute_tflops == b.compute_tflops &&
+         a.power_watts == b.power_watts && a.proc_time == b.proc_time;
+}
+
+TEST(Telemetry, DisabledModelLeavesMeasurementsUntouched) {
+  TelemetryCorruption model;  // all rates zero
+  EXPECT_FALSE(model.enabled());
+  StreamMeasurement m = reading();
+  const StreamMeasurement before = m;
+  for (std::uint64_t tag = 0; tag < 50; ++tag) {
+    EXPECT_TRUE(model.corrupt(m, tag % 3, tag));
+    EXPECT_TRUE(identical(m, before));
+  }
+  EXPECT_EQ(model.counters().total_measurements, 50u);
+  EXPECT_EQ(model.counters().corrupted_fields(), 0u);
+  EXPECT_EQ(model.counters().dropped_measurements, 0u);
+}
+
+TEST(Telemetry, RejectsInvalidOptions) {
+  TelemetryCorruptionOptions bad;
+  bad.nan_rate = 1.5;
+  EXPECT_THROW(TelemetryCorruption{bad}, Error);
+  bad = {};
+  bad.drop_rate = -0.1;
+  EXPECT_THROW(TelemetryCorruption{bad}, Error);
+  bad = {};
+  bad.outlier_scale = -1.0;
+  EXPECT_THROW(TelemetryCorruption{bad}, Error);
+}
+
+TEST(Telemetry, IsDeterministicInSeedStreamAndTag) {
+  TelemetryCorruptionOptions options;
+  options.nan_rate = 0.1;
+  options.outlier_rate = 0.2;
+  options.drop_rate = 0.1;
+  TelemetryCorruption a(options);
+  TelemetryCorruption b(options);
+  for (std::uint64_t tag = 0; tag < 200; ++tag) {
+    StreamMeasurement ma = reading();
+    StreamMeasurement mb = reading();
+    const bool ka = a.corrupt(ma, tag % 4, tag);
+    const bool kb = b.corrupt(mb, tag % 4, tag);
+    EXPECT_EQ(ka, kb);
+    if (ka) {
+      // NaN != NaN, so compare through bit-level equivalence per field.
+      EXPECT_TRUE((std::isnan(ma.accuracy) && std::isnan(mb.accuracy)) ||
+                  ma.accuracy == mb.accuracy);
+      EXPECT_TRUE((std::isnan(ma.proc_time) && std::isnan(mb.proc_time)) ||
+                  ma.proc_time == mb.proc_time);
+    }
+  }
+}
+
+TEST(Telemetry, CertainNanRateHitsEveryField) {
+  TelemetryCorruptionOptions options;
+  options.nan_rate = 1.0;
+  TelemetryCorruption model(options);
+  StreamMeasurement m = reading();
+  ASSERT_TRUE(model.corrupt(m, 0, 0));
+  EXPECT_TRUE(std::isnan(m.accuracy));
+  EXPECT_TRUE(std::isnan(m.bandwidth_mbps));
+  EXPECT_TRUE(std::isnan(m.compute_tflops));
+  EXPECT_TRUE(std::isnan(m.power_watts));
+  EXPECT_TRUE(std::isnan(m.proc_time));
+  EXPECT_EQ(model.counters().nan_fields, 5u);
+}
+
+TEST(Telemetry, CertainDropRateLosesEveryReport) {
+  TelemetryCorruptionOptions options;
+  options.drop_rate = 1.0;
+  TelemetryCorruption model(options);
+  StreamMeasurement m = reading();
+  for (std::uint64_t tag = 0; tag < 10; ++tag) {
+    EXPECT_FALSE(model.corrupt(m, 0, tag));
+  }
+  EXPECT_EQ(model.counters().dropped_measurements, 10u);
+  EXPECT_EQ(model.counters().total_measurements, 10u);
+}
+
+TEST(Telemetry, StuckAtRepeatsThePreviousTrueReading) {
+  TelemetryCorruptionOptions options;
+  options.stuck_rate = 1.0;
+  TelemetryCorruption model(options);
+  StreamMeasurement first = reading(1.0);
+  const StreamMeasurement first_truth = first;
+  ASSERT_TRUE(model.corrupt(first, /*stream=*/2, /*tag=*/0));
+  // No previous reading exists yet, so the first report passes through.
+  EXPECT_TRUE(identical(first, first_truth));
+
+  StreamMeasurement second = reading(2.0);
+  ASSERT_TRUE(model.corrupt(second, /*stream=*/2, /*tag=*/1));
+  // Every field now repeats the stream's previous true value.
+  EXPECT_TRUE(identical(second, first_truth));
+  EXPECT_EQ(model.counters().stuck_fields, 5u);
+
+  // A different stream has its own stuck-at memory.
+  StreamMeasurement other = reading(3.0);
+  const StreamMeasurement other_truth = other;
+  ASSERT_TRUE(model.corrupt(other, /*stream=*/0, /*tag=*/2));
+  EXPECT_TRUE(identical(other, other_truth));
+}
+
+TEST(Telemetry, OutliersAreHeavyTailedButFinite) {
+  TelemetryCorruptionOptions options;
+  options.outlier_rate = 1.0;
+  options.outlier_scale = 1.5;
+  TelemetryCorruption model(options);
+  bool any_large = false;
+  for (std::uint64_t tag = 0; tag < 100; ++tag) {
+    StreamMeasurement m = reading();
+    ASSERT_TRUE(model.corrupt(m, 0, tag));
+    EXPECT_TRUE(std::isfinite(m.accuracy));
+    EXPECT_GE(m.accuracy, 0.8);  // multiplicative factor is exp(|z|·s) >= 1
+    any_large |= m.accuracy > 1.6;  // at least doubled somewhere
+  }
+  EXPECT_TRUE(any_large);
+  EXPECT_EQ(model.counters().outlier_fields, 500u);
+}
+
+TEST(Telemetry, ResetCountersClearsTallies) {
+  TelemetryCorruptionOptions options;
+  options.nan_rate = 1.0;
+  TelemetryCorruption model(options);
+  StreamMeasurement m = reading();
+  model.corrupt(m, 0, 0);
+  EXPECT_GT(model.counters().corrupted_fields(), 0u);
+  model.reset_counters();
+  EXPECT_EQ(model.counters().total_measurements, 0u);
+  EXPECT_EQ(model.counters().corrupted_fields(), 0u);
+}
+
+}  // namespace
+}  // namespace pamo::eva

@@ -1,0 +1,98 @@
+// Inconsistent-oracle tolerance of PreferenceGp: direct contradictions
+// and intransitive triples are flagged and their probit likelihood
+// softened, while the default path stays bit-for-bit unchanged.
+#include "pref/preference_gp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pamo::pref {
+namespace {
+
+PreferenceGpOptions tolerant_options() {
+  PreferenceGpOptions options;
+  options.downweight_inconsistent = true;
+  return options;
+}
+
+TEST(PrefInconsistency, DirectContradictionFlagsBothPairs) {
+  PreferenceGp model(tolerant_options());
+  // The oracle asserts both 0 ≻ 1 and 1 ≻ 0: both answers are suspect.
+  model.fit({{0.0}, {1.0}}, {{0, 1}, {1, 0}});
+  EXPECT_EQ(model.num_inconsistent_pairs(), 2u);
+  // A contradiction carries no net ordering signal once both sides are
+  // softened symmetrically: the MAP utilities stay close together.
+  const auto& g = model.map_utilities();
+  EXPECT_TRUE(std::isfinite(g[0]));
+  EXPECT_TRUE(std::isfinite(g[1]));
+}
+
+TEST(PrefInconsistency, IntransitiveTripleFlagsEveryEdge) {
+  PreferenceGp model(tolerant_options());
+  // 0 ≻ 1, 1 ≻ 2, 2 ≻ 0 — a preference cycle. Every edge participates
+  // in the contradiction, so all three are flagged.
+  model.fit({{0.0}, {0.5}, {1.0}}, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(model.num_inconsistent_pairs(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(model.map_utilities()[i]));
+  }
+}
+
+TEST(PrefInconsistency, ConsistentChainIsNotFlagged) {
+  PreferenceGp model(tolerant_options());
+  model.fit({{0.0}, {0.5}, {1.0}}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(model.num_inconsistent_pairs(), 0u);
+  const auto& g = model.map_utilities();
+  EXPECT_GT(g[0], g[1]);
+  EXPECT_GT(g[1], g[2]);
+}
+
+TEST(PrefInconsistency, OffByDefaultAndBitForBitOnConsistentData) {
+  const std::vector<std::vector<double>> points{{0.0}, {0.4}, {1.0}};
+  const std::vector<ComparisonPair> pairs{{0, 1}, {1, 2}, {0, 2}};
+
+  PreferenceGp plain;  // downweight_inconsistent defaults to false
+  plain.fit(points, pairs);
+  EXPECT_EQ(plain.num_inconsistent_pairs(), 0u);
+
+  PreferenceGp tolerant(tolerant_options());
+  tolerant.fit(points, pairs);
+
+  // With no contradiction present, the tolerant mode must be an exact
+  // no-op: every pair keeps its uniform weight, so the Laplace fit is
+  // bitwise identical.
+  ASSERT_EQ(plain.map_utilities().size(), tolerant.map_utilities().size());
+  for (std::size_t i = 0; i < plain.map_utilities().size(); ++i) {
+    EXPECT_EQ(plain.map_utilities()[i], tolerant.map_utilities()[i]);
+  }
+  EXPECT_EQ(plain.utility_mean({0.7}), tolerant.utility_mean({0.7}));
+}
+
+TEST(PrefInconsistency, DownweightingPreservesTheMajoritySignal) {
+  // Many consistent votes for 0 ≻ 1 plus one contradicting vote. With
+  // down-weighting the contradiction is softened and the majority
+  // ordering survives in the MAP fit.
+  std::vector<ComparisonPair> pairs;
+  for (int rep = 0; rep < 4; ++rep) pairs.push_back({0, 1});
+  pairs.push_back({1, 0});
+
+  PreferenceGp model(tolerant_options());
+  model.fit({{0.0}, {1.0}}, pairs);
+  // Every (0,1)/(1,0) pair sits on a contradicted edge, so all 5 flag.
+  EXPECT_EQ(model.num_inconsistent_pairs(), 5u);
+  EXPECT_GT(model.utility_mean({0.0}), model.utility_mean({1.0}));
+}
+
+TEST(PrefInconsistency, UpdateRecomputesFlagsOverCombinedPairSet) {
+  PreferenceGp model(tolerant_options());
+  model.fit({{0.0}, {1.0}}, {{0, 1}});
+  EXPECT_EQ(model.num_inconsistent_pairs(), 0u);
+  // The contradicting answer arrives later via update(): the refit must
+  // flag both the old and the new pair.
+  model.update({}, {{1, 0}});
+  EXPECT_EQ(model.num_inconsistent_pairs(), 2u);
+}
+
+}  // namespace
+}  // namespace pamo::pref

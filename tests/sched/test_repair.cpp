@@ -160,5 +160,19 @@ TEST(Repair, PinnedValidatesInputSizes) {
                Error);
 }
 
+TEST(Repair, PinnedWithZeroSurvivorsReturnsInfeasible) {
+  // An empty fleet at the repair entry point is an environment state, not
+  // a caller bug: the repair must signal infeasibility (so callers
+  // escalate) instead of throwing.
+  const eva::Workload w = workload(4, 3);
+  const eva::JointConfig config(4, {720, 10});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+  const std::vector<bool> none(w.num_servers(), false);
+  const auto after = reschedule_pinned(w, config, before, none);
+  EXPECT_FALSE(after.feasible);
+  EXPECT_TRUE(after.assignment.empty());
+}
+
 }  // namespace
 }  // namespace pamo::sched
