@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace pamo::bo {
@@ -94,6 +95,8 @@ std::vector<std::size_t> select_top_batch(const std::vector<double>& scores,
                      return scores[a] > scores[b];
                    });
   order.resize(std::min(batch_size, order.size()));
+  PAMO_ENSURES(!order.empty() || scores.empty(),
+               "a non-empty pool always yields a batch");
   return order;
 }
 

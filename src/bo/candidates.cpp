@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/quasi.hpp"
 
@@ -36,6 +37,10 @@ std::vector<std::vector<double>> make_candidate_pool(
       pool.push_back(std::move(candidate));
     }
   }
+  PAMO_ENSURES(pool.size() == options.num_quasi_random +
+                                  incumbents.size() *
+                                      options.mutations_per_incumbent,
+               "pool size is deterministic in its options");
   return pool;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/quasi.hpp"
 
@@ -163,6 +164,10 @@ BoResult maximize(const std::function<double(const std::vector<double>&)>& f,
       static_cast<std::size_t>(std::distance(observed_z.begin(), best_it));
   result.best_value = *best_it;
   result.best_x = from_unit(box, observed_u[best_idx]);
+  PAMO_ENSURES(result.best_x.size() == box.lo.size(),
+               "incumbent lives in the search box");
+  PAMO_ENSURES(std::isfinite(result.best_value),
+               "incumbent objective value is finite");
   return result;
 }
 

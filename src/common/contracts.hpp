@@ -1,0 +1,59 @@
+// Contract macros for the public entry points of the pamo libraries.
+//
+// PAMO_EXPECTS states a precondition, PAMO_ENSURES a postcondition. Both
+// are runtime-checked (throwing pamo::Error with the contract text and
+// location) when the build defines PAMO_CONTRACT_CHECKS — the Debug and
+// sanitizer lanes do (see PAMO_CONTRACTS in the top-level CMakeLists) —
+// and compile to nothing in release builds, so hot paths pay zero cost.
+//
+// Relationship to PAMO_CHECK/PAMO_ASSERT (common/error.hpp): those are
+// *always on* and guard conditions callers are allowed to get wrong at
+// runtime (and that tests exercise in release builds). Contracts document
+// and enforce interface obligations that correct callers always satisfy —
+// dimension agreement, size invariants of returned structures — where a
+// violation is a bug in this repo, not bad input.
+//
+// The disabled form still odr-uses the condition inside an `if (false)`
+// so contract expressions cannot bit-rot out of compilability, and any
+// variable referenced only by a contract stays "used" under -Werror.
+#pragma once
+
+#include "common/error.hpp"
+
+#if defined(PAMO_CONTRACT_CHECKS)
+
+#define PAMO_EXPECTS(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pamo::detail::raise("contract [expects]", #cond, __FILE__,          \
+                            __LINE__, (msg));                               \
+    }                                                                       \
+  } while (false)
+
+#define PAMO_ENSURES(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pamo::detail::raise("contract [ensures]", #cond, __FILE__,          \
+                            __LINE__, (msg));                               \
+    }                                                                       \
+  } while (false)
+
+#else
+
+#define PAMO_EXPECTS(cond, msg)                                             \
+  do {                                                                      \
+    if (false) {                                                            \
+      static_cast<void>(cond);                                              \
+      static_cast<void>(msg);                                               \
+    }                                                                       \
+  } while (false)
+
+#define PAMO_ENSURES(cond, msg)                                             \
+  do {                                                                      \
+    if (false) {                                                            \
+      static_cast<void>(cond);                                              \
+      static_cast<void>(msg);                                               \
+    }                                                                       \
+  } while (false)
+
+#endif  // PAMO_CONTRACT_CHECKS

@@ -1,7 +1,7 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
 #include <exception>
+#include <memory>
 
 #include "common/error.hpp"
 
@@ -54,40 +54,43 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
-  std::atomic<std::size_t> remaining{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // Completion state is owned jointly by the waiter and every task (via
+  // shared_ptr), not borrowed from the waiter's stack: the waiter may
+  // observe remaining == 0 and return while the final task is still
+  // between its decrement and its last use of the mutex/condvar, so
+  // stack-owned state would be destroyed under that task's feet. The
+  // decrement happens under the state mutex for the same reason.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = (n + block - 1) / block;
 
-  std::size_t launched = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t begin = 0; begin < n; begin += block) {
       const std::size_t end = std::min(n, begin + block);
-      ++launched;
-      tasks_.emplace([&, begin, end] {
+      tasks_.emplace([batch, &fn, begin, end] {
+        std::exception_ptr error;
         try {
           for (std::size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          error = std::current_exception();
         }
-        if (remaining.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-            launched) {
-          std::lock_guard<std::mutex> dlock(done_mutex);
-          done_cv.notify_one();
-        }
+        std::lock_guard<std::mutex> block_lock(batch->mutex);
+        if (error && !batch->first_error) batch->first_error = error;
+        if (--batch->remaining == 0) batch->done.notify_one();
       });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] {
-    return remaining.load(std::memory_order_acquire) == launched;
-  });
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -465,6 +466,12 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   result.oracle_queries = oracle.queries_answered() - queries_before;
   result.profiles_taken = profiles_taken_;
   finalize_health();
+  PAMO_ENSURES(result.best_config.size() == workload_.num_streams(),
+               "recommendation configures every parent stream");
+  PAMO_ENSURES(result.best_schedule.feasible,
+               "recommendation carries an Algorithm-1-feasible schedule");
+  PAMO_ENSURES(result.benefit_trace.size() <= result.iterations,
+               "one trace entry per completed BO iteration");
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "core/pareto.hpp"
 #include "eva/faults.hpp"
@@ -124,7 +125,9 @@ void SchedulingService::attempt_repair(EpochReport& report) {
   }
   const bool slo_breached =
       sim0.slo_violations > 0 || sim0.unserved_streams > 0;
-  if (!orphaned && !degraded_net && headroom == 1.0 && !slo_breached) {
+  // headroom stays exactly 1.0 unless a slowdown observable moved it.
+  if (!orphaned && !degraded_net && headroom == 1.0 &&  // pamo-lint: allow(float-eq)
+      !slo_breached) {
     return;  // healthy epoch — nothing to repair
   }
 
@@ -268,6 +271,7 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
     report.health.error_message = e.what();
   }
   report.health.learning = result.health;
+  report.benefit_trace = std::move(result.benefit_trace);
   ++epoch_;
   report.oracle_queries = oracle.queries_answered() - queries_before;
 
@@ -307,7 +311,12 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
     }
   }
   report.health.fallback_taken = report.fallback;
+  PAMO_ENSURES(epoch_ == report.epoch + 1, "run_epoch advances one epoch");
   if (!report.feasible) return report;
+  PAMO_ENSURES(report.schedule.feasible &&
+                   report.schedule.assignment.size() ==
+                       report.schedule.streams.size(),
+               "a feasible epoch carries a complete schedule");
 
   sim::SimOptions sim_options = options_.sim;
   if (fault_plan_.has_value()) sim_options.faults = &*fault_plan_;

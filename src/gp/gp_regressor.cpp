@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "opt/nelder_mead.hpp"
@@ -75,6 +76,8 @@ void GpRegressor::fit(std::vector<std::vector<double>> x,
   x_raw_ = std::move(x);
   y_raw_ = std::move(y);
   rebuild(/*optimize_hyperparams=*/!options_.fixed_params.has_value());
+  PAMO_ENSURES(is_fit() && alpha_.size() == x_raw_.size(),
+               "fit leaves a solved system over every kept row");
 }
 
 void GpRegressor::update(const std::vector<std::vector<double>>& x,
@@ -90,6 +93,8 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
   for (auto& row : xs) x_raw_.push_back(std::move(row));
   y_raw_.insert(y_raw_.end(), ys.begin(), ys.end());
   rebuild(reoptimize && !options_.fixed_params.has_value());
+  PAMO_ENSURES(alpha_.size() == x_raw_.size(),
+               "update leaves a solved system over every kept row");
 }
 
 void GpRegressor::rebuild(bool optimize_hyperparams) {
@@ -214,7 +219,9 @@ bool GpRegressor::reweight_outliers() {
     const double target = std::min(options_.robust_inflation_cap,
                                    noise_scale_[i] * ratio * ratio);
     if (target > noise_scale_[i]) {
-      if (noise_scale_[i] == 1.0) ++diagnostics_.outliers_downweighted;
+      // Scale is exactly 1.0 until the first inflation: this counts each
+      // point at most once across the reweighting rounds.
+      if (noise_scale_[i] == 1.0) ++diagnostics_.outliers_downweighted;  // pamo-lint: allow(float-eq)
       noise_scale_[i] = target;
       changed = true;
     }
@@ -310,11 +317,15 @@ Posterior GpRegressor::posterior(
       post.covariance(j, i) = c;
     }
   }
+  PAMO_ENSURES(post.mean.size() == m && post.covariance.rows() == m &&
+                   post.covariance.cols() == m,
+               "posterior is square over the query set");
   return post;
 }
 
 la::Matrix GpRegressor::sample_joint(const std::vector<std::vector<double>>& x,
                                      std::size_t num_samples, Rng& rng) const {
+  PAMO_EXPECTS(num_samples > 0, "sample_joint of zero samples");
   const Posterior post = posterior(x);
   const std::size_t m = x.size();
   la::Matrix cov = post.covariance;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace pamo::la {
@@ -27,9 +28,11 @@ bool Cholesky::try_factor(const Matrix& a, double jitter, Matrix& out) {
 Cholesky::Cholesky(const Matrix& a, double max_jitter) {
   PAMO_CHECK(a.rows() == a.cols(), "Cholesky requires a square matrix");
   PAMO_CHECK(a.rows() > 0, "Cholesky of an empty matrix");
+  PAMO_EXPECTS(max_jitter >= 0.0, "negative jitter cap");
   double jitter = 0.0;
   if (try_factor(a, jitter, l_)) {
     jitter_ = jitter;
+    PAMO_ENSURES(l_.rows() == a.rows(), "factor keeps the input dimension");
     return;
   }
   // Scale the starting jitter with the matrix magnitude.
@@ -37,11 +40,13 @@ Cholesky::Cholesky(const Matrix& a, double max_jitter) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     scale = std::max(scale, std::fabs(a(i, i)));
   }
-  if (scale == 0.0) scale = 1.0;
+  // An all-zero diagonal gives no magnitude to scale by; fall back to 1.
+  if (scale == 0.0) scale = 1.0;  // pamo-lint: allow(float-eq)
   jitter = scale * 1e-10;
   while (jitter <= max_jitter * scale) {
     if (try_factor(a, jitter, l_)) {
       jitter_ = jitter;
+      PAMO_ENSURES(l_.rows() == a.rows(), "factor keeps the input dimension");
       return;
     }
     jitter *= 10.0;

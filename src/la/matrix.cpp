@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace pamo::la {
@@ -25,6 +26,8 @@ Matrix Matrix::transposed() const {
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
   }
+  PAMO_ENSURES(t.rows() == cols_ && t.cols() == rows_,
+               "transpose swaps dimensions");
   return t;
 }
 
@@ -35,7 +38,8 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
-      if (aik == 0.0) continue;
+      // Exact-zero skip: sparsity shortcut, any nonzero must multiply.
+      if (aik == 0.0) continue;  // pamo-lint: allow(float-eq)
       for (std::size_t j = 0; j < b.cols(); ++j) {
         c(i, j) += aik * b(k, j);
       }
@@ -60,7 +64,8 @@ Vector matvec_transposed(const Matrix& a, const Vector& x) {
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
-    if (xi == 0.0) continue;
+    // Exact-zero skip: sparsity shortcut, any nonzero must multiply.
+    if (xi == 0.0) continue;  // pamo-lint: allow(float-eq)
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
   }
   return y;

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "sched/constraints.hpp"
 #include "sched/hungarian.hpp"
@@ -62,6 +63,14 @@ void finalize(const eva::Workload& workload, ScheduleResult& result,
     result.uplink_per_parent[parent] /= parts[parent];
     result.latency_per_parent[parent] /= parts[parent];
   }
+  // Shape contract every scheduler entry point inherits: one assignment and
+  // phase per split stream, one uplink/latency per parent stream.
+  PAMO_ENSURES(result.assignment.size() == result.streams.size() &&
+                   result.phase.size() == result.streams.size(),
+               "per-split-stream vectors must align");
+  PAMO_ENSURES(result.uplink_per_parent.size() == num_parents &&
+                   result.latency_per_parent.size() == num_parents,
+               "per-parent vectors must align");
 }
 
 /// One co-scheduled set being packed under the Theorem 3 conditions.
@@ -139,6 +148,8 @@ ScheduleResult zero_jitter_impl(const eva::Workload& workload,
                                 const eva::JointConfig& config,
                                 const std::vector<std::size_t>& servers,
                                 double proc_headroom) {
+  PAMO_EXPECTS(config.size() == workload.num_streams(),
+               "one knob configuration per parent stream");
   ScheduleResult result;
   result.streams = split_streams(workload, config);
   const auto& clock = workload.space.clock();

@@ -65,8 +65,10 @@ class FaultPlan {
   FaultPlan& drop_frames(double probability, std::uint64_t seed);
 
   [[nodiscard]] bool empty() const {
+    // Loss probability is exactly 0.0 until drop_frames() sets it; the
+    // empty-plan no-op guarantee hinges on this exact compare.
     return crashes_.empty() && collapses_.empty() && slowdowns_.empty() &&
-           frame_loss_prob_ == 0.0;
+           frame_loss_prob_ == 0.0;  // pamo-lint: allow(float-eq)
   }
 
   // -- Point-in-time queries used by the simulator. --

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -279,6 +280,18 @@ SimReport simulate(const eva::Workload& workload,
       report.slowdown_at_end[s] = plan->slowdown(s, end);
     }
   }
+  // Report-shape contract: per-stream stats align with the schedule's
+  // split streams, per-parent and per-server observables with the workload.
+  PAMO_ENSURES(report.per_stream.size() == schedule.streams.size(),
+               "one stats record per split stream");
+  PAMO_ENSURES(report.latency_per_parent.size() == workload.num_streams(),
+               "one latency entry per parent stream");
+  PAMO_ENSURES(report.server_availability.size() == num_servers &&
+                   report.server_up_at_end.size() == num_servers &&
+                   report.slowdown_at_end.size() == num_servers,
+               "one observable entry per server");
+  PAMO_ENSURES(report.total_dropped >= report.dropped_by_loss,
+               "loss drops are a subset of all drops");
   return report;
 }
 

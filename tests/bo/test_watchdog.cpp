@@ -48,7 +48,7 @@ TEST(Watchdog, TinyDeadlineBreachesImmediately) {
   watchdog.arm();
   // Burn a little wall clock so elapsed > deadline deterministically.
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
   EXPECT_GT(watchdog.elapsed_seconds(), options.deadline_seconds);
   EXPECT_TRUE(watchdog.breached());
 }

@@ -13,9 +13,9 @@ namespace {
 TEST(RunningStat, EmptyThrows) {
   RunningStat s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_THROW(s.mean(), Error);
-  EXPECT_THROW(s.min(), Error);
-  EXPECT_THROW(s.max(), Error);
+  EXPECT_THROW(static_cast<void>(s.mean()), Error);
+  EXPECT_THROW(static_cast<void>(s.min()), Error);
+  EXPECT_THROW(static_cast<void>(s.max()), Error);
 }
 
 TEST(RunningStat, SingleValue) {

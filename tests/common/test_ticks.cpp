@@ -39,8 +39,8 @@ TEST(TickClock, StandardFpsKnobs) {
 
 TEST(TickClock, RejectsIncompatibleFps) {
   const TickClock clock({5, 10});
-  EXPECT_THROW(clock.period_ticks(3), Error);
-  EXPECT_THROW(clock.period_ticks(0), Error);
+  EXPECT_THROW(static_cast<void>(clock.period_ticks(3)), Error);
+  EXPECT_THROW(static_cast<void>(clock.period_ticks(0)), Error);
 }
 
 TEST(TickClock, RoundTripSeconds) {
@@ -55,7 +55,7 @@ TEST(TickClock, CeilTicks) {
   EXPECT_EQ(clock.ceil_ticks(0.05), 1u);
   EXPECT_EQ(clock.ceil_ticks(0.1), 1u);
   EXPECT_EQ(clock.ceil_ticks(0.101), 2u);
-  EXPECT_THROW(clock.ceil_ticks(-0.1), Error);
+  EXPECT_THROW(static_cast<void>(clock.ceil_ticks(-0.1)), Error);
 }
 
 // Period gcd in ticks must equal the gcd of the underlying rational

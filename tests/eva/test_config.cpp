@@ -63,8 +63,8 @@ TEST(ConfigSpace, UnitRoundTripIsIdentity) {
 
 TEST(ConfigSpace, ToUnitRejectsNonKnob) {
   const ConfigSpace space = ConfigSpace::standard();
-  EXPECT_THROW(space.to_unit({999, 10}), Error);
-  EXPECT_THROW(space.to_unit({480, 7}), Error);
+  EXPECT_THROW(static_cast<void>(space.to_unit({999, 10})), Error);
+  EXPECT_THROW(static_cast<void>(space.to_unit({480, 7})), Error);
 }
 
 TEST(ConfigSpace, JointRoundTrip) {

@@ -25,7 +25,7 @@ TEST(GpRegressor, RejectsBadInput) {
   EXPECT_THROW(gp.fit({{0.0}}, {1.0}), Error);             // < 2 points
   EXPECT_THROW(gp.fit({{0.0}, {1.0}}, {1.0}), Error);      // size mismatch
   EXPECT_THROW(gp.fit({{0.0}, {1.0, 2.0}}, {1.0, 2.0}), Error);  // ragged
-  EXPECT_THROW(gp.predict_mean({0.0}), Error);             // before fit
+  EXPECT_THROW(static_cast<void>(gp.predict_mean({0.0})), Error);  // before fit
 }
 
 TEST(GpRegressor, InterpolatesTrainingData) {

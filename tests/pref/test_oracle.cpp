@@ -37,7 +37,8 @@ TEST(BenefitFunction, VectorOverloadMatchesArray) {
 TEST(BenefitFunction, RejectsNegativeWeightsAndBadSize) {
   EXPECT_THROW(BenefitFunction({-1, 1, 1, 1, 1}), Error);
   const BenefitFunction benefit = BenefitFunction::uniform();
-  EXPECT_THROW(benefit.value(std::vector<double>{0.1, 0.2}), Error);
+  EXPECT_THROW(static_cast<void>(benefit.value(std::vector<double>{0.1, 0.2})),
+               Error);
 }
 
 TEST(PreferenceOracle, NoiselessFollowsBenefit) {

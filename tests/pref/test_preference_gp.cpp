@@ -47,7 +47,8 @@ TEST(PreferenceGp, RejectsBadInput) {
   EXPECT_THROW(model.fit({}, {}), Error);
   EXPECT_THROW(model.fit({{0.0}, {1.0}}, {{0, 2}}), Error);  // out of range
   EXPECT_THROW(model.fit({{0.0}, {1.0}}, {{1, 1}}), Error);  // self-compare
-  EXPECT_THROW(model.utility_mean({0.0}), Error);            // before fit
+  EXPECT_THROW(static_cast<void>(model.utility_mean({0.0})),
+               Error);  // before fit
 }
 
 TEST(PreferenceGp, NoPairsGivesFlatPriorMean) {

@@ -1,0 +1,334 @@
+// Fixture-driven tests of the pamo_lint rule engine: every rule has a
+// positive (fires) and a negative (stays quiet) fixture, plus suppression
+// and report-format coverage. Fixtures are in-memory sources handed to
+// lint_source with paths that exercise the path-scoping logic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pamo_lint/lint.hpp"
+
+namespace pamo::lint {
+namespace {
+
+std::vector<std::string> rules_hit(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(PamoLint, RuleListIsStableAndComplete) {
+  const auto& ids = rule_ids();
+  ASSERT_EQ(ids.size(), 9u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "determinism-rng"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "float-eq"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "pragma-once"), ids.end());
+}
+
+// ---- determinism-rng ------------------------------------------------------
+
+TEST(PamoLint, FlagsStdRandAndRandomDevice) {
+  const std::string source =
+      "#include <cstdlib>\n"
+      "int f() { return std::rand(); }\n"
+      "int g() { std::random_device rd; return int(rd()); }\n"
+      "int h() { std::mt19937 gen(7); return int(gen()); }\n";
+  const auto rules = rules_hit(lint_source("src/eva/fixture.cpp", source));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "determinism-rng"), 3);
+}
+
+TEST(PamoLint, PamoRngIsNotFlagged) {
+  const std::string source =
+      "#include \"common/rng.hpp\"\n"
+      "double f(pamo::Rng& rng) { return rng.uniform(); }\n"
+      "pamo::Rng forked(const pamo::Rng& rng) { return rng.fork(3); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/eva/fixture.cpp", source),
+                        "determinism-rng"));
+}
+
+TEST(PamoLint, CommentsAndStringsDoNotTriggerRules) {
+  const std::string source =
+      "// std::rand() is banned here\n"
+      "/* so is std::random_device */\n"
+      "const char* kDoc = \"call std::rand()\";\n";
+  EXPECT_TRUE(lint_source("src/eva/fixture.cpp", source).empty());
+}
+
+// ---- time-seeded-rng ------------------------------------------------------
+
+TEST(PamoLint, FlagsClockSeededRng) {
+  const std::string source =
+      "#include <chrono>\n"
+      "pamo::Rng make() {\n"
+      "  auto seed = std::chrono::steady_clock::now().time_since_epoch()"
+      ".count();\n"
+      "  return pamo::Rng(uint64_t(seed));\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source("src/eva/fixture.cpp", source),
+                       "time-seeded-rng"));
+}
+
+TEST(PamoLint, PlainClockUseIsNotASeed) {
+  // bo::EpochWatchdog legitimately reads steady_clock for its wall-clock
+  // deadline — no RNG involved, so the rule must stay quiet.
+  const std::string source =
+      "void arm() { start_ = std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(lint_source("src/bo/fixture.cpp", source).empty());
+}
+
+// ---- unordered-iter -------------------------------------------------------
+
+TEST(PamoLint, FlagsRangeForOverUnorderedInSchedulingPath) {
+  const std::string source =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> weights_;\n"
+      "double total() {\n"
+      "  double sum = 0.0;\n"
+      "  for (const auto& [k, v] : weights_) sum += v;\n"
+      "  return sum;\n"
+      "}\n";
+  const auto findings = lint_source("src/sched/fixture.cpp", source);
+  EXPECT_TRUE(has_rule(findings, "unordered-iter"));
+}
+
+TEST(PamoLint, UnorderedIterationOutsideSchedulingPathIsAllowed) {
+  const std::string source =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> weights_;\n"
+      "double total() {\n"
+      "  double sum = 0.0;\n"
+      "  for (const auto& [k, v] : weights_) sum += v;\n"
+      "  return sum;\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/eva/fixture.cpp", source),
+                        "unordered-iter"));
+}
+
+TEST(PamoLint, OrderedIterationIsAllowedInSchedulingPath) {
+  const std::string source =
+      "#include <map>\n"
+      "std::map<int, double> weights_;\n"
+      "std::unordered_map<int, double> index_;\n"
+      "double total() {\n"
+      "  double sum = index_.count(0) ? 1.0 : 0.0;\n"
+      "  for (const auto& [k, v] : weights_) sum += v;\n"
+      "  return sum;\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/sched/fixture.cpp", source),
+                        "unordered-iter"));
+}
+
+// ---- throw-discipline -----------------------------------------------------
+
+TEST(PamoLint, FlagsForeignExceptionTypesInSrc) {
+  const std::string source =
+      "#include <stdexcept>\n"
+      "void f() { throw std::runtime_error(\"boom\"); }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/gp/fixture.cpp", source),
+                       "throw-discipline"));
+}
+
+TEST(PamoLint, PamoErrorAndBareRethrowAreAllowed) {
+  const std::string source =
+      "void f() { throw pamo::Error(\"boom\"); }\n"
+      "void g() { throw Error(\"boom\"); }\n"
+      "void h() { try { f(); } catch (const Error&) { throw; } }\n"
+      "void k(std::exception_ptr p) { std::rethrow_exception(p); }\n";
+  EXPECT_TRUE(lint_source("src/gp/fixture.cpp", source).empty());
+}
+
+TEST(PamoLint, ThrowDisciplineDoesNotApplyToTests) {
+  const std::string source =
+      "void f() { throw std::runtime_error(\"test-only\"); }\n";
+  EXPECT_TRUE(lint_source("tests/gp/fixture.cpp", source).empty());
+}
+
+// ---- catch-all-swallow ----------------------------------------------------
+
+TEST(PamoLint, FlagsSwallowingCatchAll) {
+  const std::string source =
+      "int f() {\n"
+      "  try { return g(); } catch (...) {\n"
+      "    return -1;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source("src/core/fixture.cpp", source),
+                       "catch-all-swallow"));
+}
+
+TEST(PamoLint, CatchAllThatCapturesOrRethrowsIsAllowed) {
+  const std::string source =
+      "void f() {\n"
+      "  try { g(); } catch (...) { error = std::current_exception(); }\n"
+      "  try { g(); } catch (...) { cleanup(); throw; }\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/fixture.cpp", source).empty());
+}
+
+// ---- float-eq -------------------------------------------------------------
+
+TEST(PamoLint, FlagsFloatLiteralComparisons) {
+  const std::string source =
+      "bool f(double x) { return x == 0.0; }\n"
+      "bool g(double x) { return 1.5f != x; }\n"
+      "bool h(double x) { return x == 1e-6; }\n";
+  const auto rules = rules_hit(lint_source("src/la/fixture.cpp", source));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "float-eq"), 3);
+}
+
+TEST(PamoLint, IntegerComparisonsAndInequalitiesAreAllowed) {
+  const std::string source =
+      "bool f(int x) { return x == 2; }\n"
+      "bool g(double x) { return x <= 0.5; }\n"
+      "bool h(double x) { return x >= 1.0 && x < 2.0; }\n"
+      "bool k(std::size_t n) { return n != 10; }\n";
+  EXPECT_TRUE(lint_source("src/la/fixture.cpp", source).empty());
+}
+
+// ---- unchecked-front-back -------------------------------------------------
+
+TEST(PamoLint, FlagsUncheckedFrontInSchedulingPath) {
+  const std::string source =
+      "double f(const std::vector<double>& v) {\n"
+      "  return v.front();\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source("src/sim/fixture.cpp", source),
+                       "unchecked-front-back"));
+}
+
+TEST(PamoLint, GuardedFrontBackIsAllowed) {
+  const std::string source =
+      "double f(const std::vector<double>& v) {\n"
+      "  if (v.empty()) return 0.0;\n"
+      "  return v.front() + v.back();\n"
+      "}\n"
+      "double g(std::vector<double>& v) {\n"
+      "  v.push_back(1.0);\n"
+      "  return v.back();\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/sim/fixture.cpp", source),
+                        "unchecked-front-back"));
+}
+
+// ---- header hygiene -------------------------------------------------------
+
+TEST(PamoLint, FlagsHeaderWithoutPragmaOnce) {
+  const auto findings = lint_source("src/eva/fixture.hpp", "int x = 0;\n");
+  ASSERT_TRUE(has_rule(findings, "pragma-once"));
+  EXPECT_EQ(findings.front().line, 1u);
+}
+
+TEST(PamoLint, FlagsUsingNamespaceInHeader) {
+  const std::string source =
+      "#pragma once\n"
+      "using namespace std;\n";
+  EXPECT_TRUE(has_rule(lint_source("src/eva/fixture.hpp", source),
+                       "using-namespace-header"));
+}
+
+TEST(PamoLint, HeaderRulesDoNotApplyToCpp) {
+  const std::string source = "using namespace std;\n";
+  EXPECT_TRUE(lint_source("src/eva/fixture.cpp", source).empty());
+}
+
+// ---- suppressions ---------------------------------------------------------
+
+TEST(PamoLint, SameLineSuppressionSilencesFinding) {
+  const std::string source =
+      "bool f(double x) { return x == 0.0; }  // pamo-lint: allow(float-eq)\n";
+  EXPECT_TRUE(lint_source("src/la/fixture.cpp", source).empty());
+}
+
+TEST(PamoLint, PreviousLineSuppressionSilencesFinding) {
+  const std::string source =
+      "// pamo-lint: allow(float-eq)\n"
+      "bool f(double x) { return x == 0.0; }\n";
+  EXPECT_TRUE(lint_source("src/la/fixture.cpp", source).empty());
+}
+
+TEST(PamoLint, SuppressionIsRuleSpecific) {
+  const std::string source =
+      "// pamo-lint: allow(determinism-rng)\n"
+      "bool f(double x) { return x == 0.0; }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/la/fixture.cpp", source), "float-eq"));
+}
+
+TEST(PamoLint, IncludeSuppressedKeepsAndMarksFinding) {
+  Options options;
+  options.include_suppressed = true;
+  const std::string source =
+      "bool f(double x) { return x == 0.0; }  // pamo-lint: allow(float-eq)\n";
+  const auto findings = lint_source("src/la/fixture.cpp", source, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings.front().suppressed);
+}
+
+TEST(PamoLint, MultiRuleSuppressionList) {
+  const std::string source =
+      "bool f(double x) { return x == 0.0; }"
+      "  // pamo-lint: allow(float-eq, determinism-rng)\n";
+  EXPECT_TRUE(lint_source("src/la/fixture.cpp", source).empty());
+}
+
+// ---- report formats -------------------------------------------------------
+
+TEST(PamoLint, TextReportCarriesLocationAndRule) {
+  const auto findings =
+      lint_source("src/la/fixture.cpp", "bool f(double x) { return x == 0.0; }\n");
+  const std::string text = to_text(findings);
+  EXPECT_NE(text.find("src/la/fixture.cpp:1"), std::string::npos);
+  EXPECT_NE(text.find("[float-eq]"), std::string::npos);
+}
+
+TEST(PamoLint, JsonReportIsMachineReadable) {
+  const auto findings =
+      lint_source("src/la/fixture.cpp", "bool f(double x) { return x == 0.0; }\n");
+  const std::string json = to_json(findings);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"float-eq\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_EQ(to_json({}).find("{\"findings\":[],\"count\":0}"), 0u);
+}
+
+// ---- stripping ------------------------------------------------------------
+
+TEST(PamoLint, StripPreservesGeometryAndBlanksLiterals) {
+  const std::string source =
+      "int a = 1; // std::rand\n"
+      "const char* s = \"x == 0.0\";\n";
+  const std::string stripped = strip_comments_and_strings(source);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(source.begin(), source.end(), '\n'));
+  EXPECT_EQ(stripped.find("std::rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("=="), std::string::npos);
+  EXPECT_NE(stripped.find("int a = 1;"), std::string::npos);
+}
+
+TEST(PamoLint, StripHandlesRawStrings) {
+  const std::string source =
+      "const char* s = R\"(std::random_device inside)\";\n"
+      "int after = 2;\n";
+  const std::string stripped = strip_comments_and_strings(source);
+  EXPECT_EQ(stripped.find("random_device"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 2;"), std::string::npos);
+}
+
+TEST(PamoLint, SchedulingPathPredicate) {
+  EXPECT_TRUE(is_scheduling_path("src/sched/scheduler.cpp"));
+  EXPECT_TRUE(is_scheduling_path("/root/repo/src/bo/candidates.cpp"));
+  EXPECT_TRUE(is_scheduling_path("src/sim/fault.hpp"));
+  EXPECT_TRUE(is_scheduling_path("src/core/service.cpp"));
+  EXPECT_FALSE(is_scheduling_path("src/eva/profiler.cpp"));
+  EXPECT_FALSE(is_scheduling_path("tests/sched/test_scheduler.cpp"));
+}
+
+}  // namespace
+}  // namespace pamo::lint

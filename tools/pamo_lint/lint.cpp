@@ -1,0 +1,514 @@
+#include "pamo_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace pamo::lint {
+namespace {
+
+const char* const kRuleIds[] = {
+    "determinism-rng",   "time-seeded-rng",      "unordered-iter",
+    "throw-discipline",  "catch-all-swallow",    "float-eq",
+    "unchecked-front-back", "pragma-once",       "using-namespace-header",
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header_path(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h");
+}
+
+bool is_src_path(const std::string& path) {
+  return path.find("src/") != std::string::npos;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+// Per-line sets of rule ids silenced by `pamo-lint: allow(a, b)` comments.
+std::vector<std::set<std::string>> parse_suppressions(
+    const std::vector<std::string>& raw_lines) {
+  std::vector<std::set<std::string>> allow(raw_lines.size());
+  static const std::regex kAllow(R"(pamo-lint:\s*allow\(([^)]*)\))");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, kAllow)) continue;
+    std::stringstream list(m[1].str());
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      id.erase(std::remove_if(id.begin(), id.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               id.end());
+      if (!id.empty()) allow[i].insert(id);
+    }
+  }
+  return allow;
+}
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+struct Linter {
+  const std::string& path;
+  const std::vector<std::string>& code;   // comments/strings blanked
+  const std::vector<std::string>& raw;
+  std::vector<Finding> findings;
+
+  void add(std::size_t line_index, const char* rule, std::string message) {
+    findings.push_back(Finding{path, line_index + 1, rule, std::move(message),
+                               /*suppressed=*/false});
+  }
+
+  // -- determinism-rng ------------------------------------------------------
+  void rule_determinism_rng() {
+    static const std::regex kBanned(
+        R"(std::\s*rand\b|(^|[^\w])s?rand\s*\(|random_device|mt19937|minstd_rand|default_random_engine|ranlux(24|48))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kBanned)) {
+        add(i, "determinism-rng",
+            "banned randomness source; derive a seeded pamo::Rng (or "
+            "Rng::fork) instead");
+      }
+    }
+  }
+
+  // -- time-seeded-rng ------------------------------------------------------
+  void rule_time_seeded_rng() {
+    static const std::regex kSeedish(R"((^|[^\w])(seed|Rng\s*\(|srand))");
+    static const std::regex kClockish(
+        R"(::now\s*\(|(^|[^\w])time\s*\(\s*(nullptr|NULL|0)?\s*\)|(^|[^\w])clock\s*\(\s*\))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kSeedish) &&
+          std::regex_search(code[i], kClockish)) {
+        add(i, "time-seeded-rng",
+            "RNG seeded from a clock breaks bit-for-bit reproducibility; "
+            "thread an explicit seed instead");
+      }
+    }
+  }
+
+  // -- unordered-iter -------------------------------------------------------
+  void rule_unordered_iter() {
+    if (!is_scheduling_path(path)) return;
+    // Pass 1: names declared with an unordered type anywhere in this file
+    // (members, locals, parameters — all hazardous to range-iterate).
+    std::set<std::string> unordered_names;
+    for (const auto& line : code) {
+      for (std::size_t pos = line.find("unordered_"); pos != std::string::npos;
+           pos = line.find("unordered_", pos + 1)) {
+        if (line.compare(pos, 13, "unordered_map") != 0 &&
+            line.compare(pos, 13, "unordered_set") != 0) {
+          continue;
+        }
+        std::size_t open = line.find('<', pos);
+        if (open == std::string::npos) continue;
+        int depth = 0;
+        std::size_t close = open;
+        for (; close < line.size(); ++close) {
+          if (line[close] == '<') ++depth;
+          if (line[close] == '>' && --depth == 0) break;
+        }
+        if (close >= line.size()) continue;  // multi-line decl: not tracked
+        std::size_t name_begin = close + 1;
+        while (name_begin < line.size() &&
+               (std::isspace(static_cast<unsigned char>(line[name_begin])) ||
+                line[name_begin] == '&' || line[name_begin] == '*')) {
+          ++name_begin;
+        }
+        std::size_t name_end = name_begin;
+        while (name_end < line.size() && is_word(line[name_end])) ++name_end;
+        if (name_end > name_begin) {
+          unordered_names.insert(line.substr(name_begin, name_end - name_begin));
+        }
+      }
+    }
+    if (unordered_names.empty()) return;
+    // Pass 2: range-for whose container resolves to one of those names.
+    static const std::regex kRangeFor(
+        R"(for\s*\([^:;()]*:\s*[&*]?([A-Za-z_][\w.\->]*))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(code[i], m, kRangeFor)) continue;
+      // Check every dot/arrow component of the container expression.
+      std::string expr = m[1].str();
+      std::string component;
+      bool hit = false;
+      for (std::size_t k = 0; k <= expr.size(); ++k) {
+        if (k == expr.size() || !is_word(expr[k])) {
+          if (unordered_names.count(component) != 0) hit = true;
+          component.clear();
+        } else {
+          component.push_back(expr[k]);
+        }
+      }
+      if (hit) {
+        add(i, "unordered-iter",
+            "range-iteration over an unordered container in a scheduling "
+            "path: iteration order is implementation-defined and feeds "
+            "decisions nondeterministically; use an ordered container or "
+            "sort the keys first");
+      }
+    }
+  }
+
+  // -- throw-discipline -----------------------------------------------------
+  void rule_throw_discipline() {
+    if (!is_src_path(path)) return;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::string& line = code[i];
+      for (std::size_t pos = line.find("throw"); pos != std::string::npos;
+           pos = line.find("throw", pos + 5)) {
+        if (pos > 0 && is_word(line[pos - 1])) continue;       // rethrow_…
+        const std::size_t after = pos + 5;
+        if (after < line.size() && is_word(line[after])) continue;  // throw_…
+        std::size_t arg = after;
+        while (arg < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[arg]))) {
+          ++arg;
+        }
+        if (arg >= line.size() || line[arg] == ';') continue;  // bare rethrow
+        const std::string rest = line.substr(arg);
+        static const std::regex kAllowedType(
+            R"(^(::)?(pamo::)?(detail::)?Error[\s({])");
+        if (std::regex_search(rest, kAllowedType)) continue;
+        add(i, "throw-discipline",
+            "module API boundaries throw pamo::Error only; wrap or translate "
+            "this exception");
+      }
+    }
+  }
+
+  // -- catch-all-swallow ----------------------------------------------------
+  void rule_catch_all_swallow() {
+    std::string joined;
+    std::vector<std::size_t> line_of_offset;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (char c : code[i]) {
+        joined.push_back(c);
+        line_of_offset.push_back(i);
+      }
+      joined.push_back('\n');
+      line_of_offset.push_back(i);
+    }
+    static const std::regex kCatchAll(R"(catch\s*\(\s*\.\.\.\s*\))");
+    for (auto it = std::sregex_iterator(joined.begin(), joined.end(),
+                                        kCatchAll);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t catch_pos = static_cast<std::size_t>(it->position());
+      std::size_t open = joined.find('{', catch_pos + it->length());
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < joined.size(); ++close) {
+        if (joined[close] == '{') ++depth;
+        if (joined[close] == '}' && --depth == 0) break;
+      }
+      const std::string body = joined.substr(open, close - open);
+      if (body.find("throw") != std::string::npos ||
+          body.find("rethrow_exception") != std::string::npos ||
+          body.find("current_exception") != std::string::npos ||
+          body.find("abort") != std::string::npos ||
+          body.find("terminate") != std::string::npos) {
+        continue;
+      }
+      add(line_of_offset[catch_pos], "catch-all-swallow",
+          "catch (...) that swallows: rethrow, capture "
+          "std::current_exception, or catch a concrete type");
+    }
+  }
+
+  // -- float-eq -------------------------------------------------------------
+  void rule_float_eq() {
+    if (!is_src_path(path)) return;
+    // A floating-point literal: has a dot, an exponent, or an f suffix.
+    static const std::string kLit =
+        R"((\d+\.\d*([eE][+-]?\d+)?[fFlL]?|\.\d+([eE][+-]?\d+)?[fFlL]?|\d+[eE][+-]?\d+[fFlL]?|\d+[fF]))";
+    static const std::regex kLitBeforeOp("(^|[^\\w.])" + kLit +
+                                         R"(\s*(==|!=))");
+    static const std::regex kOpBeforeLit(R"((==|!=)\s*)" + kLit +
+                                         "($|[^\\w.])");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kLitBeforeOp) ||
+          std::regex_search(code[i], kOpBeforeLit)) {
+        add(i, "float-eq",
+            "exact floating-point comparison; use a tolerance, or allowlist "
+            "this line if the exact compare is intentional");
+      }
+    }
+  }
+
+  // -- unchecked-front-back -------------------------------------------------
+  void rule_unchecked_front_back() {
+    if (!is_scheduling_path(path)) return;
+    static const std::regex kFrontBack(
+        R"(([A-Za-z_][\w]*(?:(?:\.|->)[A-Za-z_][\w]*)*)(?:\.|->)(front|back)\s*\(\s*\))");
+    static const char* const kEvidence[] = {
+        ".empty", "->empty",        ".size",       "->size",    ".push_back",
+        "->push_back", ".emplace_back", "->emplace_back", ".resize",
+        ".assign", ".pop_back"};
+    constexpr std::size_t kWindow = 8;  // lines of context searched upward
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (auto it = std::sregex_iterator(code[i].begin(), code[i].end(),
+                                          kFrontBack);
+           it != std::sregex_iterator(); ++it) {
+        const std::string object = (*it)[1].str();
+        bool guarded = false;
+        const std::size_t first = i >= kWindow ? i - kWindow : 0;
+        for (std::size_t j = first; j <= i && !guarded; ++j) {
+          for (const char* ev : kEvidence) {
+            if (code[j].find(object + ev) != std::string::npos) {
+              guarded = true;
+              break;
+            }
+          }
+        }
+        if (!guarded) {
+          add(i, "unchecked-front-back",
+              "." + (*it)[2].str() + "() on '" + object +
+                  "' with no nearby emptiness evidence; guard with "
+                  ".empty() or allowlist if provably non-empty");
+        }
+      }
+    }
+  }
+
+  // -- pragma-once ----------------------------------------------------------
+  void rule_pragma_once() {
+    if (!is_header_path(path)) return;
+    for (const auto& line : code) {
+      if (line.find("#pragma once") != std::string::npos) return;
+    }
+    add(0, "pragma-once", "header is missing #pragma once");
+  }
+
+  // -- using-namespace-header -----------------------------------------------
+  void rule_using_namespace_header() {
+    if (!is_header_path(path)) return;
+    static const std::regex kUsing(R"((^|[^\w])using\s+namespace\s)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kUsing)) {
+        add(i, "using-namespace-header",
+            "using namespace at header scope leaks into every includer");
+      }
+    }
+  }
+};
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids(std::begin(kRuleIds),
+                                            std::end(kRuleIds));
+  return ids;
+}
+
+bool is_scheduling_path(const std::string& path) {
+  for (const char* dir : {"src/sim", "src/sched", "src/bo", "src/core"}) {
+    if (path.find(dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string strip_comments_and_strings(const std::string& content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" closer of a raw string
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_word(content[i - 1]))) {
+          std::size_t open = content.find('(', i + 2);
+          if (open == std::string::npos) {
+            out += c;
+            break;
+          }
+          raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
+          state = State::kRawString;
+          out += "R\"";
+          for (std::size_t k = i + 2; k <= open; ++k) out += ' ';
+          i = open;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const Options& options) {
+  const std::string stripped = strip_comments_and_strings(content);
+  const std::vector<std::string> code = split_lines(stripped);
+  const std::vector<std::string> raw = split_lines(content);
+  const auto allow = parse_suppressions(raw);
+
+  Linter linter{path, code, raw, {}};
+  linter.rule_determinism_rng();
+  linter.rule_time_seeded_rng();
+  linter.rule_unordered_iter();
+  linter.rule_throw_discipline();
+  linter.rule_catch_all_swallow();
+  linter.rule_float_eq();
+  linter.rule_unchecked_front_back();
+  linter.rule_pragma_once();
+  linter.rule_using_namespace_header();
+
+  std::vector<Finding> result;
+  for (auto& f : linter.findings) {
+    const std::size_t idx = f.line - 1;
+    const bool suppressed =
+        (idx < allow.size() && allow[idx].count(f.rule) != 0) ||
+        (idx > 0 && idx - 1 < allow.size() && allow[idx - 1].count(f.rule) != 0);
+    if (suppressed && !options.include_suppressed) continue;
+    f.suppressed = suppressed;
+    result.push_back(std::move(f));
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return result;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message;
+    if (f.suppressed) os << " (suppressed)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i != 0) os << ',';
+    os << "{\"file\":\"";
+    json_escape(os, f.file);
+    os << "\",\"line\":" << f.line << ",\"rule\":\"";
+    json_escape(os, f.rule);
+    os << "\",\"message\":\"";
+    json_escape(os, f.message);
+    os << "\",\"suppressed\":" << (f.suppressed ? "true" : "false") << '}';
+  }
+  os << "],\"count\":" << findings.size() << '}';
+  return os.str();
+}
+
+}  // namespace pamo::lint

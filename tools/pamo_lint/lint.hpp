@@ -1,0 +1,82 @@
+// pamo-lint — repo-native static analysis for PaMO's determinism and
+// error-discipline invariants.
+//
+// The headline guarantees of this codebase (zero-jitter schedules, seeded
+// bit-for-bit reproducibility, "empty FaultPlan / dormant corruption model
+// is a no-op") are invariants that one unseeded RNG or one iteration over
+// an unordered container silently breaks. pamo_lint makes them enforced
+// properties of the build: a token/regex + light-parsing pass over the
+// tree that knows which directories are scheduling/simulation paths and
+// which idioms are banned there.
+//
+// Rules (ids are what suppression comments name):
+//   determinism-rng        std::rand/srand/std::random_device/std engines —
+//                          all randomness must flow through pamo::Rng.
+//   time-seeded-rng        RNG seeded from a clock (now()/time()/clock()).
+//   unordered-iter         range-iteration over an unordered_{map,set} in a
+//                          scheduling path (src/{sim,sched,bo,core}) —
+//                          iteration order feeds decisions nondeterministically.
+//   throw-discipline       `throw` of any type other than pamo::Error in
+//                          src/ (bare rethrow `throw;` is allowed) — module
+//                          API boundaries expose exactly one exception type.
+//   catch-all-swallow      `catch (...)` whose handler neither rethrows nor
+//                          captures std::current_exception.
+//   float-eq               `==`/`!=` against a floating-point literal in
+//                          src/ — exact float compares are allowlisted per
+//                          line, never implicit.
+//   unchecked-front-back   .front()/.back() in a scheduling path with no
+//                          nearby emptiness evidence (.empty/.size/push_back
+//                          on the same object within the preceding lines).
+//   pragma-once            header without #pragma once.
+//   using-namespace-header using namespace at header scope.
+//
+// Suppression: `// pamo-lint: allow(rule-a, rule-b)` on the offending line
+// or the line directly above it. Suppressed findings are dropped unless
+// Options.include_suppressed asks for them (they are then marked).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pamo::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct Options {
+  /// Keep findings silenced by allow() comments, marked suppressed=true.
+  bool include_suppressed = false;
+};
+
+/// All rule ids, in report order (stable; used by --list-rules and tests).
+const std::vector<std::string>& rule_ids();
+
+/// Lint one translation unit. `path` decides which rules apply (header
+/// rules, src/-only rules, scheduling-path rules); `content` is the raw
+/// source text. Findings come back sorted by line.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 const Options& options = {});
+
+/// Comment/string-literal stripping used by the rule pass (exposed for
+/// tests): comments and literal bodies are blanked to spaces, newlines and
+/// everything else kept, so line/column geometry survives.
+std::string strip_comments_and_strings(const std::string& content);
+
+/// True when `path` is a scheduling/simulation path where the determinism
+/// and hot-path rules apply (src/{sim,sched,bo,core}).
+bool is_scheduling_path(const std::string& path);
+
+/// `file:line: [rule] message` lines, one per finding.
+std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable report: {"findings":[...],"count":N}.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace pamo::lint
