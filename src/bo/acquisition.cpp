@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pamo::bo {
 
@@ -31,54 +32,82 @@ std::vector<double> acquisition_scores(const AcquisitionOptions& options,
   std::vector<double> scores(num_candidates, 0.0);
   const double inv_s = 1.0 / static_cast<double>(num_samples);
 
+  // Each candidate's score is accumulated sample-ascending by exactly one
+  // task — the same term order as the historical sample-outer loop — so
+  // the fan-out is bit-identical to the serial evaluation at any thread
+  // count. Scenario-shared quantities (the qNEI incumbent baseline) are
+  // folded once, serially, up front.
+  constexpr std::size_t kGrain = 32;
+
   switch (options.type) {
     case AcquisitionType::kQNEI: {
       PAMO_CHECK(z_observed != nullptr && z_observed->cols() > 0,
                  "qNEI requires incumbent samples");
       PAMO_CHECK(z_observed->rows() == num_samples,
                  "incumbent samples must share the scenario dimension");
+      std::vector<double> baseline(num_samples);
       for (std::size_t s = 0; s < num_samples; ++s) {
-        double baseline = (*z_observed)(s, 0);
+        double b = (*z_observed)(s, 0);
         for (std::size_t j = 1; j < z_observed->cols(); ++j) {
-          baseline = std::max(baseline, (*z_observed)(s, j));
+          b = std::max(b, (*z_observed)(s, j));
         }
-        for (std::size_t c = 0; c < num_candidates; ++c) {
-          scores[c] += std::max(0.0, z_pool(s, c) - baseline) * inv_s;
-        }
+        baseline[s] = b;
       }
+      parallel_for(
+          num_candidates,
+          [&](std::size_t c) {
+            double acc = 0.0;
+            for (std::size_t s = 0; s < num_samples; ++s) {
+              acc += std::max(0.0, z_pool(s, c) - baseline[s]) * inv_s;
+            }
+            scores[c] = acc;
+          },
+          kGrain);
       break;
     }
     case AcquisitionType::kQEI: {
-      for (std::size_t s = 0; s < num_samples; ++s) {
-        for (std::size_t c = 0; c < num_candidates; ++c) {
-          scores[c] += std::max(0.0, z_pool(s, c) - best_observed) * inv_s;
-        }
-      }
+      parallel_for(
+          num_candidates,
+          [&](std::size_t c) {
+            double acc = 0.0;
+            for (std::size_t s = 0; s < num_samples; ++s) {
+              acc += std::max(0.0, z_pool(s, c) - best_observed) * inv_s;
+            }
+            scores[c] = acc;
+          },
+          kGrain);
       break;
     }
     case AcquisitionType::kQUCB: {
       // BoTorch MC form: E[μ + sqrt(βπ/2) |z − μ|].
       const double scale = std::sqrt(options.ucb_beta * M_PI / 2.0);
-      std::vector<double> mean(num_candidates, 0.0);
-      for (std::size_t s = 0; s < num_samples; ++s) {
-        for (std::size_t c = 0; c < num_candidates; ++c) {
-          mean[c] += z_pool(s, c) * inv_s;
-        }
-      }
-      for (std::size_t s = 0; s < num_samples; ++s) {
-        for (std::size_t c = 0; c < num_candidates; ++c) {
-          scores[c] +=
-              (mean[c] + scale * std::fabs(z_pool(s, c) - mean[c])) * inv_s;
-        }
-      }
+      parallel_for(
+          num_candidates,
+          [&](std::size_t c) {
+            double mean = 0.0;
+            for (std::size_t s = 0; s < num_samples; ++s) {
+              mean += z_pool(s, c) * inv_s;
+            }
+            double acc = 0.0;
+            for (std::size_t s = 0; s < num_samples; ++s) {
+              acc += (mean + scale * std::fabs(z_pool(s, c) - mean)) * inv_s;
+            }
+            scores[c] = acc;
+          },
+          kGrain);
       break;
     }
     case AcquisitionType::kQSR: {
-      for (std::size_t s = 0; s < num_samples; ++s) {
-        for (std::size_t c = 0; c < num_candidates; ++c) {
-          scores[c] += z_pool(s, c) * inv_s;
-        }
-      }
+      parallel_for(
+          num_candidates,
+          [&](std::size_t c) {
+            double acc = 0.0;
+            for (std::size_t s = 0; s < num_samples; ++s) {
+              acc += z_pool(s, c) * inv_s;
+            }
+            scores[c] = acc;
+          },
+          kGrain);
       break;
     }
   }

@@ -1,11 +1,29 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
 #include <memory>
 
 #include "common/error.hpp"
 
 namespace pamo {
+
+namespace {
+
+// Set for the lifetime of every pool worker thread: a parallel_for issued
+// from inside a worker must run inline, because parking that worker to wait
+// on blocks only other (possibly equally-parked) workers can run would
+// deadlock the pool.
+thread_local bool t_inside_worker = false;
+
+// Innermost ScopedDefault override; free parallel_for() falls back to the
+// global pool when none is active. Overrides are process-wide: installing
+// or removing one while other threads are inside free parallel_for() calls
+// is the caller's race to avoid.
+std::atomic<ThreadPool*> g_default_pool{nullptr};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -28,6 +46,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_inside_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,54 +61,86 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (n == 0) return;
-  const std::size_t num_blocks =
-      std::min<std::size_t>(n, std::max<std::size_t>(1, size()) * 4);
-  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  if (grain == 0) grain = 1;
 
-  // Single-threaded pools (or tiny n) run inline — no synchronization cost.
-  if (size() <= 1 || n == 1) {
+  const std::size_t max_blocks = std::max<std::size_t>(1, size()) * 4;
+  const std::size_t num_blocks =
+      std::min<std::size_t>((n + grain - 1) / grain, max_blocks);
+
+  // Inline paths: single-worker pools, batches not worth a dispatch, and
+  // calls from inside a worker (see t_inside_worker).
+  if (size() <= 1 || num_blocks <= 1 || t_inside_worker) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
 
   // Completion state is owned jointly by the waiter and every task (via
   // shared_ptr), not borrowed from the waiter's stack: the waiter may
-  // observe remaining == 0 and return while the final task is still
-  // between its decrement and its last use of the mutex/condvar, so
-  // stack-owned state would be destroyed under that task's feet. The
-  // decrement happens under the state mutex for the same reason.
+  // observe blocks_finished == num_blocks and return while a late-starting
+  // task is still between its failed claim and its own return, so
+  // stack-owned state would be destroyed under that task's feet. `fn` is
+  // captured by reference, which is safe for the same reason: a task that
+  // outlives the waiter can no longer claim a block and never touches fn.
   struct Batch {
+    std::atomic<std::size_t> next_block{0};
+    std::atomic<bool> aborted{false};
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t remaining = 0;
-    std::exception_ptr first_error;
+    std::size_t blocks_finished = 0;  // guarded by mutex
+    std::size_t num_blocks = 0;
+    std::exception_ptr first_error;  // guarded by mutex
   };
   auto batch = std::make_shared<Batch>();
-  batch->remaining = (n + block - 1) / block;
+  batch->num_blocks = num_blocks;
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t begin = 0; begin < n; begin += block) {
-      const std::size_t end = std::min(n, begin + block);
-      tasks_.emplace([batch, &fn, begin, end] {
-        std::exception_ptr error;
+  // Every participant — helpers and the caller — claims blocks from the
+  // shared counter until none remain. Block boundaries depend only on
+  // (n, grain, pool size), never on which thread claims what, so the set
+  // of fn(i) calls is identical at any thread count.
+  auto run_blocks = [batch, &fn, n, block] {
+    for (;;) {
+      const std::size_t b =
+          batch->next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= batch->num_blocks) return;
+      std::exception_ptr error;
+      if (!batch->aborted.load(std::memory_order_relaxed)) {
         try {
+          const std::size_t begin = b * block;
+          const std::size_t end = std::min(n, begin + block);
           for (std::size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
           error = std::current_exception();
         }
-        std::lock_guard<std::mutex> block_lock(batch->mutex);
-        if (error && !batch->first_error) batch->first_error = error;
-        if (--batch->remaining == 0) batch->done.notify_one();
-      });
+      }
+      std::lock_guard<std::mutex> block_lock(batch->mutex);
+      if (error) {
+        if (!batch->first_error) batch->first_error = error;
+        batch->aborted.store(true, std::memory_order_relaxed);
+      }
+      if (++batch->blocks_finished == batch->num_blocks) {
+        batch->done.notify_all();
+      }
     }
+  };
+
+  // Enough helpers that every worker can pitch in, but never more tasks
+  // than blocks beyond the caller's own share.
+  const std::size_t helpers = std::min(size(), num_blocks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) tasks_.emplace(run_blocks);
   }
   cv_.notify_all();
 
+  run_blocks();
+
   std::unique_lock<std::mutex> lock(batch->mutex);
-  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  batch->done.wait(lock,
+                   [&] { return batch->blocks_finished == batch->num_blocks; });
   if (batch->first_error) std::rethrow_exception(batch->first_error);
 }
 
@@ -98,8 +149,21 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  ThreadPool::global().parallel_for(n, fn);
+ThreadPool& ThreadPool::current() {
+  ThreadPool* pool = g_default_pool.load(std::memory_order_acquire);
+  return pool != nullptr ? *pool : global();
+}
+
+ThreadPool::ScopedDefault::ScopedDefault(ThreadPool& pool)
+    : previous_(g_default_pool.exchange(&pool, std::memory_order_acq_rel)) {}
+
+ThreadPool::ScopedDefault::~ScopedDefault() {
+  g_default_pool.store(previous_, std::memory_order_release);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  ThreadPool::current().parallel_for(n, fn, grain);
 }
 
 }  // namespace pamo

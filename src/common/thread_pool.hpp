@@ -2,8 +2,9 @@
 //
 // parallel_for(n, fn) partitions [0, n) into contiguous blocks and runs
 // fn(i) for every index. Work items must not depend on execution order;
-// all pamo call sites derive per-index RNG streams (Rng::fork) so results
-// are bit-identical for any thread count, including 1.
+// all pamo call sites either derive per-index RNG streams (Rng::fork) or
+// consume pre-drawn randomness indexed by i, so results are bit-identical
+// for any thread count, including 1.
 #pragma once
 
 #include <condition_variable>
@@ -28,11 +29,42 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Run fn(i) for every i in [0, n); blocks until all complete.
-  /// Exceptions thrown by fn are captured and the first one rethrown here.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `grain` is the minimum number of indices worth dispatching as one
+  /// block: batches that fit in a single block (n <= grain), empty ranges,
+  /// and single-worker pools run entirely inline on the caller with zero
+  /// synchronization. The caller always participates in block processing
+  /// (it is never parked while unclaimed blocks remain), and a call made
+  /// from inside a pool worker runs inline, so nested parallel_for over
+  /// the same pool cannot deadlock.
+  ///
+  /// Exceptions thrown by fn are captured and the first one rethrown here;
+  /// once a block has thrown, blocks not yet started are skipped.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
   /// Process-wide pool sized to the hardware; created on first use.
   static ThreadPool& global();
+
+  /// Pool used by the free parallel_for(): the innermost active
+  /// ScopedDefault override, else global().
+  static ThreadPool& current();
+
+  /// RAII override of the pool used by the free parallel_for() — lets
+  /// tests and benches pin a thread count for everything downstream
+  /// without threading a pool handle through every call site. Overrides
+  /// nest; each restores the previous pool on destruction.
+  class ScopedDefault {
+   public:
+    explicit ScopedDefault(ThreadPool& pool);
+    ~ScopedDefault();
+
+    ScopedDefault(const ScopedDefault&) = delete;
+    ScopedDefault& operator=(const ScopedDefault&) = delete;
+
+   private:
+    ThreadPool* previous_;
+  };
 
  private:
   void worker_loop();
@@ -44,7 +76,8 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience: parallel_for on the global pool.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+/// Convenience: parallel_for on ThreadPool::current().
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
 
 }  // namespace pamo

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pamo::core {
 
@@ -48,14 +49,16 @@ void OutcomeModels::fit(const std::vector<eva::StreamConfig>& configs,
     inputs.push_back({static_cast<double>(c.resolution),
                       static_cast<double>(c.fps)});
   }
-  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+  // The five metric fits are independent (per-model options carry their
+  // own MLE seed and no model touches another's state), so fan them out.
+  parallel_for(kNumMetrics, [&](std::size_t m) {
     std::vector<double> targets;
     targets.reserve(measurements.size());
     for (const auto& meas : measurements) {
       targets.push_back(metric_of(meas, static_cast<Metric>(m)));
     }
     models_[m].fit(inputs, targets);
-  }
+  });
 }
 
 void OutcomeModels::update(
@@ -70,14 +73,14 @@ void OutcomeModels::update(
     inputs.push_back({static_cast<double>(c.resolution),
                       static_cast<double>(c.fps)});
   }
-  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+  parallel_for(kNumMetrics, [&](std::size_t m) {
     std::vector<double> targets;
     targets.reserve(measurements.size());
     for (const auto& meas : measurements) {
       targets.push_back(metric_of(meas, static_cast<Metric>(m)));
     }
     models_[m].update(inputs, targets, /*reoptimize=*/false);
-  }
+  });
 }
 
 bool OutcomeModels::is_fit() const {
@@ -101,11 +104,24 @@ std::size_t OutcomeModels::grid_index(const eva::StreamConfig& config) const {
 std::vector<la::Matrix> OutcomeModels::sample_grid_tables(
     std::size_t num_samples, Rng& rng) const {
   PAMO_CHECK(is_fit(), "sample before fit");
-  std::vector<la::Matrix> tables;
-  tables.reserve(kNumMetrics);
+  // Pre-draw every standard normal serially, in exactly the order the
+  // historical metric-by-metric loop consumed `rng` (metric-major, then
+  // sample-major); the per-metric colouring transforms are deterministic
+  // and run concurrently without touching the stream.
+  const std::size_t g = grid_inputs_.size();
+  std::vector<la::Matrix> normals;
+  normals.reserve(kNumMetrics);
   for (std::size_t m = 0; m < kNumMetrics; ++m) {
-    tables.push_back(models_[m].sample_joint(grid_inputs_, num_samples, rng));
+    la::Matrix z(num_samples, g);
+    for (std::size_t s = 0; s < num_samples; ++s) {
+      for (std::size_t i = 0; i < g; ++i) z(s, i) = rng.normal();
+    }
+    normals.push_back(std::move(z));
   }
+  std::vector<la::Matrix> tables(kNumMetrics);
+  parallel_for(kNumMetrics, [&](std::size_t m) {
+    tables[m] = models_[m].sample_joint_given(grid_inputs_, normals[m]);
+  });
   return tables;
 }
 
@@ -119,6 +135,8 @@ gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
     total.fit_jitter = std::max(total.fit_jitter, d.fit_jitter);
     total.posterior_jitter =
         std::max(total.posterior_jitter, d.posterior_jitter);
+    total.incremental_updates += d.incremental_updates;
+    total.incremental_fallbacks += d.incremental_fallbacks;
   }
   return total;
 }
@@ -126,11 +144,11 @@ gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
 la::Matrix OutcomeModels::mean_grid_table() const {
   PAMO_CHECK(is_fit(), "mean table before fit");
   la::Matrix table(kNumMetrics, grid_.size());
-  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+  parallel_for(kNumMetrics, [&](std::size_t m) {
     for (std::size_t g = 0; g < grid_.size(); ++g) {
       table(m, g) = models_[m].predict_mean(grid_inputs_[g]);
     }
-  }
+  });
   return table;
 }
 

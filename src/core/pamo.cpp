@@ -153,10 +153,20 @@ eva::OutcomeVector PamoScheduler::outcomes_from_tables(
     const std::vector<la::Matrix>& tables, std::size_t sample,
     const eva::JointConfig& config,
     const sched::ScheduleResult& schedule) const {
+  std::vector<std::size_t> grid_rows;
+  grid_rows.reserve(config.size());
+  for (const auto& c : config) grid_rows.push_back(models_.grid_index(c));
+  return outcomes_from_rows(tables, sample, grid_rows, config, schedule);
+}
+
+eva::OutcomeVector PamoScheduler::outcomes_from_rows(
+    const std::vector<la::Matrix>& tables, std::size_t sample,
+    const std::vector<std::size_t>& grid_rows, const eva::JointConfig& config,
+    const sched::ScheduleResult& schedule) const {
   const auto m = static_cast<double>(config.size());
   eva::OutcomeVector y{};
   for (std::size_t i = 0; i < config.size(); ++i) {
-    const std::size_t g = models_.grid_index(config[i]);
+    const std::size_t g = grid_rows[i];
     const double acc =
         tables[static_cast<std::size_t>(Metric::kAccuracy)](sample, g);
     const double bw =
@@ -379,22 +389,49 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
     const std::size_t num_samples = options_.mc_samples;
     const auto tables = models_.sample_grid_tables(num_samples, rng);
 
+    // Pre-resolve each candidate's knob-grid rows once; grid_index() is a
+    // linear scan and would otherwise run once per scenario cell.
+    auto grid_rows_of = [&](const eva::JointConfig& config) {
+      std::vector<std::size_t> rows;
+      rows.reserve(config.size());
+      for (const auto& c : config) rows.push_back(models_.grid_index(c));
+      return rows;
+    };
+    const std::size_t num_pool = pool_configs.size();
+    const std::size_t num_obs = observed.size();
+    std::vector<std::vector<std::size_t>> pool_rows;
+    pool_rows.reserve(num_pool);
+    for (const auto& config : pool_configs) {
+      pool_rows.push_back(grid_rows_of(config));
+    }
+    std::vector<std::vector<std::size_t>> obs_rows;
+    obs_rows.reserve(num_obs);
+    for (const auto& obs : observed) obs_rows.push_back(grid_rows_of(obs.config));
+
     // Scenario evaluations are independent (tables are pre-sampled and the
-    // preference model is read-only here), so fan out across the pool.
-    la::Matrix z_pool(num_samples, pool_configs.size());
-    la::Matrix z_obs(num_samples, observed.size());
-    parallel_for(num_samples, [&](std::size_t s) {
-      for (std::size_t c = 0; c < pool_configs.size(); ++c) {
-        const eva::OutcomeVector y = outcomes_from_tables(
-            tables, s, pool_configs[c], pool_schedules[c]);
-        z_pool(s, c) = utility(normalizer_.normalize(y), oracle);
-      }
-      for (std::size_t c = 0; c < observed.size(); ++c) {
-        const eva::OutcomeVector y = outcomes_from_tables(
-            tables, s, observed[c].config, observed[c].schedule);
-        z_obs(s, c) = utility(normalizer_.normalize(y), oracle);
-      }
-    });
+    // preference model is read-only here), so fan out over every
+    // (sample, candidate) cell: each cell is a pure function of its index,
+    // making the result bit-identical at any thread count.
+    la::Matrix z_pool(num_samples, num_pool);
+    la::Matrix z_obs(num_samples, num_obs);
+    parallel_for(
+        num_samples * (num_pool + num_obs),
+        [&](std::size_t idx) {
+          const std::size_t s = idx / (num_pool + num_obs);
+          const std::size_t c = idx % (num_pool + num_obs);
+          if (c < num_pool) {
+            const eva::OutcomeVector y = outcomes_from_rows(
+                tables, s, pool_rows[c], pool_configs[c], pool_schedules[c]);
+            z_pool(s, c) = utility(normalizer_.normalize(y), oracle);
+          } else {
+            const std::size_t o = c - num_pool;
+            const eva::OutcomeVector y = outcomes_from_rows(
+                tables, s, obs_rows[o], observed[o].config,
+                observed[o].schedule);
+            z_obs(s, o) = utility(normalizer_.normalize(y), oracle);
+          }
+        },
+        /*grain=*/16);
     double best_observed = -1e300;
     for (const auto& obs : observed) {
       best_observed =

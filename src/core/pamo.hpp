@@ -162,6 +162,15 @@ class PamoScheduler {
       const eva::JointConfig& config,
       const sched::ScheduleResult& schedule) const;
 
+  /// outcomes_from_tables with the per-stream knob-grid rows resolved up
+  /// front: grid_index() is a linear scan, so the Phase-3 scenario loop
+  /// resolves each candidate once instead of once per MC sample.
+  eva::OutcomeVector outcomes_from_rows(
+      const std::vector<la::Matrix>& tables, std::size_t sample,
+      const std::vector<std::size_t>& grid_rows,
+      const eva::JointConfig& config,
+      const sched::ScheduleResult& schedule) const;
+
   /// Utility of a normalized outcome vector under the current preference
   /// belief (learned model for PaMO, true benefit for PaMO+).
   double utility(const eva::OutcomeVector& normalized,

@@ -1,11 +1,13 @@
 #include "gp/gp_regressor.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "opt/nelder_mead.hpp"
 
 namespace pamo::gp {
@@ -13,6 +15,28 @@ namespace pamo::gp {
 namespace {
 
 constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+
+/// FNV-1a over the bit patterns of a query set; fingerprints the posterior
+/// workspace (backed by an exact row comparison, so collisions only cost a
+/// recompute, never a wrong reuse).
+std::uint64_t fingerprint_rows(const std::vector<std::vector<double>>& xs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(xs.size());
+  for (const auto& row : xs) {
+    for (const double d : row) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -90,11 +114,78 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
     PAMO_CHECK(row.size() == dim_, "input dimension mismatch");
   }
   sanitize(xs, ys);
+  const bool want_mle = reoptimize && !options_.fixed_params.has_value();
+  if (xs.empty() && !want_mle) {
+    // Nothing new and no re-optimization: the solved system already is
+    // exactly what a rebuild over the unchanged data would produce.
+    return;
+  }
+  // The factor extension is exact only when the solved system is a pure
+  // function of the appended rows: hyperparameters kept, robust noise off
+  // (reweighting re-solves over all rows), a jitter-free factor (the
+  // ladder restarts from zero on a full rebuild), and every new input
+  // inside the training box, so the min-max scaling of old rows — and with
+  // it the entire existing system — is unchanged.
+  auto inside_box = [this](const std::vector<std::vector<double>>& rows) {
+    for (const auto& row : rows) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        if (row[d] < x_lo_[d] || row[d] > x_hi_[d]) return false;
+      }
+    }
+    return true;
+  };
+  const bool eligible = options_.incremental && !want_mle &&
+                        !options_.robust_noise && chol_.has_value() &&
+                        chol_->jitter() == 0.0 &&  // pamo-lint: allow(float-eq)
+                        !xs.empty() && inside_box(xs);
+  const std::size_t new_rows = xs.size();
   for (auto& row : xs) x_raw_.push_back(std::move(row));
   y_raw_.insert(y_raw_.end(), ys.begin(), ys.end());
-  rebuild(reoptimize && !options_.fixed_params.has_value());
+  if (eligible && try_incremental_update(new_rows)) {
+    ++diagnostics_.incremental_updates;
+  } else {
+    if (options_.incremental && !want_mle) ++diagnostics_.incremental_fallbacks;
+    rebuild(want_mle);
+  }
   PAMO_ENSURES(alpha_.size() == x_raw_.size(),
                "update leaves a solved system over every kept row");
+}
+
+bool GpRegressor::try_incremental_update(std::size_t new_rows) {
+  const std::size_t n_old = x_.size();
+  std::vector<std::vector<double>> scaled;
+  scaled.reserve(new_rows);
+  for (std::size_t i = 0; i < new_rows; ++i) {
+    scaled.push_back(scale_input(x_raw_[n_old + i]));
+  }
+
+  la::Matrix cross(new_rows, n_old, 0.0);
+  for (std::size_t r = 0; r < new_rows; ++r) {
+    for (std::size_t j = 0; j < n_old; ++j) {
+      cross(r, j) = kernel_value(options_.kernel, params_, scaled[r], x_[j]);
+    }
+  }
+  la::Matrix corner = kernel_matrix(options_.kernel, params_, scaled);
+  const double noise = std::exp(params_.log_noise_var);
+  for (std::size_t i = 0; i < new_rows; ++i) {
+    corner(i, i) += noise;  // fresh rows always have noise_scale 1
+  }
+  if (!chol_->extend(cross, corner)) return false;
+
+  for (auto& row : scaled) x_.push_back(std::move(row));
+  noise_scale_.insert(noise_scale_.end(), new_rows, 1.0);
+
+  // Re-standardize the targets over the grown set — exactly the rebuild
+  // arithmetic — and re-solve against the extended factor: O(n) + O(n²)
+  // against the rebuild's O(n³) refactorization.
+  const std::size_t n = x_.size();
+  y_mean_ = mean_of(y_raw_);
+  y_std_ = stddev_of(y_raw_);
+  if (y_std_ < 1e-12) y_std_ = 1.0;  // constant targets: keep scale sane
+  y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = (y_raw_[i] - y_mean_) / y_std_;
+  alpha_ = chol_->solve(y_);
+  return true;
 }
 
 void GpRegressor::rebuild(bool optimize_hyperparams) {
@@ -204,6 +295,7 @@ void GpRegressor::solve_system() {
   }
   diagnostics_.fit_jitter = std::max(diagnostics_.fit_jitter, chol_->jitter());
   alpha_ = chol_->solve(y_);
+  ++factor_epoch_;  // full refactorization: cached V rows are now stale
 }
 
 bool GpRegressor::reweight_outliers() {
@@ -274,6 +366,60 @@ double GpRegressor::predict_var(const std::vector<double>& x) const {
   return std::max(0.0, var) * y_std_ * y_std_;
 }
 
+void GpRegressor::refresh_posterior_workspace(
+    std::vector<std::vector<double>>&& xs) const {
+  const std::size_t n = x_.size();
+  const std::uint64_t key = fingerprint_rows(xs);
+  const bool same_query = options_.incremental && workspace_.valid &&
+                          workspace_.key == key && workspace_.xs == xs;
+  if (same_query && workspace_.factor_epoch == factor_epoch_ &&
+      workspace_.train_rows <= n) {
+    if (workspace_.train_rows == n) return;  // fully current
+    // The factor was extended in place since the workspace was built:
+    // append the new columns of K* and continue the forward substitution
+    // for the new rows of V. Existing entries are untouched, so the
+    // result is bit-identical to recomputing against the grown set.
+    const std::size_t m = xs.size();
+    const std::size_t n_prev = workspace_.train_rows;
+    const la::Matrix& l = chol_->lower();
+    la::Matrix k_cross(m, n, 0.0);
+    la::Matrix v(n, m, 0.0);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (std::size_t j = 0; j < n_prev; ++j) {
+        k_cross(c, j) = workspace_.k_cross(c, j);
+        v(j, c) = workspace_.v(j, c);
+      }
+      for (std::size_t j = n_prev; j < n; ++j) {
+        k_cross(c, j) =
+            kernel_value(options_.kernel, params_, workspace_.xs[c], x_[j]);
+      }
+    }
+    for (std::size_t i = n_prev; i < n; ++i) {
+      for (std::size_t c = 0; c < m; ++c) {
+        double sum = k_cross(c, i);
+        for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * v(k, c);
+        v(i, c) = sum / l(i, i);
+      }
+    }
+    workspace_.k_cross = std::move(k_cross);
+    workspace_.v = std::move(v);
+    workspace_.train_rows = n;
+    return;
+  }
+  // Full recompute (new query set, disabled cache, or a refactorized
+  // system). k_test depends only on the query rows but is rebuilt here
+  // anyway — it is the cheap part, and this keeps the workspace an
+  // all-or-nothing snapshot.
+  workspace_.k_cross = kernel_cross(options_.kernel, params_, xs, x_);
+  workspace_.k_test = kernel_matrix(options_.kernel, params_, xs);
+  workspace_.v = chol_->solve_lower(workspace_.k_cross.transposed());
+  workspace_.xs = std::move(xs);
+  workspace_.key = key;
+  workspace_.factor_epoch = factor_epoch_;
+  workspace_.train_rows = n;
+  workspace_.valid = true;
+}
+
 Posterior GpRegressor::posterior(
     const std::vector<std::vector<double>>& x) const {
   PAMO_CHECK(is_fit(), "posterior before fit");
@@ -282,39 +428,27 @@ Posterior GpRegressor::posterior(
   std::vector<std::vector<double>> xs;
   xs.reserve(m);
   for (const auto& row : x) xs.push_back(scale_input(row));
+  refresh_posterior_workspace(std::move(xs));
+  const PosteriorWorkspace& ws = workspace_;
 
-  const la::Matrix k_cross =
-      kernel_cross(options_.kernel, params_, xs, x_);  // m × n
-  la::Matrix k_test = kernel_matrix(options_.kernel, params_, xs);  // m × m
-
+  const std::size_t n = x_.size();
   Posterior post;
   post.mean.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     double sum = 0.0;
-    for (std::size_t j = 0; j < x_.size(); ++j) sum += k_cross(i, j) * alpha_[j];
+    for (std::size_t j = 0; j < n; ++j) sum += ws.k_cross(i, j) * alpha_[j];
     post.mean[i] = y_mean_ + y_std_ * sum;
   }
 
-  // cov = K** - K*ᵀ (K + σ²I)⁻¹ K*, computed via V = L⁻¹ K*ᵀ.
-  const std::size_t n = x_.size();
-  la::Matrix v(n, m);
-  {
-    la::Vector col(n);
-    for (std::size_t c = 0; c < m; ++c) {
-      for (std::size_t r = 0; r < n; ++r) col[r] = k_cross(c, r);
-      const la::Vector sol = chol_->solve_lower(col);
-      for (std::size_t r = 0; r < n; ++r) v(r, c) = sol[r];
-    }
-  }
+  // cov = K** - K*ᵀ (K + σ²I)⁻¹ K* = K** - VᵀV with V = L⁻¹ K*ᵀ. The
+  // blocked product accumulates r-ascending per element, so VᵀV is exactly
+  // symmetric and matches the naive triangle loop term-for-term.
+  const la::Matrix vtv = la::matmul_blocked(ws.v.transposed(), ws.v);
   post.covariance = la::Matrix(m, m);
   const double scale2 = y_std_ * y_std_;
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i; j < m; ++j) {
-      double vv = 0.0;
-      for (std::size_t r = 0; r < n; ++r) vv += v(r, i) * v(r, j);
-      const double c = (k_test(i, j) - vv) * scale2;
-      post.covariance(i, j) = c;
-      post.covariance(j, i) = c;
+    for (std::size_t j = 0; j < m; ++j) {
+      post.covariance(i, j) = (ws.k_test(i, j) - vtv(i, j)) * scale2;
     }
   }
   PAMO_ENSURES(post.mean.size() == m && post.covariance.rows() == m &&
@@ -326,23 +460,45 @@ Posterior GpRegressor::posterior(
 la::Matrix GpRegressor::sample_joint(const std::vector<std::vector<double>>& x,
                                      std::size_t num_samples, Rng& rng) const {
   PAMO_EXPECTS(num_samples > 0, "sample_joint of zero samples");
-  const Posterior post = posterior(x);
+  // Draw every normal serially in sample-major order — the exact sequence
+  // the historical all-serial loop consumed — then run the deterministic
+  // colouring transform (possibly in parallel) on top.
+  la::Matrix z(num_samples, x.size());
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) z(s, i) = rng.normal();
+  }
+  return sample_joint_given(x, z);
+}
+
+la::Matrix GpRegressor::sample_joint_given(
+    const std::vector<std::vector<double>>& x, const la::Matrix& z) const {
   const std::size_t m = x.size();
-  la::Matrix cov = post.covariance;
+  const std::size_t num_samples = z.rows();
+  PAMO_EXPECTS(num_samples > 0, "sample_joint of zero samples");
+  PAMO_CHECK(z.cols() == m, "normals/query-set size mismatch");
+  const Posterior post = posterior(x);
   // Small jitter for numerical PSD-ness of the posterior covariance.
-  const la::Cholesky chol(cov, options_.posterior_max_jitter);
+  const la::Cholesky chol(post.covariance, options_.posterior_max_jitter);
   diagnostics_.posterior_jitter =
       std::max(diagnostics_.posterior_jitter, chol.jitter());
   la::Matrix samples(num_samples, m);
-  la::Vector z(m);
-  for (std::size_t s = 0; s < num_samples; ++s) {
-    for (auto& zi : z) zi = rng.normal();
-    for (std::size_t i = 0; i < m; ++i) {
-      double sum = post.mean[i];
-      for (std::size_t j = 0; j <= i; ++j) sum += chol.lower()(i, j) * z[j];
-      samples(s, i) = sum;
-    }
-  }
+  // Each sample is a pure function of its own z row, L, and the mean:
+  // rows are written disjointly and in a fixed per-row order, so the
+  // fan-out is bit-identical at any thread count. The grain keeps small
+  // batches (the common tiny-grid case) entirely inline.
+  const std::size_t grain = std::max<std::size_t>(1, 32768 / (m * m + 1));
+  parallel_for(
+      num_samples,
+      [&](std::size_t s) {
+        for (std::size_t i = 0; i < m; ++i) {
+          double sum = post.mean[i];
+          for (std::size_t j = 0; j <= i; ++j) {
+            sum += chol.lower()(i, j) * z(s, j);
+          }
+          samples(s, i) = sum;
+        }
+      },
+      grain);
   return samples;
 }
 

@@ -51,6 +51,14 @@ struct GpOptions {
   /// (sample_joint); the jitter actually applied is recorded in
   /// diagnostics().posterior_jitter.
   double posterior_max_jitter = 1e-2;
+  /// O(n²) hot path for the decision loop: update() extends the cached
+  /// Cholesky factor by the new rows instead of refactorizing, and
+  /// posterior() keeps a cross-covariance workspace that is reused (and
+  /// incrementally extended) across calls over the same query set. Both
+  /// are bit-for-bit identical to the full recomputation and fall back to
+  /// it automatically whenever exactness cannot be guaranteed — see
+  /// diagnostics().incremental_fallbacks for when that happens.
+  bool incremental = true;
   std::uint64_t seed = 0xC0FFEE;
 };
 
@@ -67,6 +75,12 @@ struct GpFitDiagnostics {
   double fit_jitter = 0.0;
   /// Largest jitter used to repair a sampled posterior covariance.
   double posterior_jitter = 0.0;
+  /// update() calls served by the O(n²) incremental factor extension.
+  std::size_t incremental_updates = 0;
+  /// Incremental-eligible update() calls that fell back to a full rebuild
+  /// (hyperparameter re-optimization, robust noise, prior jitter, a grown
+  /// input box, or a non-PD extension).
+  std::size_t incremental_fallbacks = 0;
 };
 
 struct Posterior {
@@ -115,12 +129,44 @@ class GpRegressor {
       const std::vector<std::vector<double>>& x, std::size_t num_samples,
       Rng& rng) const;
 
+  /// sample_joint with the standard normals supplied by the caller: row s
+  /// of `z` (num_samples × x.size()) drives sample s. Lets callers pre-draw
+  /// the randomness serially in a fixed order and run the deterministic
+  /// colouring transform in parallel — sample_joint(x, S, rng) is exactly
+  /// sample_joint_given(x, z) with z filled row-major from `rng`.
+  [[nodiscard]] la::Matrix sample_joint_given(
+      const std::vector<std::vector<double>>& x, const la::Matrix& z) const;
+
   /// Log marginal likelihood of the standardized data under `params`.
   [[nodiscard]] double log_marginal_likelihood(
       const KernelParams& params) const;
 
  private:
+  /// Cross-covariance workspace reused by posterior() across calls over
+  /// the same query set. `key` fingerprints the scaled query rows (with an
+  /// exact row comparison against `xs` to rule out hash collisions);
+  /// `factor_epoch` ties V to the factor it was computed against, and
+  /// `train_rows` lets an incrementally-extended factor extend k_cross/V
+  /// by the new training rows instead of recomputing them.
+  struct PosteriorWorkspace {
+    bool valid = false;
+    std::uint64_t key = 0;
+    std::uint64_t factor_epoch = 0;
+    std::size_t train_rows = 0;
+    std::vector<std::vector<double>> xs;  // scaled query rows
+    la::Matrix k_cross;                   // m × n
+    la::Matrix k_test;                    // m × m
+    la::Matrix v;                         // n × m, V = L⁻¹ K*ᵀ
+  };
+
   void rebuild(bool optimize_hyperparams);
+  /// O(n²) update: extend the cached factor by the last `new_rows` rows of
+  /// x_raw_/y_raw_. Returns false when the extension would not be
+  /// bit-identical to a full rebuild (see GpOptions::incremental); the
+  /// fitted state is untouched then.
+  bool try_incremental_update(std::size_t new_rows);
+  /// Bring workspace_ up to date for the scaled query rows `xs`.
+  void refresh_posterior_workspace(std::vector<std::vector<double>>&& xs) const;
   /// Factorize K(x_, x_) + σ²·diag(noise_scale_) and solve for alpha_,
   /// recovering from Cholesky failures by widening the jitter cap.
   void solve_system();
@@ -159,6 +205,12 @@ class GpRegressor {
   // fit is off or the point is an inlier).
   std::vector<double> noise_scale_;
   mutable GpFitDiagnostics diagnostics_;
+
+  // Bumped by every full refactorization (solve_system); incremental
+  // factor extensions keep it, which is what lets the posterior workspace
+  // extend its V rows instead of starting over.
+  std::uint64_t factor_epoch_ = 0;
+  mutable PosteriorWorkspace workspace_;
 };
 
 }  // namespace pamo::gp

@@ -23,7 +23,7 @@ class Cholesky {
   /// Solve A x = b.
   [[nodiscard]] Vector solve(const Vector& b) const;
 
-  /// Solve A X = B column-wise.
+  /// Solve A X = B for all columns at once (batched substitution).
   [[nodiscard]] Matrix solve(const Matrix& b) const;
 
   /// Solve L y = b (forward substitution).
@@ -31,6 +31,28 @@ class Cholesky {
 
   /// Solve Lᵀ x = y (backward substitution).
   [[nodiscard]] Vector solve_upper(const Vector& y) const;
+
+  /// Solve L Y = B for a full right-hand-side matrix. One row sweep
+  /// streams L once for every column, with per-column arithmetic identical
+  /// to the vector solve_lower (bit-for-bit).
+  [[nodiscard]] Matrix solve_lower(const Matrix& b) const;
+
+  /// Solve Lᵀ X = Y, batched like solve_lower(Matrix).
+  [[nodiscard]] Matrix solve_upper(const Matrix& y) const;
+
+  /// Grow the factor of A (n×n) into the factor of [[A, crossᵀ],[cross,
+  /// corner]] in O(n²m) instead of the O((n+m)³) refactorization, where
+  /// `cross` is m×n and `corner` is m×m (diagonal noise already added).
+  /// The arithmetic matches the trailing columns of a from-scratch
+  /// factorization operation-for-operation, so the extended factor is
+  /// bit-for-bit identical to refactorizing the full matrix.
+  ///
+  /// Returns false — leaving this factor untouched — when the extension is
+  /// not exactly reproducible: the extended matrix is not positive
+  /// definite without jitter, or this factor itself carries jitter (the
+  /// ladder re-runs from scratch on the full matrix, which an extension
+  /// cannot imitate). Callers fall back to a full refactorization.
+  [[nodiscard]] bool extend(const Matrix& cross, const Matrix& corner);
 
   /// log |A| = 2 Σ log L_ii.
   [[nodiscard]] double log_det() const;

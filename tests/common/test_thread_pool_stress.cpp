@@ -139,6 +139,90 @@ TEST(ThreadPoolStress, GlobalPoolConcurrentUse) {
   for (std::size_t r : results) EXPECT_EQ(r, 128u * 127u / 2u);
 }
 
+// ---- dispatch-overhead regressions ----------------------------------------
+// parallel_for used to enqueue tasks even for batches that could never use
+// them (empty ranges, one block, more workers than items). These tests pin
+// the short-circuit paths: no worker dispatch means the body runs on the
+// calling thread.
+
+TEST(ThreadPoolStress, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> calls{0};
+  pool.parallel_for(0, [&calls](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolStress, GrainCoveringWholeRangeRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<std::size_t> off_thread{0};
+  std::atomic<std::size_t> calls{0};
+  // grain >= n collapses the batch into one block, which must run on the
+  // calling thread without waking any worker.
+  pool.parallel_for(
+      16,
+      [&](std::size_t) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        if (std::this_thread::get_id() != caller) {
+          off_thread.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*grain=*/16);
+  EXPECT_EQ(calls.load(), 16u);
+  EXPECT_EQ(off_thread.load(), 0u);
+}
+
+TEST(ThreadPoolStress, MoreWorkersThanItemsStillCoversEveryIndex) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> seen(3);
+  pool.parallel_for(seen.size(), [&seen](std::size_t i) {
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  // Inner batches issued from worker threads must run inline — a worker
+  // blocking on its own pool's queue would deadlock a 2-thread pool fast.
+  pool.parallel_for(8, [&pool, &total](std::size_t) {
+    pool.parallel_for(8, [&total](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPoolStress, ScopedDefaultRoutesFreeParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  {
+    ThreadPool::ScopedDefault guard(pool);
+    EXPECT_EQ(&ThreadPool::current(), &pool);
+    parallel_for(32, [&sum](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 32u * 31u / 2u);
+  // After the guard unwinds, current() falls back to the global pool.
+  EXPECT_NE(&ThreadPool::current(), &pool);
+}
+
+TEST(ThreadPoolStress, ScopedDefaultNestsAndRestores) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  ThreadPool::ScopedDefault outer_guard(outer);
+  ASSERT_EQ(&ThreadPool::current(), &outer);
+  {
+    ThreadPool::ScopedDefault inner_guard(inner);
+    EXPECT_EQ(&ThreadPool::current(), &inner);
+  }
+  EXPECT_EQ(&ThreadPool::current(), &outer);
+}
+
 TEST(ThreadPoolStress, DeterministicResultsAcrossThreadCounts) {
   auto compute = [](std::size_t threads) {
     ThreadPool pool(threads);

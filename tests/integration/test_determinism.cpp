@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "core/service.hpp"
 #include "eva/clip.hpp"
 #include "sim/fault.hpp"
@@ -208,6 +209,38 @@ TEST(Determinism, DifferentSeedsProduceDifferentDigests) {
     return digest_epoch(service.run_epoch(oracle));
   };
   EXPECT_NE(one_epoch(77), one_epoch(78));
+}
+
+// Thread-count invariance: the full hostile epoch run at a 1-worker pool
+// and at an 8-worker pool must produce identical digests. All randomness is
+// pre-drawn serially in seed order, so the parallel fan-out only ever
+// executes deterministic transforms — any scheduling-dependent arithmetic
+// (an accumulation order that depends on which worker got which block)
+// breaks this digest comparison at the first epoch.
+TEST(Determinism, SameSeedIsBitIdenticalAcrossThreadCounts) {
+  const eva::Workload workload = eva::make_workload(5, 4, 421);
+
+  auto run = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    ThreadPool::ScopedDefault guard(pool);
+    SchedulingService service(workload, tiny_service(77));
+    service.set_fault_plan(hostile_plan());
+    service.set_telemetry_corruption(hostile_telemetry());
+    pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
+    std::vector<std::uint64_t> digests;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      digests.push_back(digest_epoch(service.run_epoch(oracle)));
+    }
+    return digests;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i])
+        << "epoch " << i << " diverged across thread counts";
+  }
 }
 
 // The fault-free loop must be reproducible too (faults off is the

@@ -27,10 +27,11 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
 
 TEST(PamoLint, RuleListIsStableAndComplete) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 9u);
+  ASSERT_EQ(ids.size(), 10u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "determinism-rng"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "float-eq"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pragma-once"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-thread"), ids.end());
 }
 
 // ---- determinism-rng ------------------------------------------------------
@@ -237,6 +238,44 @@ TEST(PamoLint, FlagsUsingNamespaceInHeader) {
 TEST(PamoLint, HeaderRulesDoNotApplyToCpp) {
   const std::string source = "using namespace std;\n";
   EXPECT_TRUE(lint_source("src/eva/fixture.cpp", source).empty());
+}
+
+// ---- raw-thread -----------------------------------------------------------
+
+TEST(PamoLint, FlagsDirectThreadConstructionInSrc) {
+  const std::string source =
+      "#include <thread>\n"
+      "void spawn() { std::thread t([] {}); t.join(); }\n"
+      "void spawn2() { std::jthread t([] {}); }\n";
+  const auto rules = rules_hit(lint_source("src/eva/fixture.cpp", source));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "raw-thread"), 2);
+}
+
+TEST(PamoLint, ThreadPoolImplementationMayOwnThreads) {
+  const std::string source =
+      "#include <thread>\n"
+      "std::vector<std::thread> workers_;\n";
+  EXPECT_FALSE(has_rule(lint_source("src/common/thread_pool.cpp", source),
+                        "raw-thread"));
+  EXPECT_FALSE(has_rule(lint_source("src/common/thread_pool.hpp", source),
+                        "raw-thread"));
+}
+
+TEST(PamoLint, StaticThreadQueriesAreNotFlagged) {
+  const std::string source =
+      "#include <thread>\n"
+      "unsigned n() { return std::thread::hardware_concurrency(); }\n"
+      "auto id() { return std::this_thread::get_id(); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/eva/fixture.cpp", source),
+                        "raw-thread"));
+}
+
+TEST(PamoLint, RawThreadOutsideSrcIsAllowed) {
+  const std::string source =
+      "#include <thread>\n"
+      "void spawn() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_FALSE(has_rule(lint_source("tests/common/fixture.cpp", source),
+                        "raw-thread"));
 }
 
 // ---- suppressions ---------------------------------------------------------

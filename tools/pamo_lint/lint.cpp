@@ -13,6 +13,7 @@ const char* const kRuleIds[] = {
     "determinism-rng",   "time-seeded-rng",      "unordered-iter",
     "throw-discipline",  "catch-all-swallow",    "float-eq",
     "unchecked-front-back", "pragma-once",       "using-namespace-header",
+    "raw-thread",
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -300,6 +301,36 @@ struct Linter {
     add(0, "pragma-once", "header is missing #pragma once");
   }
 
+  // -- raw-thread -----------------------------------------------------------
+  void rule_raw_thread() {
+    if (!is_src_path(path)) return;
+    // The pool itself is the one place allowed to own std::thread objects.
+    if (path.find("common/thread_pool.") != std::string::npos) return;
+    static const std::regex kThread(R"(std::\s*j?thread\b)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (auto it = std::sregex_iterator(code[i].begin(), code[i].end(),
+                                          kThread);
+           it != std::sregex_iterator(); ++it) {
+        // Static members (std::thread::hardware_concurrency, ::id) read
+        // thread facts without spawning; only type uses are flagged.
+        std::size_t after =
+            static_cast<std::size_t>(it->position()) + it->length();
+        while (after < code[i].size() &&
+               std::isspace(static_cast<unsigned char>(code[i][after]))) {
+          ++after;
+        }
+        if (after + 1 < code[i].size() && code[i][after] == ':' &&
+            code[i][after + 1] == ':') {
+          continue;
+        }
+        add(i, "raw-thread",
+            "direct std::thread use outside common/thread_pool: spawn work "
+            "through pamo::ThreadPool / parallel_for so worker count, "
+            "shutdown, and determinism stay centrally controlled");
+      }
+    }
+  }
+
   // -- using-namespace-header -----------------------------------------------
   void rule_using_namespace_header() {
     if (!is_header_path(path)) return;
@@ -465,6 +496,7 @@ std::vector<Finding> lint_source(const std::string& path,
   linter.rule_unchecked_front_back();
   linter.rule_pragma_once();
   linter.rule_using_namespace_header();
+  linter.rule_raw_thread();
 
   std::vector<Finding> result;
   for (auto& f : linter.findings) {

@@ -29,6 +29,11 @@
 //                          on the same object within the preceding lines).
 //   pragma-once            header without #pragma once.
 //   using-namespace-header using namespace at header scope.
+//   raw-thread             std::thread / std::jthread in src/ outside
+//                          common/thread_pool.* — work must go through
+//                          pamo::ThreadPool so worker count, shutdown and
+//                          determinism stay centrally controlled (static
+//                          queries like hardware_concurrency are fine).
 //
 // Suppression: `// pamo-lint: allow(rule-a, rule-b)` on the offending line
 // or the line directly above it. Suppressed findings are dropped unless
