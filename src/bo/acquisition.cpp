@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace pamo::bo {
 
@@ -26,6 +27,9 @@ std::vector<double> acquisition_scores(const AcquisitionOptions& options,
                                        double best_observed) {
   const std::size_t num_samples = z_pool.rows();
   const std::size_t num_candidates = z_pool.cols();
+  PAMO_SPAN("bo.acquisition");
+  PAMO_COUNT("bo.acquisition_calls", 1);
+  PAMO_COUNT("bo.candidates_scored", num_candidates);
   PAMO_CHECK(num_samples > 0 && num_candidates > 0,
              "acquisition needs a non-empty sample matrix");
 

@@ -1,5 +1,6 @@
 #include "common/ticks.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -7,6 +8,13 @@
 #include "common/error.hpp"
 
 namespace pamo {
+
+std::uint64_t monotonic_ns() {
+  const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch)
+          .count());
+}
 
 std::uint64_t gcd_of(const std::vector<std::uint64_t>& values) {
   PAMO_CHECK(!values.empty(), "gcd_of requires a non-empty list");

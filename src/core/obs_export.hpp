@@ -1,0 +1,20 @@
+// Mapping from a SchedulingService::EpochReport to the flat, serializable
+// obs::EpochRecord. Lives in core (not obs) so the obs layer stays
+// dependency-free: obs knows nothing about core/sim types, core knows how
+// to flatten them.
+#pragma once
+
+#include "core/service.hpp"
+#include "obs/epoch_record.hpp"
+
+namespace pamo::core {
+
+/// Flatten one epoch's report into an exportable record. When
+/// `include_obs_state` is true (the default), the record additionally
+/// captures the global metrics registry and span log as they stand — call
+/// obs::reset() before the epoch to scope those snapshots to it.
+[[nodiscard]] obs::EpochRecord export_epoch_record(
+    const SchedulingService::EpochReport& report,
+    bool include_obs_state = true);
+
+}  // namespace pamo::core

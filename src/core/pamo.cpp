@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace pamo::core {
 
@@ -233,6 +234,7 @@ void PamoScheduler::heuristic_fallback(PamoResult& result,
 }
 
 PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
+  PAMO_SPAN("pamo.run");
   Rng rng(options_.seed);
   PamoResult result;
   health_ = {};
@@ -244,6 +246,7 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
 
   // ---- Phase 1: outcome-function fitting (Alg. 2 lines 1–4). ----
   {
+    PAMO_SPAN("pamo.phase1_outcome_fit");
     std::vector<eva::StreamConfig> configs;
     std::vector<eva::StreamMeasurement> measurements;
     const eva::Profiler profiler;
@@ -269,45 +272,48 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   }
 
   // ---- Phase 2: system preference modeling (lines 5–11). ----
-  if (!options_.use_true_preference && options_.shared_learner != nullptr) {
-    // Long-running mode: the operator's preference is already (partially)
-    // learned; reuse it and let the in-loop updates keep refining it.
-    active_learner_ = options_.shared_learner;
-  } else if (!options_.use_true_preference) {
-    std::vector<std::vector<double>> pool;
-    pool.reserve(options_.pref_pool_size);
-    for (std::size_t p = 0; p < options_.pref_pool_size; ++p) {
-      auto drawn = random_feasible(rng);
-      if (!drawn) continue;
-      const auto& [config, schedule] = *drawn;
-      // Model-mean outcome vector of the candidate (what the system can
-      // show the decision-maker without extra measurements).
-      eva::OutcomeVector y{};
-      const auto m = static_cast<double>(config.size());
-      for (std::size_t i = 0; i < config.size(); ++i) {
-        const auto& c = config[i];
-        eva::at(y, eva::Objective::kAccuracy) +=
-            models_.mean(Metric::kAccuracy, c) / m;
-        const double bw = models_.mean(Metric::kBandwidth, c);
-        eva::at(y, eva::Objective::kNetwork) += bw;
-        eva::at(y, eva::Objective::kCompute) +=
-            models_.mean(Metric::kCompute, c);
-        eva::at(y, eva::Objective::kEnergy) += models_.mean(Metric::kPower, c);
-        const double bits = bw * 1e6 / c.fps;
-        eva::at(y, eva::Objective::kLatency) +=
-            (models_.mean(Metric::kProcTime, c) +
-             bits / (schedule.uplink_per_parent[i] * 1e6)) /
-            m;
+  {
+    PAMO_SPAN("pamo.phase2_preference");
+    if (!options_.use_true_preference && options_.shared_learner != nullptr) {
+      // Long-running mode: the operator's preference is already (partially)
+      // learned; reuse it and let the in-loop updates keep refining it.
+      active_learner_ = options_.shared_learner;
+    } else if (!options_.use_true_preference) {
+      std::vector<std::vector<double>> pool;
+      pool.reserve(options_.pref_pool_size);
+      for (std::size_t p = 0; p < options_.pref_pool_size; ++p) {
+        auto drawn = random_feasible(rng);
+        if (!drawn) continue;
+        const auto& [config, schedule] = *drawn;
+        // Model-mean outcome vector of the candidate (what the system can
+        // show the decision-maker without extra measurements).
+        eva::OutcomeVector y{};
+        const auto m = static_cast<double>(config.size());
+        for (std::size_t i = 0; i < config.size(); ++i) {
+          const auto& c = config[i];
+          eva::at(y, eva::Objective::kAccuracy) +=
+              models_.mean(Metric::kAccuracy, c) / m;
+          const double bw = models_.mean(Metric::kBandwidth, c);
+          eva::at(y, eva::Objective::kNetwork) += bw;
+          eva::at(y, eva::Objective::kCompute) +=
+              models_.mean(Metric::kCompute, c);
+          eva::at(y, eva::Objective::kEnergy) += models_.mean(Metric::kPower, c);
+          const double bits = bw * 1e6 / c.fps;
+          eva::at(y, eva::Objective::kLatency) +=
+              (models_.mean(Metric::kProcTime, c) +
+               bits / (schedule.uplink_per_parent[i] * 1e6)) /
+              m;
+        }
+        pool.push_back(to_vector(normalizer_.normalize(y)));
       }
-      pool.push_back(to_vector(normalizer_.normalize(y)));
+      PAMO_CHECK(pool.size() >= 2,
+                 "could not build a preference candidate pool (workload "
+                 "infeasible for nearly all configurations)");
+      learner_.emplace(std::move(pool), options_.pref_learner,
+                       rng.next_u64());
+      learner_->run(oracle, options_.num_comparisons);
+      active_learner_ = &*learner_;
     }
-    PAMO_CHECK(pool.size() >= 2,
-               "could not build a preference candidate pool (workload "
-               "infeasible for nearly all configurations)");
-    learner_.emplace(std::move(pool), options_.pref_learner,
-                     rng.next_u64());
-    learner_->run(oracle, options_.num_comparisons);
-    active_learner_ = &*learner_;
   }
 
   // Health bookkeeping shared by every exit path.
@@ -355,6 +361,8 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   double z_prev = -1e300;
   // One BO iteration; returns false to stop the loop.
   auto step = [&](std::size_t iter) {
+    PAMO_SPAN("pamo.bo_iteration");
+    PAMO_COUNT("bo.iterations", 1);
     // Incumbents: the best few observed configurations by current utility.
     std::vector<std::size_t> obs_order(observed.size());
     for (std::size_t i = 0; i < obs_order.size(); ++i) obs_order[i] = i;
@@ -414,24 +422,28 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
     // making the result bit-identical at any thread count.
     la::Matrix z_pool(num_samples, num_pool);
     la::Matrix z_obs(num_samples, num_obs);
-    parallel_for(
-        num_samples * (num_pool + num_obs),
-        [&](std::size_t idx) {
-          const std::size_t s = idx / (num_pool + num_obs);
-          const std::size_t c = idx % (num_pool + num_obs);
-          if (c < num_pool) {
-            const eva::OutcomeVector y = outcomes_from_rows(
-                tables, s, pool_rows[c], pool_configs[c], pool_schedules[c]);
-            z_pool(s, c) = utility(normalizer_.normalize(y), oracle);
-          } else {
-            const std::size_t o = c - num_pool;
-            const eva::OutcomeVector y = outcomes_from_rows(
-                tables, s, obs_rows[o], observed[o].config,
-                observed[o].schedule);
-            z_obs(s, o) = utility(normalizer_.normalize(y), oracle);
-          }
-        },
-        /*grain=*/16);
+    {
+      PAMO_SPAN("pamo.scenario_sweep");
+      PAMO_COUNT("pamo.scenario_cells", num_samples * (num_pool + num_obs));
+      parallel_for(
+          num_samples * (num_pool + num_obs),
+          [&](std::size_t idx) {
+            const std::size_t s = idx / (num_pool + num_obs);
+            const std::size_t c = idx % (num_pool + num_obs);
+            if (c < num_pool) {
+              const eva::OutcomeVector y = outcomes_from_rows(
+                  tables, s, pool_rows[c], pool_configs[c], pool_schedules[c]);
+              z_pool(s, c) = utility(normalizer_.normalize(y), oracle);
+            } else {
+              const std::size_t o = c - num_pool;
+              const eva::OutcomeVector y = outcomes_from_rows(
+                  tables, s, obs_rows[o], observed[o].config,
+                  observed[o].schedule);
+              z_obs(s, o) = utility(normalizer_.normalize(y), oracle);
+            }
+          },
+          /*grain=*/16);
+    }
     double best_observed = -1e300;
     for (const auto& obs : observed) {
       best_observed =

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "core/pareto.hpp"
 #include "eva/faults.hpp"
+#include "obs/obs.hpp"
 
 namespace pamo::core {
 
@@ -85,6 +86,8 @@ bool SchedulingService::step_down(eva::StreamConfig& config,
 }
 
 void SchedulingService::attempt_repair(EpochReport& report) {
+  PAMO_SPAN("service.attempt_repair");
+  PAMO_COUNT("service.repair_attempts", 1);
   const sim::SimReport& sim0 = report.sim;
   const std::size_t num_servers = workload_.num_servers();
   if (sim0.server_up_at_end.size() != num_servers) return;
@@ -244,6 +247,8 @@ void SchedulingService::attempt_repair(EpochReport& report) {
 
 SchedulingService::EpochReport SchedulingService::run_epoch(
     pref::PreferenceOracle& oracle) {
+  PAMO_SPAN("service.run_epoch");
+  PAMO_COUNT("service.epochs", 1);
   EpochReport report;
   report.epoch = epoch_;
   const std::size_t queries_before = oracle.queries_answered();
@@ -311,6 +316,8 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
     }
   }
   report.health.fallback_taken = report.fallback;
+  PAMO_COUNT("service.fallbacks", report.fallback ? 1 : 0);
+  PAMO_COUNT("service.infeasible_epochs", report.feasible ? 0 : 1);
   PAMO_ENSURES(epoch_ == report.epoch + 1, "run_epoch advances one epoch");
   if (!report.feasible) return report;
   PAMO_ENSURES(report.schedule.feasible &&
@@ -334,7 +341,10 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
       report.health.repair_error = true;
       report.health.error_message = e.what();
     }
+    PAMO_COUNT("service.repairs_applied", report.repaired ? 1 : 0);
   }
+  PAMO_GAUGE("service.epoch_benefit",
+             report.benefit_trace.empty() ? 0.0 : report.benefit_trace.back());
   return report;
 }
 

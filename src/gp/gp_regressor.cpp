@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "opt/nelder_mead.hpp"
 
 namespace pamo::gp {
@@ -88,6 +89,8 @@ void GpRegressor::sanitize(std::vector<std::vector<double>>& x,
 
 void GpRegressor::fit(std::vector<std::vector<double>> x,
                       std::vector<double> y) {
+  PAMO_SPAN("gp.fit");
+  PAMO_COUNT("gp.fits", 1);
   PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
   diagnostics_ = {};
   sanitize(x, y);
@@ -106,6 +109,8 @@ void GpRegressor::fit(std::vector<std::vector<double>> x,
 
 void GpRegressor::update(const std::vector<std::vector<double>>& x,
                          const std::vector<double>& y, bool reoptimize) {
+  PAMO_SPAN("gp.update");
+  PAMO_COUNT("gp.updates", 1);
   PAMO_CHECK(is_fit(), "update before fit");
   PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
   std::vector<std::vector<double>> xs = x;
@@ -189,6 +194,8 @@ bool GpRegressor::try_incremental_update(std::size_t new_rows) {
 }
 
 void GpRegressor::rebuild(bool optimize_hyperparams) {
+  PAMO_SPAN("gp.rebuild");
+  PAMO_COUNT("gp.rebuilds", 1);
   const std::size_t n = x_raw_.size();
 
   // Input scaling.
@@ -422,6 +429,8 @@ void GpRegressor::refresh_posterior_workspace(
 
 Posterior GpRegressor::posterior(
     const std::vector<std::vector<double>>& x) const {
+  PAMO_SPAN("gp.posterior");
+  PAMO_COUNT("gp.posteriors", 1);
   PAMO_CHECK(is_fit(), "posterior before fit");
   const std::size_t m = x.size();
   PAMO_CHECK(m > 0, "posterior over an empty set");

@@ -1,0 +1,83 @@
+// Minimal deterministic JSON for telemetry export.
+//
+// Why not a library: the container bakes in no JSON dependency, and the
+// export needs properties general-purpose serializers don't promise —
+// *insertion-ordered* object keys (exports list keys in one fixed schema
+// order, never hash order) and *fixed* float formatting (std::to_chars
+// shortest round-trip form, locale-independent), so the same record
+// always serializes to the same bytes. Parsing is a strict recursive-
+// descent pass over the same grammar; malformed input throws pamo::Error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pamo::obs::json {
+
+/// One JSON value. Objects preserve insertion order; numbers remember
+/// whether they were written as unsigned integers so counters and
+/// nanosecond timestamps round-trip exactly (doubles use shortest-form
+/// to_chars, which also round-trips bit-for-bit).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kUint, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}                 // NOLINT
+  Value(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}        // NOLINT
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}              // NOLINT
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}         // NOLINT
+
+  static Value array();
+  static Value object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kUint || kind_ == Kind::kNumber;
+  }
+
+  // Typed accessors; each throws pamo::Error on a kind mismatch (as_double
+  // and as_uint accept either numeric kind, as_uint requiring an exact
+  // non-negative integral value).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;  // array
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;  // object
+
+  /// Array append.
+  void push_back(Value v);
+
+  /// Object insert-or-assign; keeps first-insertion position.
+  void set(const std::string& key, Value v);
+
+  /// Object lookup; null when absent (or not an object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Object lookup that throws pamo::Error when `key` is absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  /// Serialize (no whitespace). Deterministic: same value, same bytes.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete JSON document; throws pamo::Error on any
+  /// syntax error or trailing garbage.
+  static Value parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace pamo::obs::json

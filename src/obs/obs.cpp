@@ -1,0 +1,243 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/ticks.hpp"
+
+namespace pamo::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread span context: the slash-joined path of open spans and its
+/// depth. Worker threads get their own (empty) context, so spans opened
+/// inside a ThreadPool job root at that job, not at the submitting caller.
+struct ThreadSpanContext {
+  std::string path;
+  std::uint32_t depth = 0;
+};
+
+ThreadSpanContext& thread_span_context() {
+  thread_local ThreadSpanContext context;
+  return context;
+}
+
+struct SpanAccumulator {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+};
+
+/// Cap on retained raw events; aggregates keep counting past it. Large
+/// enough for a full service epoch, small enough to bound memory.
+constexpr std::size_t kMaxEvents = 65536;
+
+struct SpanStore {
+  std::mutex mutex;
+  std::map<std::string, SpanAccumulator> stats;
+  std::vector<SpanEvent> events;
+  std::uint64_t events_dropped = 0;
+};
+
+SpanStore& span_store() {
+  static SpanStore* store = new SpanStore();  // leaked: outlives all spans
+  return *store;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() {
+  MetricsRegistry::global().reset();
+  SpanStore& store = span_store();
+  const std::lock_guard<std::mutex> lock(store.mutex);
+  store.stats.clear();
+  store.events.clear();
+  store.events_dropped = 0;
+}
+
+ScopedEnable::ScopedEnable() : previous_(enabled()) {
+  set_enabled(true);
+  reset();
+}
+
+ScopedEnable::~ScopedEnable() { set_enabled(previous_); }
+
+// ---- Histogram -------------------------------------------------------------
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  const int magnitude = std::ilogb(v) + 32;
+  return static_cast<std::size_t>(
+      std::clamp(magnitude, 0, static_cast<int>(kBuckets) - 1));
+}
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  std::mutex mutex;
+  // Ordered maps: snapshot iteration is lexicographic by construction, so
+  // exports never depend on registration (thread-arrival) order.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.min = h.count > 0 ? histogram->min() : 0.0;
+    h.max = h.count > 0 ? histogram->max() : 0.0;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      const std::uint64_t c = histogram->bucket(k);
+      if (c > 0) h.buckets.emplace_back(k, c);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, counter] : impl_->counters) counter->reset();
+  for (auto& [name, gauge] : impl_->gauges) gauge->reset();
+  for (auto& [name, histogram] : impl_->histograms) histogram->reset();
+}
+
+// ---- Spans -----------------------------------------------------------------
+
+SpanSnapshot span_snapshot() {
+  SpanSnapshot snap;
+  SpanStore& store = span_store();
+  const std::lock_guard<std::mutex> lock(store.mutex);
+  snap.stats.reserve(store.stats.size());
+  for (const auto& [path, acc] : store.stats) {
+    snap.stats.push_back(
+        SpanStat{path, acc.count, acc.total_ns, acc.min_ns, acc.max_ns});
+  }
+  snap.events = store.events;
+  snap.events_dropped = store.events_dropped;
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return a.path < b.path;
+                   });
+  return snap;
+}
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  active_ = true;
+  ThreadSpanContext& context = thread_span_context();
+  previous_path_length_ = context.path.size();
+  if (!context.path.empty()) context.path.push_back('/');
+  context.path.append(name);
+  ++context.depth;
+  start_ns_ = monotonic_ns();  // last: exclude our own setup from the span
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t duration = monotonic_ns() - start_ns_;
+  ThreadSpanContext& context = thread_span_context();
+  {
+    SpanStore& store = span_store();
+    const std::lock_guard<std::mutex> lock(store.mutex);
+    SpanAccumulator& acc = store.stats[context.path];
+    ++acc.count;
+    acc.total_ns += duration;
+    acc.min_ns = std::min(acc.min_ns, duration);
+    acc.max_ns = std::max(acc.max_ns, duration);
+    if (store.events.size() < kMaxEvents) {
+      store.events.push_back(
+          SpanEvent{context.path, context.depth - 1, start_ns_, duration});
+    } else {
+      ++store.events_dropped;
+    }
+  }
+  context.path.resize(previous_path_length_);
+  --context.depth;
+}
+
+}  // namespace pamo::obs

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "sched/constraints.hpp"
 #include "sched/hungarian.hpp"
 
@@ -230,9 +231,14 @@ std::vector<std::size_t> usable_list(const eva::Workload& workload,
 
 ScheduleResult schedule_zero_jitter(const eva::Workload& workload,
                                     const eva::JointConfig& config) {
+  PAMO_SPAN("sched.zero_jitter");
   std::vector<std::size_t> servers(workload.num_servers());
   std::iota(servers.begin(), servers.end(), 0);
-  return zero_jitter_impl(workload, config, servers, /*proc_headroom=*/1.0);
+  ScheduleResult result =
+      zero_jitter_impl(workload, config, servers, /*proc_headroom=*/1.0);
+  PAMO_COUNT("sched.zero_jitter_calls", 1);
+  PAMO_COUNT("sched.zero_jitter_infeasible", result.feasible ? 0 : 1);
+  return result;
 }
 
 ScheduleResult schedule_zero_jitter_masked(

@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace pamo::sim {
 
@@ -122,6 +123,7 @@ RunOutput run(const eva::Workload& workload,
       FrameRecord rec;
       rec.stream = frame.stream;
       rec.arrival = frame.arrival;
+      rec.available = frame.available;
       if (plan == nullptr) {
         rec.start = std::max(frame.available, server_free);
         rec.finish = rec.start + frame.proc_time;
@@ -187,6 +189,7 @@ std::vector<FrameRecord> trace_frames(const eva::Workload& workload,
 SimReport simulate(const eva::Workload& workload,
                    const sched::ScheduleResult& schedule,
                    const SimOptions& options) {
+  PAMO_SPAN("sim.simulate");
   if (!options.slo_per_parent.empty()) {
     PAMO_CHECK(options.slo_per_parent.size() == workload.num_streams(),
                "per-parent SLO deadline size mismatch");
@@ -207,21 +210,20 @@ SimReport simulate(const eva::Workload& workload,
                                           : options.slo_per_parent[parent];
   };
 
-  // Reconstruct each frame's queue delay: waiting beyond its own transfer.
+  // Each frame's queue delay is measured against its *effective*
+  // availability (rec.available), not a reconstruction from the nominal
+  // uplink: under an uplink collapse or shared_uplink serialization the
+  // nominal reconstruction silently misattributed stretched transfer time
+  // as queueing (and could even go negative-per-frame in mixed cases).
   for (const auto& rec : records) {
     const auto& stream = schedule.streams[rec.stream];
-    const double transfer =
-        options.include_network
-            ? stream.bits_per_frame /
-                  (workload.uplink_mbps[schedule.assignment[rec.stream]] * 1e6)
-            : 0.0;
     auto& stats = report.per_stream[rec.stream];
     ++stats.frames;
     const double latency = rec.latency();
     latency_sum[rec.stream] += latency;
     lat_min[rec.stream] = std::min(lat_min[rec.stream], latency);
     lat_max[rec.stream] = std::max(lat_max[rec.stream], latency);
-    stats.queue_delay += rec.start - (rec.arrival + transfer);
+    stats.queue_delay += rec.queue_delay();
     total_latency += latency;
     const double deadline = deadline_of(stream.parent);
     if (deadline > 0.0 && latency > deadline) ++stats.slo_violations;
@@ -292,6 +294,25 @@ SimReport simulate(const eva::Workload& workload,
                "one observable entry per server");
   PAMO_ENSURES(report.total_dropped >= report.dropped_by_loss,
                "loss drops are a subset of all drops");
+  // Frame conservation: every camera emission is either served or dropped
+  // — per stream, not just in aggregate (an aggregate check can hide two
+  // compensating per-stream errors).
+#ifdef PAMO_CONTRACT_CHECKS
+  for (const auto& stats : report.per_stream) {
+    PAMO_ENSURES(stats.emitted == stats.frames + stats.dropped,
+                 "per-stream conservation: emitted == served + dropped");
+  }
+#endif
+  PAMO_ENSURES(
+      report.total_emitted ==
+          report.total_frames + report.total_dropped,
+      "frame conservation: total emitted == total served + total dropped");
+  PAMO_COUNT("sim.runs", 1);
+  PAMO_COUNT("sim.frames_served", report.total_frames);
+  PAMO_COUNT("sim.frames_dropped", report.total_dropped);
+  PAMO_COUNT("sim.slo_violations", report.slo_violations);
+  PAMO_HISTOGRAM("sim.mean_latency_s", report.mean_latency);
+  PAMO_HISTOGRAM("sim.total_queue_delay_s", report.total_queue_delay);
   return report;
 }
 

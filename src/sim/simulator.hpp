@@ -52,7 +52,10 @@ struct StreamStats {
   /// Delay jitter: max − min end-to-end latency (0 for a contention-free
   /// schedule — the paper's "zero delay jitter").
   double jitter = 0.0;
-  /// Total time frames spent waiting behind other frames.
+  /// Total time frames spent queued at the server: service start minus
+  /// *effective* availability (FrameRecord::queue_delay summed). Uplink
+  /// collapse stretch and shared-uplink serialization count as transfer,
+  /// not queueing; waiting for a crashed server's recovery counts here.
   double queue_delay = 0.0;
   // -- Fault-aware accounting (zero in fault-free runs). --
   std::size_t emitted = 0;         // camera emissions inside the horizon
@@ -94,9 +97,18 @@ SimReport simulate(const eva::Workload& workload,
 struct FrameRecord {
   std::size_t stream = 0;  // split-stream index
   double arrival = 0.0;    // camera emission time
+  /// *Effective* availability at the server: arrival plus the transfer as
+  /// it actually happened — under the uplink factor active at emission
+  /// and, in shared_uplink mode, after waiting for the channel. Transfer
+  /// time (collapse stretch and channel serialization included) is
+  /// `available − arrival`; queueing behind other frames starts here.
+  double available = 0.0;
   double start = 0.0;      // inference start on the server
   double finish = 0.0;     // inference finish
   [[nodiscard]] double latency() const { return finish - arrival; }
+  /// Time spent queued at the server (waiting behind other frames, or for
+  /// a crashed server's recovery). Never negative: start >= available.
+  [[nodiscard]] double queue_delay() const { return start - available; }
 };
 
 /// Full frame trace of a simulation (same model as simulate(); under a

@@ -1,0 +1,122 @@
+// obs::json — deterministic serialization (insertion-ordered keys,
+// shortest round-trip floats, exact uint64) and a strict parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace pamo::obs::json {
+namespace {
+
+TEST(Json, DumpPreservesInsertionOrder) {
+  Value obj = Value::object();
+  obj.set("zulu", Value(std::uint64_t{1}));
+  obj.set("alpha", Value(std::uint64_t{2}));
+  obj.set("mike", Value(std::uint64_t{3}));
+  EXPECT_EQ(obj.dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+  // Re-assignment keeps the original position.
+  obj.set("zulu", Value(std::uint64_t{9}));
+  EXPECT_EQ(obj.dump(), R"({"zulu":9,"alpha":2,"mike":3})");
+}
+
+TEST(Json, ScalarsAndEscapes) {
+  Value obj = Value::object();
+  obj.set("null", Value());
+  obj.set("t", Value(true));
+  obj.set("f", Value(false));
+  obj.set("s", Value("a\"b\\c\n\t\x01"));
+  const std::string text = obj.dump();
+  EXPECT_EQ(text,
+            "{\"null\":null,\"t\":true,\"f\":false,"
+            "\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+  const Value back = Value::parse(text);
+  EXPECT_EQ(back.at("s").as_string(), "a\"b\\c\n\t\x01");
+  EXPECT_TRUE(back.at("t").as_bool());
+  EXPECT_EQ(back.at("null").kind(), Value::Kind::kNull);
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  // Values a double could not represent exactly must survive.
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  Value obj = Value::object();
+  obj.set("ns", Value(big));
+  const Value back = Value::parse(obj.dump());
+  EXPECT_EQ(back.at("ns").as_uint(), big);
+  EXPECT_EQ(back.at("ns").kind(), Value::Kind::kUint);
+}
+
+TEST(Json, DoublesUseShortestRoundTripForm) {
+  for (const double v : {0.1, 1.0 / 3.0, -2.5e-17, 6.02214076e23, 0.0,
+                         -0.0, 1e-300, 123456.78901234567}) {
+    Value val(v);
+    const std::string text = val.dump();
+    const Value back = Value::parse(text);
+    EXPECT_EQ(back.as_double(), v) << text;
+    // Determinism: dumping twice gives the same bytes.
+    EXPECT_EQ(text, Value(v).dump());
+  }
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  EXPECT_EQ(Value(1.0).dump(), "1");
+}
+
+TEST(Json, NonFiniteNumbersThrowOnDump) {
+  EXPECT_THROW((void)Value(std::numeric_limits<double>::infinity()).dump(),
+               Error);
+  EXPECT_THROW((void)Value(std::nan("")).dump(), Error);
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  Value root = Value::object();
+  Value arr = Value::array();
+  arr.push_back(Value(std::uint64_t{1}));
+  Value inner = Value::object();
+  inner.set("k", Value("v"));
+  arr.push_back(std::move(inner));
+  arr.push_back(Value::array());
+  root.set("xs", std::move(arr));
+  const std::string text = root.dump();
+  EXPECT_EQ(text, R"({"xs":[1,{"k":"v"},[]]})");
+  const Value back = Value::parse(text);
+  const auto& items = back.at("xs").items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].as_uint(), 1u);
+  EXPECT_EQ(items[1].at("k").as_string(), "v");
+  EXPECT_TRUE(items[2].items().empty());
+}
+
+TEST(Json, ParseAcceptsWhitespaceAndNegativeNumbers) {
+  const Value v = Value::parse(" { \"a\" : [ -1.5 , 2 ] ,\n\t\"b\": -3 } ");
+  EXPECT_EQ(v.at("a").items()[0].as_double(), -1.5);
+  EXPECT_EQ(v.at("a").items()[1].as_uint(), 2u);
+  EXPECT_EQ(v.at("b").as_double(), -3.0);
+}
+
+TEST(Json, StrictParserRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "{'a':1}",
+        "1 2", "tru", "\"unterminated", "{\"a\":1,}", "[1 2]", "nan",
+        "+1", "--1", "\"bad\\x\"", "{\"a\":1}extra"}) {
+    EXPECT_THROW((void)Value::parse(bad), Error) << bad;
+  }
+}
+
+TEST(Json, TypedAccessorsThrowOnKindMismatch) {
+  const Value s("text");
+  EXPECT_THROW((void)s.as_uint(), Error);
+  EXPECT_THROW((void)s.as_double(), Error);
+  EXPECT_THROW((void)s.items(), Error);
+  const Value n(-1.0);
+  EXPECT_THROW((void)n.as_uint(), Error);  // negative is not a uint
+  EXPECT_EQ(Value(3.0).as_uint(), 3u);     // exact non-negative integral is
+  const Value obj = Value::object();
+  EXPECT_THROW((void)obj.at("missing"), Error);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace pamo::obs::json

@@ -1,0 +1,274 @@
+// pamo::obs core: the metrics registry must export identically at any
+// worker count, spans must nest into slash-joined paths, and with the
+// gate off every recording primitive must be a strict no-op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
+
+namespace pamo::obs {
+namespace {
+
+TEST(ObsGate, DefaultOffAndScopedEnableRestores) {
+  EXPECT_FALSE(enabled());
+  {
+    ScopedEnable scope;
+    EXPECT_TRUE(enabled());
+    {
+      ScopedEnable nested;
+      EXPECT_TRUE(enabled());
+    }
+    EXPECT_TRUE(enabled());
+  }
+  EXPECT_FALSE(enabled());
+}
+
+TEST(ObsGate, DisabledRecordingIsNoOp) {
+  ScopedEnable scope;  // start from a clean slate...
+  set_enabled(false);  // ...then shut the gate before recording anything
+  PAMO_COUNT("noop.counter", 3);
+  PAMO_GAUGE("noop.gauge", 1.5);
+  PAMO_HISTOGRAM("noop.hist", 2.0);
+  { PAMO_SPAN("noop.span"); }
+  set_enabled(true);
+  // Nothing recorded, and — crucially — nothing *registered*: a closed
+  // gate means the registry is never even consulted.
+  const MetricsSnapshot metrics = MetricsRegistry::global().snapshot();
+  for (const auto& [name, value] : metrics.counters) {
+    EXPECT_NE(name.rfind("noop.", 0), 0u);
+    EXPECT_EQ(value, 0u);  // ScopedEnable reset everything on entry
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    EXPECT_NE(name.rfind("noop.", 0), 0u);
+    EXPECT_EQ(value, 0.0);
+  }
+  for (const auto& hist : metrics.histograms) {
+    EXPECT_NE(hist.name.rfind("noop.", 0), 0u);
+    EXPECT_EQ(hist.count, 0u);
+  }
+  const SpanSnapshot spans = span_snapshot();
+  EXPECT_TRUE(spans.stats.empty());
+  EXPECT_TRUE(spans.events.empty());
+  EXPECT_EQ(spans.events_dropped, 0u);
+}
+
+TEST(ObsGate, SpanThatStartedEnabledAlwaysRecords) {
+  ScopedEnable scope;
+  {
+    PAMO_SPAN("gate.closed_mid_span");
+    set_enabled(false);  // the span sampled the gate at entry
+  }
+  set_enabled(true);
+  const SpanSnapshot spans = span_snapshot();
+  ASSERT_EQ(spans.stats.size(), 1u);
+  EXPECT_EQ(spans.stats[0].path, "gate.closed_mid_span");
+}
+
+/// Metric registration outlives reset() by design (stable export schema),
+/// so tests key their metrics by a unique prefix and look them up by name
+/// instead of asserting on registry-wide sizes.
+template <typename Section>
+const auto* find_metric(const Section& section, const std::string& name) {
+  for (const auto& entry : section) {
+    if constexpr (requires { entry.name; }) {
+      if (entry.name == name) return &entry;
+    } else {
+      if (entry.first == name) return &entry;
+    }
+  }
+  return static_cast<const typename Section::value_type*>(nullptr);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  ScopedEnable scope;
+  PAMO_COUNT("basics.count", 1);
+  PAMO_COUNT("basics.count", 4);
+  PAMO_GAUGE("basics.gauge", 2.25);
+  PAMO_GAUGE("basics.gauge", -1.0);  // last write wins
+  PAMO_HISTOGRAM("basics.hist", 0.5);
+  PAMO_HISTOGRAM("basics.hist", 8.0);
+  PAMO_HISTOGRAM("basics.hist", 8.5);
+
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const auto* counter = find_metric(snap.counters, "basics.count");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->second, 5u);
+  const auto* gauge = find_metric(snap.gauges, "basics.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->second, -1.0);
+  const auto* hist = find_metric(snap.histograms, "basics.hist");
+  ASSERT_NE(hist, nullptr);
+  const HistogramSnapshot& h = *hist;
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.min, 0.5);
+  EXPECT_EQ(h.max, 8.5);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [index, count] : h.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, 3u);
+  // 8.0 and 8.5 share floor(log2 v) == 3 — one bucket holds both.
+  const std::size_t b8 = Histogram::bucket_of(8.0);
+  EXPECT_EQ(b8, Histogram::bucket_of(8.5));
+  bool found = false;
+  for (const auto& [index, count] : h.buckets) {
+    if (index == b8) {
+      EXPECT_EQ(count, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, HistogramBucketOfProperties) {
+  // Monotone in magnitude, stable at powers of two, and total in range.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(-5.0), 0u);
+  std::size_t prev = 0;
+  for (double v = 1e-9; v < 1e9; v *= 2.0) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_LT(b, Histogram::kBuckets);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  // Within one power-of-two decade the bucket never changes.
+  EXPECT_EQ(Histogram::bucket_of(4.0), Histogram::bucket_of(7.999));
+  EXPECT_NE(Histogram::bucket_of(4.0), Histogram::bucket_of(8.0));
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  ScopedEnable scope;
+  PAMO_COUNT("sorted.z_last", 1);
+  PAMO_COUNT("sorted.a_first", 1);
+  PAMO_COUNT("sorted.m_middle", 1);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  ASSERT_GE(snap.counters.size(), 3u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first)
+        << "export order must be lexicographic regardless of registration";
+  }
+}
+
+/// Record a fixed batch of metric updates through a pool of `workers`
+/// threads and return the resulting snapshot.
+MetricsSnapshot record_batch(std::size_t workers) {
+  ScopedEnable scope;
+  ThreadPool pool(workers);
+  pool.parallel_for(256, [](std::size_t i) {
+    PAMO_COUNT("par.frames", i % 3 + 1);
+    PAMO_COUNT("par.batches", 1);
+    PAMO_HISTOGRAM("par.latency", 0.001 * static_cast<double>(i + 1));
+    if (i == 17) PAMO_GAUGE("par.level", 42.0);
+  });
+  return MetricsRegistry::global().snapshot();
+}
+
+TEST(Metrics, SnapshotIdenticalAcrossWorkerCounts) {
+  const MetricsSnapshot serial = record_batch(1);
+  const MetricsSnapshot parallel = record_batch(8);
+
+  ASSERT_EQ(serial.counters.size(), parallel.counters.size());
+  for (std::size_t i = 0; i < serial.counters.size(); ++i) {
+    EXPECT_EQ(serial.counters[i].first, parallel.counters[i].first);
+    EXPECT_EQ(serial.counters[i].second, parallel.counters[i].second);
+  }
+  ASSERT_EQ(serial.gauges.size(), parallel.gauges.size());
+  for (std::size_t i = 0; i < serial.gauges.size(); ++i) {
+    EXPECT_EQ(serial.gauges[i].first, parallel.gauges[i].first);
+    EXPECT_EQ(serial.gauges[i].second, parallel.gauges[i].second);
+  }
+  ASSERT_EQ(serial.histograms.size(), parallel.histograms.size());
+  for (std::size_t i = 0; i < serial.histograms.size(); ++i) {
+    const auto& a = serial.histograms[i];
+    const auto& b = parallel.histograms[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.min, b.min);  // CAS min/max folds are order-independent
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.buckets, b.buckets);
+  }
+}
+
+TEST(Spans, NestingBuildsSlashJoinedPaths) {
+  ScopedEnable scope;
+  {
+    PAMO_SPAN("epoch");
+    {
+      PAMO_SPAN("gp.fit");
+      { PAMO_SPAN("cholesky"); }
+      { PAMO_SPAN("cholesky"); }
+    }
+    { PAMO_SPAN("sweep"); }
+  }
+  const SpanSnapshot snap = span_snapshot();
+  ASSERT_EQ(snap.stats.size(), 4u);  // sorted by path
+  EXPECT_EQ(snap.stats[0].path, "epoch");
+  EXPECT_EQ(snap.stats[1].path, "epoch/gp.fit");
+  EXPECT_EQ(snap.stats[2].path, "epoch/gp.fit/cholesky");
+  EXPECT_EQ(snap.stats[2].count, 2u);
+  EXPECT_EQ(snap.stats[3].path, "epoch/sweep");
+  for (const auto& stat : snap.stats) {
+    EXPECT_GE(stat.max_ns, stat.min_ns);
+    EXPECT_GE(stat.total_ns, stat.max_ns);
+    EXPECT_GE(stat.count, 1u);
+  }
+  ASSERT_EQ(snap.events.size(), 5u);
+  // Events sorted by start time: the outer span *finishes* last but
+  // starts first.
+  EXPECT_EQ(snap.events[0].path, "epoch");
+  EXPECT_EQ(snap.events[0].depth, 0u);
+  EXPECT_EQ(snap.events[1].depth, 1u);
+  for (const auto& event : snap.events) {
+    EXPECT_GE(event.start_ns, snap.events[0].start_ns);
+  }
+}
+
+TEST(Spans, WorkerThreadsStartFreshPaths) {
+  ScopedEnable scope;
+  ThreadPool pool(4);
+  {
+    PAMO_SPAN("outer");
+    pool.parallel_for(8, [](std::size_t) { PAMO_SPAN("work"); });
+  }
+  const SpanSnapshot snap = span_snapshot();
+  // The caller participates in parallel_for, so its 'work' spans nest
+  // under 'outer'; spans on pool workers start a fresh path and surface
+  // at the root. Which threads claim which blocks is scheduling-
+  // dependent, but no other path shape is possible and every one of the
+  // 8 work items records exactly once.
+  std::uint64_t outer = 0, nested = 0, fresh = 0;
+  for (const auto& stat : snap.stats) {
+    if (stat.path == "outer") {
+      outer += stat.count;
+    } else if (stat.path == "outer/work") {
+      nested += stat.count;
+    } else if (stat.path == "work") {
+      fresh += stat.count;
+    } else {
+      ADD_FAILURE() << "unexpected span path: " << stat.path;
+    }
+  }
+  EXPECT_EQ(outer, 1u);
+  EXPECT_EQ(nested + fresh, 8u);
+}
+
+TEST(Spans, ResetClearsAggregatesAndEvents) {
+  ScopedEnable scope;
+  { PAMO_SPAN("gone"); }
+  PAMO_COUNT("gone.counter", 2);
+  reset();
+  const SpanSnapshot spans = span_snapshot();
+  EXPECT_TRUE(spans.stats.empty());
+  EXPECT_TRUE(spans.events.empty());
+  // Metrics reset to zero but stay registered (stable export schema).
+  const MetricsSnapshot metrics = MetricsRegistry::global().snapshot();
+  const auto* counter = find_metric(metrics.counters, "gone.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->second, 0u);
+}
+
+}  // namespace
+}  // namespace pamo::obs

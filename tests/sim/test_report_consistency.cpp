@@ -1,0 +1,214 @@
+// Property test: every aggregate in SimReport/StreamStats must equal a
+// brute-force recomputation from the raw frame trace (trace_frames shares
+// the event model with simulate, so any divergence is an accounting bug
+// in the aggregation pass, not a modelling difference). Accumulations
+// follow the same order the simulator uses (records sorted by arrival,
+// then stream), so the comparison is bit-for-bit, not within-epsilon.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::sim {
+namespace {
+
+struct Recomputed {
+  std::vector<StreamStats> per_stream;
+  std::vector<double> latency_per_parent;
+  double mean_latency = 0.0;
+  double max_jitter = 0.0;
+  double total_queue_delay = 0.0;
+  std::size_t total_frames = 0;
+  std::size_t slo_violations = 0;
+};
+
+Recomputed recompute(const eva::Workload& w,
+                     const sched::ScheduleResult& schedule,
+                     const SimOptions& options,
+                     const std::vector<FrameRecord>& trace) {
+  const std::size_t m = schedule.streams.size();
+  Recomputed r;
+  r.per_stream.assign(m, {});
+  std::vector<double> latency_sum(m, 0.0);
+  std::vector<double> lat_min(m, std::numeric_limits<double>::max());
+  std::vector<double> lat_max(m, std::numeric_limits<double>::lowest());
+  double total_latency = 0.0;
+  for (const auto& rec : trace) {
+    auto& stats = r.per_stream[rec.stream];
+    ++stats.frames;
+    const double latency = rec.latency();
+    latency_sum[rec.stream] += latency;
+    lat_min[rec.stream] = std::min(lat_min[rec.stream], latency);
+    lat_max[rec.stream] = std::max(lat_max[rec.stream], latency);
+    stats.queue_delay += rec.queue_delay();
+    total_latency += latency;
+    const std::size_t parent = schedule.streams[rec.stream].parent;
+    const double deadline = options.slo_per_parent.empty()
+                                ? options.slo_latency
+                                : options.slo_per_parent[parent];
+    if (deadline > 0.0 && latency > deadline) ++stats.slo_violations;
+  }
+  r.total_frames = trace.size();
+  r.mean_latency = trace.empty()
+                       ? 0.0
+                       : total_latency / static_cast<double>(trace.size());
+  std::vector<double> parent_sum(w.num_streams(), 0.0);
+  std::vector<std::size_t> parent_frames(w.num_streams(), 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto& stats = r.per_stream[i];
+    if (stats.frames > 0) {
+      stats.mean_latency = latency_sum[i] / static_cast<double>(stats.frames);
+      stats.min_latency = lat_min[i];
+      stats.max_latency = lat_max[i];
+      stats.jitter = stats.max_latency - stats.min_latency;
+      r.max_jitter = std::max(r.max_jitter, stats.jitter);
+      r.total_queue_delay += stats.queue_delay;
+    }
+    r.slo_violations += stats.slo_violations;
+    const std::size_t parent = schedule.streams[i].parent;
+    parent_sum[parent] += latency_sum[i];
+    parent_frames[parent] += stats.frames;
+  }
+  r.latency_per_parent.assign(w.num_streams(), 0.0);
+  for (std::size_t parent = 0; parent < w.num_streams(); ++parent) {
+    if (parent_frames[parent] > 0) {
+      r.latency_per_parent[parent] =
+          parent_sum[parent] / static_cast<double>(parent_frames[parent]);
+    }
+  }
+  return r;
+}
+
+void expect_matches(const eva::Workload& w,
+                    const sched::ScheduleResult& schedule,
+                    const SimOptions& options) {
+  const SimReport report = simulate(w, schedule, options);
+  const auto trace = trace_frames(w, schedule, options);
+  const Recomputed r = recompute(w, schedule, options, trace);
+
+  ASSERT_EQ(report.per_stream.size(), r.per_stream.size());
+  for (std::size_t i = 0; i < r.per_stream.size(); ++i) {
+    const auto& got = report.per_stream[i];
+    const auto& want = r.per_stream[i];
+    EXPECT_EQ(got.frames, want.frames) << "stream " << i;
+    EXPECT_EQ(got.mean_latency, want.mean_latency) << "stream " << i;
+    EXPECT_EQ(got.min_latency, want.min_latency) << "stream " << i;
+    EXPECT_EQ(got.max_latency, want.max_latency) << "stream " << i;
+    EXPECT_EQ(got.jitter, want.jitter) << "stream " << i;
+    EXPECT_EQ(got.queue_delay, want.queue_delay) << "stream " << i;
+    EXPECT_EQ(got.slo_violations, want.slo_violations) << "stream " << i;
+    // Conservation holds per stream whatever the fault mix.
+    EXPECT_EQ(got.emitted, got.frames + got.dropped) << "stream " << i;
+  }
+  EXPECT_EQ(report.latency_per_parent, r.latency_per_parent);
+  EXPECT_EQ(report.mean_latency, r.mean_latency);
+  EXPECT_EQ(report.max_jitter, r.max_jitter);
+  EXPECT_EQ(report.total_queue_delay, r.total_queue_delay);
+  EXPECT_EQ(report.total_frames, r.total_frames);
+  EXPECT_EQ(report.slo_violations, r.slo_violations);
+  EXPECT_EQ(report.total_emitted,
+            report.total_frames + report.total_dropped);
+}
+
+TEST(ReportConsistency, FaultFreeZeroJitter) {
+  const eva::Workload w = eva::make_workload(5, 3, 401);
+  const auto schedule =
+      sched::schedule_zero_jitter(w, eva::JointConfig(5, {960, 10}));
+  ASSERT_TRUE(schedule.feasible);
+  expect_matches(w, schedule, {});
+}
+
+TEST(ReportConsistency, ContendedFixedAssignmentWithSlo) {
+  // Round-robin onto two servers at a heavy config: contention (and SLO
+  // misses) are the point, so bypass feasibility with a fixed assignment.
+  const eva::Workload w = eva::make_workload(6, 2, 402);
+  const auto schedule = sched::schedule_fixed_assignment(
+      w, eva::JointConfig(6, {1200, 15}),
+      std::vector<std::size_t>{0, 1, 0, 1, 0, 1});
+  SimOptions options;
+  options.slo_latency = 0.05;
+  expect_matches(w, schedule, options);
+}
+
+TEST(ReportConsistency, PerParentSloDeadlines) {
+  const eva::Workload w = eva::make_workload(4, 2, 403);
+  const auto schedule =
+      sched::schedule_first_fit(w, eva::JointConfig(4, {960, 10}));
+  ASSERT_TRUE(schedule.feasible);
+  SimOptions options;
+  options.slo_per_parent = {0.02, 0.0, 0.08, 0.01};
+  expect_matches(w, schedule, options);
+}
+
+TEST(ReportConsistency, SharedUplink) {
+  const eva::Workload w = eva::make_workload(5, 2, 404);
+  const auto schedule = sched::schedule_fixed_assignment(
+      w, eva::JointConfig(5, {1920, 10}),
+      std::vector<std::size_t>{0, 1, 0, 1, 0});
+  SimOptions options;
+  options.shared_uplink = true;
+  expect_matches(w, schedule, options);
+}
+
+TEST(ReportConsistency, CombinedFaultPlan) {
+  const eva::Workload w = eva::make_workload(6, 3, 405);
+  const auto schedule =
+      sched::schedule_first_fit(w, eva::JointConfig(6, {960, 10}));
+  ASSERT_TRUE(schedule.feasible);
+  FaultPlan plan;
+  plan.kill_server(0, 1.0, 2.0)
+      .collapse_uplink(1, 0.5, 0.3, 3.0)
+      .slow_server(2, 0.0, 2.5, 2.0)
+      .drop_frames(0.15, 11);
+  for (const bool shared : {false, true}) {
+    SimOptions options;
+    options.faults = &plan;
+    options.shared_uplink = shared;
+    options.slo_latency = 0.1;
+    expect_matches(w, schedule, options);
+  }
+}
+
+TEST(ReportConsistency, DeadServerNeverRecovers) {
+  const eva::Workload w = eva::make_workload(4, 2, 406);
+  const auto schedule =
+      sched::schedule_first_fit(w, eva::JointConfig(4, {720, 5}));
+  ASSERT_TRUE(schedule.feasible);
+  FaultPlan plan;
+  plan.kill_server(1, 0.0);
+  SimOptions options;
+  options.faults = &plan;
+  expect_matches(w, schedule, options);
+}
+
+TEST(ReportConsistency, RandomizedSweep) {
+  // A light fuzz across workload shapes, knobs and fault mixes.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::size_t streams = 2 + seed % 5;
+    const std::size_t servers = 1 + seed % 3;
+    const eva::Workload w = eva::make_workload(streams, servers, 500 + seed);
+    const std::uint32_t res = seed % 2 == 0 ? 960 : 1200;
+    const std::uint32_t fps = seed % 3 == 0 ? 5 : 10;
+    const auto schedule =
+        sched::schedule_first_fit(w, eva::JointConfig(streams, {res, fps}));
+    if (!schedule.feasible) continue;
+    FaultPlan plan;
+    if (seed % 2 == 0) plan.collapse_uplink(0, 0.2, 0.4, 2.0);
+    if (seed % 3 == 0) plan.kill_server(servers - 1, 1.0, 1.5);
+    if (seed % 4 == 0) plan.drop_frames(0.1, seed);
+    SimOptions options;
+    options.faults = &plan;
+    options.shared_uplink = seed % 2 == 1;
+    options.slo_latency = seed % 3 == 0 ? 0.08 : 0.0;
+    expect_matches(w, schedule, options);
+  }
+}
+
+}  // namespace
+}  // namespace pamo::sim

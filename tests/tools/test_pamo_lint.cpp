@@ -27,11 +27,13 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
 
 TEST(PamoLint, RuleListIsStableAndComplete) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 10u);
+  ASSERT_EQ(ids.size(), 11u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "determinism-rng"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "float-eq"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pragma-once"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-thread"), ids.end());
+  // Appended rules land at the end: the report order is a stable API.
+  EXPECT_EQ(ids.back(), "wall-clock");
 }
 
 // ---- determinism-rng ------------------------------------------------------
@@ -276,6 +278,42 @@ TEST(PamoLint, RawThreadOutsideSrcIsAllowed) {
       "void spawn() { std::thread t([] {}); t.join(); }\n";
   EXPECT_FALSE(has_rule(lint_source("tests/common/fixture.cpp", source),
                         "raw-thread"));
+}
+
+// ---- wall-clock -----------------------------------------------------------
+
+TEST(PamoLint, FlagsWallClockReadsInSrc) {
+  const std::string source =
+      "#include <chrono>\n"
+      "auto a() { return std::chrono::system_clock::now(); }\n"
+      "long b() { return time(nullptr); }\n"
+      "void c(timeval* tv) { gettimeofday(tv, nullptr); }\n"
+      "tm* d(const time_t* t) { return localtime(t); }\n"
+      "void e(timespec* ts) { clock_gettime(CLOCK_REALTIME, ts); }\n";
+  const auto rules = rules_hit(lint_source("src/eva/fixture.cpp", source));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "wall-clock"), 5);
+}
+
+TEST(PamoLint, MonotonicClocksAndTimeLikeNamesAreAllowed) {
+  const std::string source =
+      "#include <chrono>\n"
+      "auto a() { return std::chrono::steady_clock::now(); }\n"
+      "double b(double x) { return proc_time(x) + elapsed_time(x); }\n"
+      "double c(const Frame& f) { return f.start_time; }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/sim/fixture.cpp", source),
+                        "wall-clock"));
+}
+
+TEST(PamoLint, ObsAndTicksMayReadWallClock) {
+  const std::string source =
+      "#include <chrono>\n"
+      "auto stamp() { return std::chrono::system_clock::now(); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/obs/obs.cpp", source),
+                        "wall-clock"));
+  EXPECT_FALSE(has_rule(lint_source("src/common/ticks.cpp", source),
+                        "wall-clock"));
+  EXPECT_FALSE(has_rule(lint_source("tests/common/fixture.cpp", source),
+                        "wall-clock"));
 }
 
 // ---- suppressions ---------------------------------------------------------

@@ -9,11 +9,13 @@
 namespace pamo::lint {
 namespace {
 
+// New rules are APPENDED: the id order is the stable report order that
+// --list-rules and the tests pin down.
 const char* const kRuleIds[] = {
     "determinism-rng",   "time-seeded-rng",      "unordered-iter",
     "throw-discipline",  "catch-all-swallow",    "float-eq",
     "unchecked-front-back", "pragma-once",       "using-namespace-header",
-    "raw-thread",
+    "raw-thread",        "wall-clock",
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -331,6 +333,31 @@ struct Linter {
     }
   }
 
+  // -- wall-clock -----------------------------------------------------------
+  void rule_wall_clock() {
+    if (!is_src_path(path)) return;
+    // Monotonic clocks (steady_clock, common/ticks) are fine anywhere;
+    // *wall-clock* reads make library behaviour depend on the date. Only
+    // the observability layer and the tick utilities may touch real time,
+    // and then only to label exports — never to steer a decision.
+    if (path.find("src/obs") != std::string::npos ||
+        path.find("common/ticks") != std::string::npos) {
+      return;
+    }
+    // The bare time() form matches only the argless/null-arg call so
+    // names like proc_time(x) or elapsed_time(t) stay quiet.
+    static const std::regex kWallClock(
+        R"(system_clock|CLOCK_REALTIME|(^|[^\w])(gettimeofday|localtime(_r)?|gmtime(_r)?)\s*\(|(^|[^\w])time\s*\(\s*(nullptr|NULL|0)?\s*\))");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kWallClock)) {
+        add(i, "wall-clock",
+            "wall-clock read in library code: results must not depend on "
+            "the date; use a monotonic clock (common/ticks) or move the "
+            "read into the obs layer");
+      }
+    }
+  }
+
   // -- using-namespace-header -----------------------------------------------
   void rule_using_namespace_header() {
     if (!is_header_path(path)) return;
@@ -497,6 +524,7 @@ std::vector<Finding> lint_source(const std::string& path,
   linter.rule_pragma_once();
   linter.rule_using_namespace_header();
   linter.rule_raw_thread();
+  linter.rule_wall_clock();
 
   std::vector<Finding> result;
   for (auto& f : linter.findings) {

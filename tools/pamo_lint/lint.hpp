@@ -34,6 +34,11 @@
 //                          pamo::ThreadPool so worker count, shutdown and
 //                          determinism stay centrally controlled (static
 //                          queries like hardware_concurrency are fine).
+//   wall-clock             wall-clock reads (std::chrono::system_clock,
+//                          gettimeofday, time(nullptr), CLOCK_REALTIME,
+//                          localtime/gmtime) in src/ outside src/obs/ and
+//                          common/ticks — library results must not depend
+//                          on the date; monotonic clocks are fine.
 //
 // Suppression: `// pamo-lint: allow(rule-a, rule-b)` on the offending line
 // or the line directly above it. Suppressed findings are dropped unless

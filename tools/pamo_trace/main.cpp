@@ -1,0 +1,74 @@
+// pamo_trace — render or validate an exported obs::EpochRecord.
+//
+//   pamo_trace RECORD.json           human-readable report to stdout
+//   pamo_trace --check RECORD.json   structural validation; exit 1 on
+//                                    any inconsistency (CI gate)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/epoch_record.hpp"
+#include "pamo_trace/trace.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw pamo::Error("pamo_trace: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: pamo_trace [--check] RECORD.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_mode = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_mode = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    const pamo::obs::EpochRecord record =
+        pamo::obs::record_from_json(read_file(path));
+    if (check_mode) {
+      const pamo::tools::TraceCheck check = pamo::tools::check_record(record);
+      if (!check.ok) {
+        for (const auto& problem : check.problems) {
+          std::cerr << "pamo_trace: " << problem << "\n";
+        }
+        std::cerr << "pamo_trace: " << check.problems.size()
+                  << " problem(s) in " << path << "\n";
+        return 1;
+      }
+      std::cout << "pamo_trace: " << path << " OK ("
+                << record.spans.stats.size() << " span paths, "
+                << record.metrics.counters.size() << " counters)\n";
+      return 0;
+    }
+    std::cout << pamo::tools::render_record(record);
+    return 0;
+  } catch (const pamo::Error& e) {
+    std::cerr << "pamo_trace: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+// pamo_trace — rendering and validation of obs::EpochRecord exports.
+//
+// Split from main.cpp so the rendering/validation logic is unit-testable
+// (tests/tools/test_pamo_trace.cpp); the CLI is a thin file-read on top.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/epoch_record.hpp"
+
+namespace pamo::tools {
+
+/// Structural validation verdict on an exported record.
+struct TraceCheck {
+  bool ok = true;
+  std::vector<std::string> problems;  // human-readable, one per violation
+
+  void fail(std::string what) {
+    ok = false;
+    problems.push_back(std::move(what));
+  }
+};
+
+/// Validate the internal consistency of a record: span aggregate algebra
+/// (count/min/max/total), event ordering and path coverage, histogram
+/// bucket sums, and frame-conservation of the sim summaries. This is what
+/// `pamo_trace --check` runs in CI against a smoke-epoch export.
+[[nodiscard]] TraceCheck check_record(const obs::EpochRecord& record);
+
+/// Per-path aggregate table, worst total time first.
+[[nodiscard]] std::string render_span_stats(const obs::SpanSnapshot& spans);
+
+/// Event timeline: one row per completed span, indented by nesting depth,
+/// with start offsets relative to the first event. `max_rows` caps output
+/// for huge logs (a trailing line reports the elision).
+[[nodiscard]] std::string render_timeline(const obs::SpanSnapshot& spans,
+                                          std::size_t max_rows = 64);
+
+/// Counters, gauges and histogram summaries in export (sorted) order.
+[[nodiscard]] std::string render_metrics(const obs::MetricsSnapshot& metrics);
+
+/// Full human-readable report: epoch header, health, sim summary, repair
+/// log, metrics, span stats and timeline.
+[[nodiscard]] std::string render_record(const obs::EpochRecord& record);
+
+}  // namespace pamo::tools
