@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Kill-point restart matrix, real-process edition.
+#
+# The in-process matrix (tests/integration/test_daemon_restart.cpp) proves
+# recovery under *throw-mode* kills; this driver repeats it with actual
+# process death: PAMO_KILL_AT=<point>:<count>:exit makes pamo_daemon call
+# std::_Exit(137) mid-protocol — no destructors, no stream flushes, the
+# closest a test gets to a power cut. For every kill point the script
+# kills a run, resumes it from disk, and requires the completed digest
+# trajectory to be byte-identical to an uninterrupted baseline. A final
+# scenario truncates the newest snapshot on disk and requires resume to
+# fall back to the previous one and still converge.
+#
+# usage: scripts/ckpt_restart_matrix.sh path/to/pamo_daemon
+set -eu
+
+DAEMON=${1:?usage: ckpt_restart_matrix.sh path/to/pamo_daemon}
+EPOCHS=4
+FLAGS=(--epochs "$EPOCHS" --faults --corrupt-telemetry)
+
+WORK=$(mktemp -d /tmp/pamo_restart_matrix_XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+trajectory_of() {
+  # Last line of a completed run: "trajectory <hex> <hex> ..."
+  grep '^trajectory ' "$1" | tail -n 1
+}
+
+echo "== baseline (uninterrupted, $EPOCHS epochs) =="
+"$DAEMON" --dir "$WORK/baseline" "${FLAGS[@]}" > "$WORK/baseline.out"
+BASELINE=$(trajectory_of "$WORK/baseline.out")
+[ -n "$BASELINE" ] || fail "baseline produced no trajectory"
+echo "$BASELINE"
+
+# point:count — daemon-loop points die on the second epoch, write-path
+# points during the second checkpoint, so a durable snapshot already
+# exists and the recovery window is non-trivial. daemon.epoch.begin:1
+# additionally covers the nothing-on-disk cold restart.
+MATRIX=(
+  daemon.epoch.begin:1
+  daemon.epoch.begin:2
+  daemon.epoch.pre_commit:2
+  daemon.epoch.committed:2
+  ckpt.write.begin:2
+  ckpt.write.partial:2
+  ckpt.write.before_fsync:2
+  ckpt.write.before_rename:2
+  ckpt.write.after_rename:2
+)
+
+for entry in "${MATRIX[@]}"; do
+  point=${entry%:*}
+  count=${entry#*:}
+  dir="$WORK/kill_${entry//[.:]/_}"
+  echo "== kill at $point (traversal $count) =="
+
+  status=0
+  PAMO_KILL_AT="$entry:exit" "$DAEMON" --dir "$dir" "${FLAGS[@]}" \
+    > "$dir.killed.out" 2> "$dir.killed.err" || status=$?
+  [ "$status" -eq 137 ] || fail "$entry: expected exit 137, got $status"
+
+  "$DAEMON" --dir "$dir" --resume "${FLAGS[@]}" > "$dir.resumed.out"
+  got=$(trajectory_of "$dir.resumed.out")
+  [ "$got" = "$BASELINE" ] || fail "$entry: trajectory diverged
+  expected: $BASELINE
+  got:      $got"
+  echo "recovered bit-identically"
+done
+
+echo "== corrupt newest snapshot, resume falls back =="
+dir="$WORK/corrupt"
+"$DAEMON" --dir "$dir" "${FLAGS[@]}" > "$dir.first.out"
+newest=$(ls "$dir"/ckpt-*.json | sort | tail -n 1)
+size=$(wc -c < "$newest")
+truncate -s "$((size / 2))" "$newest"
+"$DAEMON" --verify-ckpt "$dir" | grep -q "^corrupt $(basename "$newest")" \
+  || fail "verify-ckpt did not flag the truncated snapshot"
+"$DAEMON" --dir "$dir" --resume "${FLAGS[@]}" > "$dir.resumed.out"
+got=$(trajectory_of "$dir.resumed.out")
+[ "$got" = "$BASELINE" ] || fail "corrupt-newest: trajectory diverged
+  expected: $BASELINE
+  got:      $got"
+echo "fell back and recovered bit-identically"
+
+echo "ckpt_restart_matrix: all scenarios recovered bit-identically"

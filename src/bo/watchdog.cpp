@@ -15,7 +15,10 @@ void EpochWatchdog::arm() {
 }
 
 bool EpochWatchdog::enabled() const {
-  return options_.deadline_seconds > 0.0 || options_.max_failures > 0;
+  // A negative deadline is an exhausted budget, not a disabled one; only
+  // exactly 0 (the default) turns the deadline off.
+  return options_.deadline_seconds > 0.0 || options_.deadline_seconds < 0.0 ||
+         options_.max_failures > 0;
 }
 
 void EpochWatchdog::record_failure(std::string message) {
@@ -32,8 +35,10 @@ double EpochWatchdog::elapsed_seconds() const {
 bool EpochWatchdog::breached() {
   if (!armed_ || !enabled()) return false;
   if (fired_) return true;
-  const bool over_deadline = options_.deadline_seconds > 0.0 &&
-                             elapsed_seconds() > options_.deadline_seconds;
+  const bool over_deadline =
+      options_.deadline_seconds < 0.0 ||  // exhausted before it started
+      (options_.deadline_seconds > 0.0 &&
+       elapsed_seconds() > options_.deadline_seconds);
   const bool over_failures =
       options_.max_failures > 0 && failures_ >= options_.max_failures;
   fired_ = over_deadline || over_failures;

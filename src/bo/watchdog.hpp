@@ -17,7 +17,11 @@
 namespace pamo::bo {
 
 struct WatchdogOptions {
-  /// Wall-clock budget for one epoch of learning; 0 disables the deadline.
+  /// Wall-clock budget for one epoch of learning. 0 (the default)
+  /// disables the deadline; a *negative* budget is an exhausted one — the
+  /// watchdog is enabled and already breached, it does not silently
+  /// disable (callers computing a remaining budget by subtraction must
+  /// not un-watchdog themselves by overshooting past zero).
   double deadline_seconds = 0.0;
   /// Tolerated per-epoch iteration failures (caught pamo::Error) before
   /// the watchdog fires; 0 disables the failure budget.

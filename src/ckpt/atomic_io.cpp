@@ -1,0 +1,143 @@
+#include "ckpt/atomic_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "ckpt/killpoint.hpp"
+#include "common/error.hpp"
+
+namespace pamo::ckpt {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw Error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Write all of `bytes` to `fd`, surviving short writes.
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write to", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// fsync the directory containing `path` so a completed rename is durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, std::max<std::size_t>(slash, 1));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) io_fail("open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) io_fail("fsync directory", dir);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  PAMO_CHECK(!path.empty(), "write_file_atomic requires a path");
+  kill_point("ckpt.write.begin");
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_fail("open temp file", tmp);
+
+  // Split the payload so a kill between the halves leaves a genuinely
+  // torn temp file on disk — the recovery tests depend on that artifact.
+  const std::size_t half = bytes.size() / 2;
+  write_all(fd, bytes.data(), half, tmp);
+  if (kill_armed()) {
+    // Make the torn prefix reach the device before the injected death;
+    // without an armed kill this costs nothing.
+    ::fsync(fd);
+    kill_point("ckpt.write.partial");
+  }
+  write_all(fd, bytes.data() + half, bytes.size() - half, tmp);
+
+  kill_point("ckpt.write.before_fsync");
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    io_fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    io_fail("close", tmp);
+  }
+  kill_point("ckpt.write.before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    io_fail("rename to", path);
+  }
+  kill_point("ckpt.write.after_rename");
+  fsync_parent_dir(path);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    io_fail("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_fail("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void ensure_directory(const std::string& path) {
+  PAMO_CHECK(!path.empty(), "ensure_directory requires a path");
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw Error("create directory '" + path + "': " + ec.message());
+  }
+  if (!std::filesystem::is_directory(path)) {
+    throw Error("'" + path + "' exists but is not a directory");
+  }
+}
+
+std::vector<std::string> list_files_sorted(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return names;  // missing directory: nothing to list
+  for (const auto& entry : it) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    io_fail("unlink", path);
+  }
+}
+
+}  // namespace pamo::ckpt

@@ -1,0 +1,49 @@
+// Crash-consistent file IO: the write-to-temp → fsync → atomic-rename
+// protocol every durable artifact in this repo must use.
+//
+// write_file_atomic guarantees that a reader (including a post-crash
+// restart) sees either the complete previous content of `path` or the
+// complete new content — never a torn mix — no matter where the process
+// dies. The protocol:
+//
+//   1. write the bytes to `path.tmp.<pid>` (same directory, same fs),
+//   2. fsync the temp file (data reaches the device before the rename),
+//   3. rename(temp, path) — atomic on POSIX,
+//   4. fsync the parent directory (the rename itself becomes durable).
+//
+// Kill points instrument every step (ckpt.write.begin / partial /
+// before_fsync / before_rename / after_rename) so the crash-consistency
+// tests can die at each stage and prove recovery.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pamo::ckpt {
+
+/// Atomically replace `path` with `bytes` (see protocol above). Throws
+/// pamo::Error on any IO failure; on such a failure the previous content
+/// of `path`, if any, is intact.
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+/// Read a whole file. Returns nullopt when the file does not exist;
+/// throws pamo::Error on any other IO failure.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+/// Create `path` (and missing parents) as directories; no-op when it
+/// already exists. Throws pamo::Error when a component exists as a
+/// non-directory or creation fails.
+void ensure_directory(const std::string& path);
+
+/// Names (not paths) of regular files directly inside `dir`, sorted
+/// lexicographically for deterministic iteration. Empty when `dir` does
+/// not exist.
+[[nodiscard]] std::vector<std::string> list_files_sorted(
+    const std::string& dir);
+
+/// Delete a file if present (ignores a missing file, throws on other
+/// failures).
+void remove_file(const std::string& path);
+
+}  // namespace pamo::ckpt

@@ -1,0 +1,147 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "ckpt/atomic_io.hpp"
+#include "ckpt/digest.hpp"
+#include "common/error.hpp"
+
+namespace pamo::ckpt {
+
+namespace json = obs::json;
+
+namespace {
+
+constexpr const char* kFilePrefix = "ckpt-";
+constexpr const char* kFileSuffix = ".json";
+
+std::string file_name(std::uint64_t sequence) {
+  std::string digits = std::to_string(sequence);
+  PAMO_CHECK(digits.size() <= 8, "checkpoint sequence overflow");
+  return kFilePrefix + std::string(8 - digits.size(), '0') + digits +
+         kFileSuffix;
+}
+
+/// Sequence parsed from a store file name; nullopt for foreign files.
+std::optional<std::uint64_t> sequence_of(const std::string& name) {
+  const std::string prefix(kFilePrefix);
+  const std::string suffix(kFileSuffix);
+  if (name.size() != prefix.size() + 8 + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = prefix.size(); i < prefix.size() + 8; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(std::uint64_t sequence,
+                              const json::Value& payload) {
+  const std::string payload_bytes = payload.dump();
+  json::Value envelope = json::Value::object();
+  envelope.set("schema", json::Value(kCheckpointSchema));
+  envelope.set("sequence", json::Value(sequence));
+  envelope.set("payload_digest",
+               json::Value(to_hex(fnv1a_bytes(payload_bytes))));
+  envelope.set("payload", payload);
+  return envelope.dump();
+}
+
+Envelope decode_checkpoint(const std::string& bytes) {
+  const json::Value doc = json::Value::parse(bytes);
+  PAMO_CHECK(doc.at("schema").as_string() == kCheckpointSchema,
+             "unsupported checkpoint schema");
+  Envelope out;
+  out.sequence = doc.at("sequence").as_uint();
+  out.payload = doc.at("payload");
+  const std::string expected = doc.at("payload_digest").as_string();
+  const std::string actual = to_hex(fnv1a_bytes(out.payload.dump()));
+  PAMO_CHECK(actual == expected,
+             "checkpoint payload digest mismatch (torn or corrupt file)");
+  return out;
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  PAMO_CHECK(!dir_.empty(), "checkpoint store requires a directory");
+  ensure_directory(dir_);
+}
+
+std::string CheckpointStore::path_of(const std::string& file) const {
+  return dir_ + "/" + file;
+}
+
+std::vector<std::string> CheckpointStore::list() const {
+  std::vector<std::string> out;
+  for (const auto& name : list_files_sorted(dir_)) {
+    if (sequence_of(name).has_value()) out.push_back(name);
+  }
+  return out;  // zero-padded names: lexicographic == numeric order
+}
+
+std::uint64_t CheckpointStore::save(const json::Value& payload) {
+  std::uint64_t next = 1;
+  const auto names = list();
+  if (!names.empty()) next = *sequence_of(names.back()) + 1;
+  write_file_atomic(path_of(file_name(next)), encode_checkpoint(next, payload));
+  return next;
+}
+
+std::optional<CheckpointStore::Loaded> CheckpointStore::load_newest_valid()
+    const {
+  const auto names = list();
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const auto bytes = read_file(path_of(*it));
+    if (!bytes.has_value()) continue;  // raced away; fall back further
+    try {
+      Envelope env = decode_checkpoint(*bytes);
+      return Loaded{env.sequence, std::move(env.payload), *it};
+    } catch (const Error&) {
+      // Torn or corrupt — exactly what the newest file looks like after a
+      // mid-write crash. Fall back to the next older snapshot.
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<CheckpointStore::Verified> CheckpointStore::verify_all() const {
+  std::vector<Verified> out;
+  for (const auto& name : list()) {
+    Verified v;
+    v.file = name;
+    const auto bytes = read_file(path_of(name));
+    if (!bytes.has_value()) {
+      v.error = "unreadable";
+    } else {
+      try {
+        v.sequence = decode_checkpoint(*bytes).sequence;
+        v.valid = true;
+      } catch (const Error& e) {
+        v.error = e.what();
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void CheckpointStore::prune(std::size_t keep) {
+  PAMO_CHECK(keep >= 1, "prune must keep at least one snapshot");
+  const auto verified = verify_all();
+  std::vector<std::string> valid;
+  for (const auto& v : verified) {
+    if (v.valid) valid.push_back(v.file);
+  }
+  if (valid.size() <= keep) return;
+  for (std::size_t i = 0; i + keep < valid.size(); ++i) {
+    remove_file(path_of(valid[i]));
+  }
+}
+
+}  // namespace pamo::ckpt

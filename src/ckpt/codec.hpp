@@ -1,0 +1,145 @@
+// Shared JSON codec helpers for checkpoint snapshots.
+//
+// Every snapshot()/restore() pair across the learning stack speaks the
+// same primitives: bit-exact doubles (obs::json's to_chars round-trip),
+// length-preserving arrays, row-major matrices, and the two special cases
+// the deterministic exporter cannot express directly — infinity (encoded
+// as null; sim::FaultPlan's kNever) and raw RNG state. Header-only so the
+// libraries that snapshot (gp, pref, eva, core) pick these up without a
+// link-order knot.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+#include "obs/json.hpp"
+
+namespace pamo::ckpt {
+
+namespace codec {
+
+inline obs::json::Value doubles_to_json(const std::vector<double>& values) {
+  obs::json::Value arr = obs::json::Value::array();
+  for (double v : values) arr.push_back(obs::json::Value(v));
+  return arr;
+}
+
+inline std::vector<double> doubles_from_json(const obs::json::Value& v) {
+  std::vector<double> out;
+  out.reserve(v.items().size());
+  for (const auto& item : v.items()) out.push_back(item.as_double());
+  return out;
+}
+
+inline obs::json::Value rows_to_json(
+    const std::vector<std::vector<double>>& rows) {
+  obs::json::Value arr = obs::json::Value::array();
+  for (const auto& row : rows) arr.push_back(doubles_to_json(row));
+  return arr;
+}
+
+inline std::vector<std::vector<double>> rows_from_json(
+    const obs::json::Value& v) {
+  std::vector<std::vector<double>> out;
+  out.reserve(v.items().size());
+  for (const auto& item : v.items()) out.push_back(doubles_from_json(item));
+  return out;
+}
+
+inline obs::json::Value uints_to_json(const std::vector<std::size_t>& values) {
+  obs::json::Value arr = obs::json::Value::array();
+  for (std::size_t v : values) {
+    arr.push_back(obs::json::Value(static_cast<std::uint64_t>(v)));
+  }
+  return arr;
+}
+
+inline std::vector<std::size_t> uints_from_json(const obs::json::Value& v) {
+  std::vector<std::size_t> out;
+  out.reserve(v.items().size());
+  for (const auto& item : v.items()) {
+    out.push_back(static_cast<std::size_t>(item.as_uint()));
+  }
+  return out;
+}
+
+inline obs::json::Value matrix_to_json(const la::Matrix& m) {
+  obs::json::Value obj = obs::json::Value::object();
+  obj.set("rows", obs::json::Value(static_cast<std::uint64_t>(m.rows())));
+  obj.set("cols", obs::json::Value(static_cast<std::uint64_t>(m.cols())));
+  obj.set("data", doubles_to_json(m.data()));
+  return obj;
+}
+
+inline la::Matrix matrix_from_json(const obs::json::Value& v) {
+  const auto rows = static_cast<std::size_t>(v.at("rows").as_uint());
+  const auto cols = static_cast<std::size_t>(v.at("cols").as_uint());
+  la::Matrix m(rows, cols);
+  const auto data = doubles_from_json(v.at("data"));
+  PAMO_CHECK(data.size() == rows * cols, "matrix snapshot size mismatch");
+  m.data() = data;
+  return m;
+}
+
+/// Optional Cholesky: null when absent, {lower, jitter} otherwise.
+inline obs::json::Value cholesky_to_json(
+    const std::optional<la::Cholesky>& chol) {
+  if (!chol.has_value()) return obs::json::Value();
+  obs::json::Value obj = obs::json::Value::object();
+  obj.set("lower", matrix_to_json(chol->lower()));
+  obj.set("jitter", obs::json::Value(chol->jitter()));
+  return obj;
+}
+
+inline std::optional<la::Cholesky> cholesky_from_json(
+    const obs::json::Value& v) {
+  if (v.kind() == obs::json::Value::Kind::kNull) return std::nullopt;
+  return la::Cholesky::from_parts(matrix_from_json(v.at("lower")),
+                                  v.at("jitter").as_double());
+}
+
+/// A double that may be +infinity (sim::FaultPlan::kNever): null encodes
+/// infinity, every finite value round-trips through the exact formatter.
+inline obs::json::Value time_to_json(double t) {
+  if (std::isinf(t)) return obs::json::Value();
+  return obs::json::Value(t);
+}
+
+inline double time_from_json(const obs::json::Value& v) {
+  if (v.kind() == obs::json::Value::Kind::kNull) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return v.as_double();
+}
+
+inline obs::json::Value rng_to_json(const Rng& rng) {
+  const RngState state = rng.state();
+  obs::json::Value obj = obs::json::Value::object();
+  obs::json::Value words = obs::json::Value::array();
+  for (std::uint64_t s : state.s) words.push_back(obs::json::Value(s));
+  obj.set("s", words);
+  obj.set("spare", obs::json::Value(state.spare));
+  obj.set("has_spare", obs::json::Value(state.has_spare));
+  return obj;
+}
+
+inline Rng rng_from_json(const obs::json::Value& v) {
+  RngState state;
+  const auto& words = v.at("s").items();
+  PAMO_CHECK(words.size() == 4, "RNG snapshot must carry 4 state words");
+  for (std::size_t i = 0; i < 4; ++i) state.s[i] = words[i].as_uint();
+  state.spare = v.at("spare").as_double();
+  state.has_spare = v.at("has_spare").as_bool();
+  return Rng::from_state(state);
+}
+
+}  // namespace codec
+
+}  // namespace pamo::ckpt

@@ -1,0 +1,65 @@
+// FNV-1a digest over typed values — the one hash the repo's determinism
+// machinery speaks.
+//
+// The integration tests, the checkpoint envelope, and the daemon's
+// per-epoch trajectory records all need the same property: two values are
+// "the same run" exactly when their digests match, down to the last ULP.
+// Fnv1a hashes doubles by their bit pattern (so -0.0 != +0.0 and a single
+// ULP of drift changes the digest) and strings length-prefixed, mixing
+// byte-by-byte so the result is platform-independent for a given input.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pamo::ckpt {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ = (hash_ ^ ((value >> shift) & 0xFFu)) * 0x100000001B3ULL;
+    }
+  }
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+  void mix(bool value) { mix(std::uint64_t{value ? 1u : 0u}); }
+  void mix(std::string_view value) {
+    mix(std::uint64_t{value.size()});
+    for (char c : value) mix(std::uint64_t{static_cast<unsigned char>(c)});
+  }
+  /// Length-prefixed mix of any iterable of mixable values.
+  template <typename T>
+  void mix_all(const T& values) {
+    mix(std::uint64_t{values.size()});
+    for (const auto& v : values) mix(v);
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// Digest of a raw byte string (the checkpoint envelope's content hash).
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Fixed-width lowercase hex of a digest (16 chars, no prefix).
+[[nodiscard]] inline std::string to_hex(std::uint64_t value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[value & 0xFu];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace pamo::ckpt

@@ -1,0 +1,63 @@
+// Kill-point fault injection for crash-consistency testing.
+//
+// A kill point is a named location inside the checkpoint write protocol or
+// the daemon epoch loop where a process death can be injected on demand.
+// Production builds pay one branch on a disarmed atomic per point; tests
+// arm a point and prove that dying there leaves the checkpoint directory
+// recoverable (tests/integration/test_daemon_restart.cpp walks the whole
+// matrix).
+//
+// Two firing modes:
+//   * throw mode (the default, used by in-process tests): the point throws
+//     InjectedKill, which deliberately does NOT derive from pamo::Error —
+//     the service absorbs Error as part of its graceful-degradation
+//     contract, and an injected death must tear through those handlers
+//     exactly like a real SIGKILL would.
+//   * exit mode (used by the CLI / CI restart matrix, and by
+//     PAMO_KILL_AT=point[:count][:exit]): the process dies immediately via
+//     std::_Exit(137) — no destructors, no stream flushes, the closest
+//     userspace approximation of a power cut.
+//
+// Arming is process-global and not thread-safe by design: kill points are
+// a test harness, armed before the code under test runs on one thread.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace pamo::ckpt {
+
+/// Thrown by an armed kill point in throw mode. Not a pamo::Error on
+/// purpose: nothing in the library may absorb an injected death.
+class InjectedKill : public std::runtime_error {
+ public:
+  explicit InjectedKill(const std::string& point)
+      : std::runtime_error("injected kill at '" + point + "'") {}
+};
+
+/// Arm `point`: the `count`-th traversal fires (count >= 1). `hard_exit`
+/// selects exit mode (std::_Exit(137)) over throw mode. Re-arming
+/// replaces any previous armed point and resets the hit counter.
+void arm_kill(const std::string& point, std::size_t count = 1,
+              bool hard_exit = false);
+
+/// Disarm whatever is armed (no-op when nothing is).
+void disarm_kill();
+
+/// Parse PAMO_KILL_AT (`point[:count][:exit]`) and arm accordingly.
+/// Returns false (arming nothing) when the variable is unset or empty.
+bool arm_kill_from_env();
+
+/// True when a kill point is currently armed.
+[[nodiscard]] bool kill_armed();
+
+/// Traversals of the armed point so far (0 when nothing is armed).
+[[nodiscard]] std::size_t kill_hits();
+
+/// The hook: call at every named injection site. Fires (throw or _Exit)
+/// when `name` matches the armed point and the hit count reaches the
+/// armed count; otherwise returns immediately.
+void kill_point(const char* name);
+
+}  // namespace pamo::ckpt

@@ -19,6 +19,22 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = sm.next();
 }
 
+RngState Rng::state() const {
+  RngState out;
+  for (int i = 0; i < 4; ++i) out.s[i] = s_[i];
+  out.spare = spare_;
+  out.has_spare = has_spare_;
+  return out;
+}
+
+Rng Rng::from_state(const RngState& state) {
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.s_[i] = state.s[i];
+  rng.spare_ = state.spare;
+  rng.has_spare_ = state.has_spare;
+  return rng;
+}
+
 Rng Rng::fork(std::uint64_t index) const {
   // Mix the current state with the stream index through SplitMix64 so that
   // distinct indices give well-separated streams.

@@ -29,12 +29,26 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Complete serializable state of an Rng: the xoshiro256** words plus the
+/// Box–Muller spare. Round-tripping through RngState resumes the stream
+/// mid-sequence bit-for-bit (including a cached normal() spare).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double spare = 0.0;
+  bool has_spare = false;
+};
+
 /// xoshiro256** generator with convenience distributions.
 class Rng {
  public:
   using result_type = std::uint64_t;
 
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Snapshot the generator state (checkpoint/restore support).
+  [[nodiscard]] RngState state() const;
+  /// Rebuild a generator that continues `state`'s stream exactly.
+  static Rng from_state(const RngState& state);
 
   /// Derive an independent stream for work item `index`. Deterministic:
   /// fork(i) of equal-state Rngs yields equal streams.

@@ -1,0 +1,116 @@
+// Restartable serving daemon — the process shell around SchedulingService.
+//
+// The paper's operating loop (Figure 1) is a long-lived process: it
+// collects, re-optimizes, repairs, and keeps going. A real deployment of
+// that loop dies — OOM kills, node reboots, power cuts — and everything
+// the service *learned* (the preference posterior, the outcome models,
+// telemetry stuck-at memory, the last-known-good schedule) is state a
+// restart must not lose. Daemon wraps the service in a simulated-tick
+// epoch loop that checkpoints on a configurable cadence (plus immediately
+// after repairs, when the decision just changed under the operator's
+// feet) through the crash-consistent ckpt store, and can resume from the
+// newest valid snapshot such that every future epoch is bit-identical to
+// the uninterrupted run — proven per epoch by the report digests that
+// ride along inside the checkpoint.
+//
+// Kill points (ckpt::kill_point) cover the loop itself:
+//   daemon.epoch.begin       before an epoch runs (work since the last
+//                            checkpoint is the replayed window)
+//   daemon.epoch.pre_commit  epoch computed, checkpoint not yet written
+//   daemon.epoch.committed   checkpoint durable, outcome not yet returned
+// plus the five ckpt.write.* points inside write_file_atomic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/service.hpp"
+
+namespace pamo::core {
+
+struct DaemonOptions {
+  /// Directory of the checkpoint store (created if missing).
+  std::string checkpoint_dir;
+  /// Checkpoint after every N completed epochs; 0 disables cadence
+  /// checkpoints (repair-triggered and explicit ones still happen).
+  std::size_t checkpoint_every = 1;
+  /// Also checkpoint immediately after an epoch whose decision was
+  /// repaired or fell back — the moments the learned state just earned
+  /// its keep and re-deriving it would be most expensive.
+  bool checkpoint_after_repair = true;
+  /// Valid snapshots retained on disk (older ones pruned); 0 keeps all.
+  std::size_t keep_checkpoints = 4;
+  /// Simulated-clock advance per epoch (the daemon's notion of time; it
+  /// rides in the checkpoint so a resumed daemon's clock is continuous).
+  std::uint64_t ticks_per_epoch = 100;
+};
+
+/// One repair the service performed, remembered across restarts (the
+/// service's own EpochReport is transient; the daemon's log is cumulative
+/// and checkpointed).
+struct RepairLogEntry {
+  std::size_t epoch = 0;
+  RepairKind kind = RepairKind::kFallbackSchedule;
+  std::string detail;
+};
+
+class Daemon {
+ public:
+  Daemon(eva::Workload workload, ServiceOptions service_options,
+         DaemonOptions options);
+
+  /// Restore from the newest valid checkpoint in the store, if any.
+  /// Returns the sequence resumed from, or nullopt when the store holds
+  /// no readable snapshot (fresh start). Call before the first step().
+  std::optional<std::uint64_t> resume();
+
+  struct EpochOutcome {
+    SchedulingService::EpochReport report;
+    std::uint64_t digest = 0;  // digest_epoch(report)
+    /// Sequence of the checkpoint this epoch committed, when one was due.
+    std::optional<std::uint64_t> checkpoint_sequence;
+  };
+
+  /// Run one epoch: optimize + validate + repair via the service, advance
+  /// the simulated clock, append to the digest trajectory and repair log,
+  /// and checkpoint when the cadence or a repair calls for it.
+  EpochOutcome step(pref::PreferenceOracle& oracle);
+
+  /// step() `epochs` times.
+  std::vector<EpochOutcome> run(pref::PreferenceOracle& oracle,
+                                std::size_t epochs);
+
+  /// Write a checkpoint now regardless of cadence; returns its sequence.
+  std::uint64_t checkpoint_now();
+
+  [[nodiscard]] SchedulingService& service() { return service_; }
+  [[nodiscard]] const SchedulingService& service() const { return service_; }
+  [[nodiscard]] const ckpt::CheckpointStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  /// Per-epoch report digests since the daemon (lineage) started —
+  /// restored from the checkpoint on resume, so a restarted daemon's
+  /// trajectory can be compared against an uninterrupted run's in full.
+  [[nodiscard]] const std::vector<std::uint64_t>& epoch_digests() const {
+    return epoch_digests_;
+  }
+  [[nodiscard]] const std::vector<RepairLogEntry>& repair_log() const {
+    return repair_log_;
+  }
+
+ private:
+  [[nodiscard]] obs::json::Value daemon_snapshot() const;
+  void daemon_restore(const obs::json::Value& state);
+
+  SchedulingService service_;
+  ckpt::CheckpointStore store_;
+  DaemonOptions options_;
+  std::uint64_t ticks_ = 0;
+  std::size_t epochs_since_checkpoint_ = 0;
+  std::vector<std::uint64_t> epoch_digests_;
+  std::vector<RepairLogEntry> repair_log_;
+};
+
+}  // namespace pamo::core

@@ -141,6 +141,20 @@ gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
   return total;
 }
 
+obs::json::Value OutcomeModels::snapshot() const {
+  obs::json::Value arr = obs::json::Value::array();
+  for (const auto& model : models_) arr.push_back(model.snapshot());
+  return arr;
+}
+
+void OutcomeModels::restore(const obs::json::Value& snap) {
+  PAMO_CHECK(snap.items().size() == models_.size(),
+             "outcome-model snapshot metric count mismatch");
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    models_[m].restore(snap.items()[m]);
+  }
+}
+
 la::Matrix OutcomeModels::mean_grid_table() const {
   PAMO_CHECK(is_fit(), "mean table before fit");
   la::Matrix table(kNumMetrics, grid_.size());

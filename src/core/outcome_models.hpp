@@ -17,6 +17,7 @@
 #include "eva/config.hpp"
 #include "eva/profiler.hpp"
 #include "gp/gp_regressor.hpp"
+#include "obs/json.hpp"
 
 namespace pamo::core {
 
@@ -67,6 +68,14 @@ class OutcomeModels {
   /// Robustness diagnostics aggregated across the five metric GPs
   /// (counts summed, jitters maxed).
   [[nodiscard]] gp::GpFitDiagnostics diagnostics() const;
+
+  /// Serialize all five metric GPs (grid geometry is derived from the
+  /// ConfigSpace at construction and is not serialized).
+  [[nodiscard]] obs::json::Value snapshot() const;
+
+  /// Rebuild the five GPs from snapshot(). Must be constructed with the
+  /// same ConfigSpace and GpOptions as the snapshotted instance.
+  void restore(const obs::json::Value& snap);
 
  private:
   std::vector<eva::StreamConfig> grid_;

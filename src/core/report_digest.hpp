@@ -1,0 +1,35 @@
+// Canonical FNV-1a digests of the service's observable outputs — the
+// repo-wide definition of "the same run".
+//
+// The determinism suite, the daemon's per-epoch trajectory log, and the
+// kill-point restart matrix all compare runs through these digests:
+// schedules, simulator reports, and full epoch reports (config, BO
+// benefit trace, repairs, health) hash down to one 64-bit value each,
+// with doubles hashed by bit pattern so a single ULP of drift is a
+// mismatch. Keeping the definition in src/ (not test-local) is what lets
+// a restarted daemon prove bit-identity against an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+
+#include "core/service.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace pamo::core {
+
+/// Digest of a schedule's decision surface (assignment, phases, uplink
+/// shares, per-parent latency bound, communication cost).
+[[nodiscard]] std::uint64_t digest_schedule(
+    const sched::ScheduleResult& schedule);
+
+/// Digest of a validation simulation's full measured behaviour, including
+/// the fault-aware accounting and end-of-horizon environment observables.
+[[nodiscard]] std::uint64_t digest_sim(const sim::SimReport& report);
+
+/// Digest of one epoch end to end: decision, measured behaviour, BO
+/// benefit trajectory, oracle traffic, repairs, and absorbed errors.
+[[nodiscard]] std::uint64_t digest_epoch(
+    const SchedulingService::EpochReport& report);
+
+}  // namespace pamo::core

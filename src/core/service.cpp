@@ -270,6 +270,11 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
 
     PamoScheduler scheduler(workload_, options);
     result = scheduler.run(oracle);
+    if (options_.retain_outcome_models && scheduler.outcome_models().is_fit()) {
+      // Copy (never move — the scheduler still owns its run) so the
+      // fitted model bank rides along in snapshot(). No RNG is touched.
+      retained_models_ = scheduler.outcome_models();
+    }
   } catch (const Error& e) {
     result.feasible = false;
     report.health.optimizer_error = true;

@@ -28,6 +28,7 @@
 
 #include "core/pamo.hpp"
 #include "eva/telemetry.hpp"
+#include "obs/json.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
@@ -86,6 +87,10 @@ struct ServiceOptions {
   /// Validation-simulation parameters shared by every epoch.
   sim::SimOptions sim;
   ResilienceOptions resilience;
+  /// Keep a copy of the most recent epoch's fitted outcome models so they
+  /// ride along in checkpoints (snapshot()). Costs one model-bank copy per
+  /// feasible epoch and never touches any RNG stream.
+  bool retain_outcome_models = true;
   std::uint64_t seed = 1;
 };
 
@@ -161,6 +166,26 @@ class SchedulingService {
   }
   [[nodiscard]] const eva::Workload& workload() const { return workload_; }
   [[nodiscard]] bool has_last_good() const { return last_good_.has_value(); }
+  /// Most recent epoch's fitted outcome models (retain_outcome_models),
+  /// or nullptr before the first feasible epoch / when retention is off.
+  [[nodiscard]] const OutcomeModels* retained_models() const {
+    return retained_models_ ? &*retained_models_ : nullptr;
+  }
+
+  /// Serialize everything a restart needs to replay the next epoch
+  /// bit-identically: the epoch cursor, the preference learner (pool,
+  /// comparisons, RNG, posterior), telemetry-corruption dynamic state,
+  /// the fault plan, the last-known-good decision, and the retained
+  /// outcome models — as a `pamo.service_state.v1` JSON document guarded
+  /// by a workload fingerprint.
+  [[nodiscard]] obs::json::Value snapshot() const;
+
+  /// Rebuild from snapshot(). The service must have been constructed with
+  /// the same workload and ServiceOptions as the snapshotted one (the
+  /// workload fingerprint is verified); per-epoch seeds re-derive from
+  /// (options.seed, epoch), so the restored service's future epochs are
+  /// bit-identical to the uninterrupted instance's.
+  void restore(const obs::json::Value& state);
 
  private:
   struct LastGood {
@@ -181,6 +206,7 @@ class SchedulingService {
   std::optional<sim::FaultPlan> fault_plan_;
   std::optional<eva::TelemetryCorruption> telemetry_;
   std::optional<LastGood> last_good_;
+  std::optional<OutcomeModels> retained_models_;
   std::size_t epoch_ = 0;
 };
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "eva/profiler.hpp"
+#include "obs/json.hpp"
 
 namespace pamo::eva {
 
@@ -75,6 +76,14 @@ class TelemetryCorruption {
     return counters_;
   }
   void reset_counters() { counters_ = {}; }
+
+  /// Serialize the full model — options, counters, and the stuck-at
+  /// memory (which is continuous across epochs and must survive a
+  /// restart for corruption decisions to replay bit-identically).
+  [[nodiscard]] obs::json::Value snapshot() const;
+
+  /// Rebuild from snapshot(), replacing options and all dynamic state.
+  void restore(const obs::json::Value& snap);
 
  private:
   TelemetryCorruptionOptions options_;

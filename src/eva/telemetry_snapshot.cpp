@@ -1,0 +1,114 @@
+// TelemetryCorruption checkpoint serialization (see telemetry.hpp).
+//
+// Corruption decisions are drawn from an RNG derived from (seed, stream,
+// tag) per call, so there is no generator cursor to save — but the
+// stuck-at memory (the previous *true* reading per stream) is carried
+// across epochs and must survive a restart, or the first post-resume
+// stuck-at artifact would repeat the wrong value and fork the run.
+#include "ckpt/codec.hpp"
+#include "common/error.hpp"
+#include "eva/telemetry.hpp"
+
+namespace pamo::eva {
+
+namespace json = obs::json;
+
+namespace {
+
+json::Value measurement_to_json(const StreamMeasurement& m) {
+  json::Value arr = json::Value::array();
+  arr.push_back(json::Value(m.accuracy));
+  arr.push_back(json::Value(m.bandwidth_mbps));
+  arr.push_back(json::Value(m.compute_tflops));
+  arr.push_back(json::Value(m.power_watts));
+  arr.push_back(json::Value(m.proc_time));
+  return arr;
+}
+
+StreamMeasurement measurement_from_json(const json::Value& v) {
+  const auto& items = v.items();
+  PAMO_CHECK(items.size() == 5, "measurement snapshot must have 5 fields");
+  StreamMeasurement m;
+  m.accuracy = items[0].as_double();
+  m.bandwidth_mbps = items[1].as_double();
+  m.compute_tflops = items[2].as_double();
+  m.power_watts = items[3].as_double();
+  m.proc_time = items[4].as_double();
+  return m;
+}
+
+}  // namespace
+
+json::Value TelemetryCorruption::snapshot() const {
+  json::Value obj = json::Value::object();
+  json::Value options = json::Value::object();
+  options.set("nan_rate", json::Value(options_.nan_rate));
+  options.set("inf_rate", json::Value(options_.inf_rate));
+  options.set("outlier_rate", json::Value(options_.outlier_rate));
+  options.set("outlier_scale", json::Value(options_.outlier_scale));
+  options.set("stuck_rate", json::Value(options_.stuck_rate));
+  options.set("drop_rate", json::Value(options_.drop_rate));
+  options.set("seed", json::Value(options_.seed));
+  obj.set("options", std::move(options));
+
+  json::Value counters = json::Value::object();
+  counters.set("total_measurements",
+               json::Value(std::uint64_t{counters_.total_measurements}));
+  counters.set("dropped_measurements",
+               json::Value(std::uint64_t{counters_.dropped_measurements}));
+  counters.set("nan_fields", json::Value(std::uint64_t{counters_.nan_fields}));
+  counters.set("inf_fields", json::Value(std::uint64_t{counters_.inf_fields}));
+  counters.set("outlier_fields",
+               json::Value(std::uint64_t{counters_.outlier_fields}));
+  counters.set("stuck_fields",
+               json::Value(std::uint64_t{counters_.stuck_fields}));
+  obj.set("counters", std::move(counters));
+
+  json::Value last = json::Value::array();
+  json::Value has_last = json::Value::array();
+  for (std::size_t i = 0; i < last_.size(); ++i) {
+    last.push_back(measurement_to_json(last_[i]));
+    has_last.push_back(json::Value(bool{has_last_[i]}));
+  }
+  obj.set("last", std::move(last));
+  obj.set("has_last", std::move(has_last));
+  return obj;
+}
+
+void TelemetryCorruption::restore(const json::Value& snap) {
+  const json::Value& options = snap.at("options");
+  options_.nan_rate = options.at("nan_rate").as_double();
+  options_.inf_rate = options.at("inf_rate").as_double();
+  options_.outlier_rate = options.at("outlier_rate").as_double();
+  options_.outlier_scale = options.at("outlier_scale").as_double();
+  options_.stuck_rate = options.at("stuck_rate").as_double();
+  options_.drop_rate = options.at("drop_rate").as_double();
+  options_.seed = options.at("seed").as_uint();
+
+  const json::Value& counters = snap.at("counters");
+  counters_.total_measurements =
+      static_cast<std::size_t>(counters.at("total_measurements").as_uint());
+  counters_.dropped_measurements =
+      static_cast<std::size_t>(counters.at("dropped_measurements").as_uint());
+  counters_.nan_fields =
+      static_cast<std::size_t>(counters.at("nan_fields").as_uint());
+  counters_.inf_fields =
+      static_cast<std::size_t>(counters.at("inf_fields").as_uint());
+  counters_.outlier_fields =
+      static_cast<std::size_t>(counters.at("outlier_fields").as_uint());
+  counters_.stuck_fields =
+      static_cast<std::size_t>(counters.at("stuck_fields").as_uint());
+
+  const auto& last = snap.at("last").items();
+  const auto& has_last = snap.at("has_last").items();
+  PAMO_CHECK(last.size() == has_last.size(),
+             "telemetry snapshot stuck-at arrays disagree");
+  last_.clear();
+  has_last_.clear();
+  for (std::size_t i = 0; i < last.size(); ++i) {
+    last_.push_back(measurement_from_json(last[i]));
+    has_last_.push_back(has_last[i].as_bool());
+  }
+}
+
+}  // namespace pamo::eva

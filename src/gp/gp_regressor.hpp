@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "gp/kernel.hpp"
 #include "la/cholesky.hpp"
+#include "obs/json.hpp"
 
 namespace pamo::gp {
 
@@ -140,6 +141,19 @@ class GpRegressor {
   /// Log marginal likelihood of the standardized data under `params`.
   [[nodiscard]] double log_marginal_likelihood(
       const KernelParams& params) const;
+
+  /// Serialize the complete fitted state — training data, scaling,
+  /// hyperparameters, the Cholesky factor (with its jitter), alpha, the
+  /// robust-noise scales, diagnostics counters, and the factor epoch —
+  /// as deterministic JSON. The mutable posterior workspace is a pure
+  /// cache and is not serialized (recomputing it is bit-identical).
+  [[nodiscard]] obs::json::Value snapshot() const;
+
+  /// Rebuild the fitted state from snapshot(). The regressor must have
+  /// been constructed with the same GpOptions as the snapshotted one;
+  /// after restore, every prediction, sample, and incremental update is
+  /// bit-for-bit identical to the original instance's.
+  void restore(const obs::json::Value& snap);
 
  private:
   /// Cross-covariance workspace reused by posterior() across calls over

@@ -1,0 +1,117 @@
+// GpRegressor checkpoint serialization (see gp_regressor.hpp).
+//
+// The snapshot carries everything the fitted state owns — including the
+// Cholesky factor bits and its jitter — rather than refitting on restore:
+// a refit would redo the jitter ladder and MLE from scratch, and any
+// difference in that path (a different recovery jitter, another Nelder–
+// Mead tie) would silently fork the BO trajectory after resume. Restoring
+// the exact factor also preserves incremental-update eligibility, which
+// requires jitter == 0 on the cached factor.
+#include <utility>
+
+#include "ckpt/codec.hpp"
+#include "common/error.hpp"
+#include "gp/gp_regressor.hpp"
+
+namespace pamo::gp {
+
+namespace json = obs::json;
+namespace codec = ckpt::codec;
+
+namespace {
+
+json::Value params_to_json(const KernelParams& params) {
+  json::Value obj = json::Value::object();
+  obj.set("log_lengthscales", codec::doubles_to_json(params.log_lengthscales));
+  obj.set("log_signal_var", json::Value(params.log_signal_var));
+  obj.set("log_noise_var", json::Value(params.log_noise_var));
+  return obj;
+}
+
+KernelParams params_from_json(const json::Value& v) {
+  KernelParams params;
+  params.log_lengthscales = codec::doubles_from_json(v.at("log_lengthscales"));
+  params.log_signal_var = v.at("log_signal_var").as_double();
+  params.log_noise_var = v.at("log_noise_var").as_double();
+  return params;
+}
+
+json::Value diagnostics_to_json(const GpFitDiagnostics& d) {
+  json::Value obj = json::Value::object();
+  obj.set("rows_rejected", json::Value(std::uint64_t{d.rows_rejected}));
+  obj.set("outliers_downweighted",
+          json::Value(std::uint64_t{d.outliers_downweighted}));
+  obj.set("cholesky_recoveries",
+          json::Value(std::uint64_t{d.cholesky_recoveries}));
+  obj.set("fit_jitter", json::Value(d.fit_jitter));
+  obj.set("posterior_jitter", json::Value(d.posterior_jitter));
+  obj.set("incremental_updates",
+          json::Value(std::uint64_t{d.incremental_updates}));
+  obj.set("incremental_fallbacks",
+          json::Value(std::uint64_t{d.incremental_fallbacks}));
+  return obj;
+}
+
+GpFitDiagnostics diagnostics_from_json(const json::Value& v) {
+  GpFitDiagnostics d;
+  d.rows_rejected = static_cast<std::size_t>(v.at("rows_rejected").as_uint());
+  d.outliers_downweighted =
+      static_cast<std::size_t>(v.at("outliers_downweighted").as_uint());
+  d.cholesky_recoveries =
+      static_cast<std::size_t>(v.at("cholesky_recoveries").as_uint());
+  d.fit_jitter = v.at("fit_jitter").as_double();
+  d.posterior_jitter = v.at("posterior_jitter").as_double();
+  d.incremental_updates =
+      static_cast<std::size_t>(v.at("incremental_updates").as_uint());
+  d.incremental_fallbacks =
+      static_cast<std::size_t>(v.at("incremental_fallbacks").as_uint());
+  return d;
+}
+
+}  // namespace
+
+json::Value GpRegressor::snapshot() const {
+  json::Value obj = json::Value::object();
+  obj.set("dim", json::Value(std::uint64_t{dim_}));
+  obj.set("x_raw", codec::rows_to_json(x_raw_));
+  obj.set("y_raw", codec::doubles_to_json(y_raw_));
+  obj.set("x_lo", codec::doubles_to_json(x_lo_));
+  obj.set("x_hi", codec::doubles_to_json(x_hi_));
+  obj.set("y_mean", json::Value(y_mean_));
+  obj.set("y_std", json::Value(y_std_));
+  obj.set("x", codec::rows_to_json(x_));
+  obj.set("y", codec::doubles_to_json(y_));
+  obj.set("params", params_to_json(params_));
+  obj.set("chol", codec::cholesky_to_json(chol_));
+  obj.set("alpha", codec::doubles_to_json(alpha_));
+  obj.set("noise_scale", codec::doubles_to_json(noise_scale_));
+  obj.set("diagnostics", diagnostics_to_json(diagnostics_));
+  obj.set("factor_epoch", json::Value(factor_epoch_));
+  return obj;
+}
+
+void GpRegressor::restore(const json::Value& snap) {
+  dim_ = static_cast<std::size_t>(snap.at("dim").as_uint());
+  x_raw_ = codec::rows_from_json(snap.at("x_raw"));
+  y_raw_ = codec::doubles_from_json(snap.at("y_raw"));
+  x_lo_ = codec::doubles_from_json(snap.at("x_lo"));
+  x_hi_ = codec::doubles_from_json(snap.at("x_hi"));
+  y_mean_ = snap.at("y_mean").as_double();
+  y_std_ = snap.at("y_std").as_double();
+  x_ = codec::rows_from_json(snap.at("x"));
+  y_ = codec::doubles_from_json(snap.at("y"));
+  params_ = params_from_json(snap.at("params"));
+  chol_ = codec::cholesky_from_json(snap.at("chol"));
+  alpha_ = codec::doubles_from_json(snap.at("alpha"));
+  noise_scale_ = codec::doubles_from_json(snap.at("noise_scale"));
+  diagnostics_ = diagnostics_from_json(snap.at("diagnostics"));
+  factor_epoch_ = snap.at("factor_epoch").as_uint();
+  PAMO_CHECK(x_.size() == y_.size() && x_raw_.size() == y_raw_.size(),
+             "GP snapshot is internally inconsistent");
+  PAMO_CHECK(!is_fit() || (chol_.has_value() && alpha_.size() == x_.size()),
+             "fitted GP snapshot must carry its factorization");
+  // The posterior workspace is a cache keyed to the live factor; drop it.
+  workspace_ = PosteriorWorkspace{};
+}
+
+}  // namespace pamo::gp

@@ -54,6 +54,17 @@ Cholesky::Cholesky(const Matrix& a, double max_jitter) {
   throw Error("Cholesky: matrix is not positive definite even with jitter");
 }
 
+Cholesky Cholesky::from_parts(Matrix lower, double jitter) {
+  PAMO_CHECK(lower.rows() == lower.cols(),
+             "Cholesky factor must be square");
+  PAMO_CHECK(lower.rows() > 0, "Cholesky factor must be non-empty");
+  PAMO_CHECK(jitter >= 0.0, "Cholesky jitter must be non-negative");
+  Cholesky out;
+  out.l_ = std::move(lower);
+  out.jitter_ = jitter;
+  return out;
+}
+
 Vector Cholesky::solve_lower(const Vector& b) const {
   const std::size_t n = l_.rows();
   PAMO_CHECK(b.size() == n, "solve_lower dimension mismatch");

@@ -16,6 +16,13 @@ class Cholesky {
  public:
   explicit Cholesky(const Matrix& a, double max_jitter = 1e-4);
 
+  /// Rebuild a factorization from a previously computed lower factor and
+  /// its jitter (checkpoint/restore support). No numerical work happens:
+  /// the result is the exact object that produced `lower`, so solves and
+  /// extend() behave bit-for-bit as before the round-trip. `lower` must be
+  /// square; its strict upper triangle is ignored by every operation.
+  static Cholesky from_parts(Matrix lower, double jitter);
+
   [[nodiscard]] const Matrix& lower() const { return l_; }
   /// The jitter that was finally added to the diagonal (0 if none).
   [[nodiscard]] double jitter() const { return jitter_; }
@@ -58,6 +65,7 @@ class Cholesky {
   [[nodiscard]] double log_det() const;
 
  private:
+  Cholesky() = default;  // for from_parts
   static bool try_factor(const Matrix& a, double jitter, Matrix& out);
 
   Matrix l_;

@@ -182,6 +182,12 @@ struct Parser {
         std::string key = parse_string();
         skip_ws();
         expect(':');
+        // Strict grammar: a repeated key is a malformed document, not a
+        // last-wins overwrite — silent overwrites would let a corrupted
+        // (e.g. torn-and-reconcatenated) checkpoint parse cleanly.
+        if (obj.find(key) != nullptr) {
+          fail("duplicate object key '" + key + "'");
+        }
         obj.set(key, parse_value());
         skip_ws();
         if (peek() == ',') {

@@ -67,7 +67,7 @@ class Value {
   [[nodiscard]] std::string dump() const;
 
   /// Strict parse of a complete JSON document; throws pamo::Error on any
-  /// syntax error or trailing garbage.
+  /// syntax error, duplicate object key, or trailing garbage.
   static Value parse(const std::string& text);
 
  private:

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "pref/oracle.hpp"
 #include "pref/preference_gp.hpp"
 
@@ -51,6 +52,17 @@ class PreferenceLearner {
   /// Append candidate outcome vectors (e.g. newly observed outcomes from
   /// the BO loop); returns the index of the first appended point.
   std::size_t extend_pool(const std::vector<std::vector<double>>& outcomes);
+
+  /// Serialize the learner's persistent state: the candidate pool, every
+  /// comparison asked so far, the pair-selection RNG mid-stream, and the
+  /// fitted preference model.
+  [[nodiscard]] obs::json::Value snapshot() const;
+
+  /// Rebuild from snapshot(), replacing pool, pairs, RNG, and model. The
+  /// learner must have been constructed with the same LearnerOptions; the
+  /// construction-time pool and seed are overwritten. After restore, the
+  /// next run() asks bit-identical queries to the original instance.
+  void restore(const obs::json::Value& snap);
 
   [[nodiscard]] const PreferenceGp& model() const { return model_; }
   [[nodiscard]] const std::vector<std::vector<double>>& pool() const {

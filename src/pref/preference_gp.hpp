@@ -20,6 +20,7 @@
 #include "gp/gp_regressor.hpp"
 #include "gp/kernel.hpp"
 #include "la/cholesky.hpp"
+#include "obs/json.hpp"
 
 namespace pamo::pref {
 
@@ -82,6 +83,16 @@ class PreferenceGp {
 
   /// MAP latent utilities at the training points.
   [[nodiscard]] const la::Vector& map_utilities() const { return g_map_; }
+
+  /// Serialize the full posterior state (points, pairs, pair weights, the
+  /// MAP solution, both Cholesky factors) as deterministic JSON. Restoring
+  /// skips the Laplace iteration entirely — the exact factors come back,
+  /// so posterior()/sample_joint() are bit-identical after the round-trip.
+  [[nodiscard]] obs::json::Value snapshot() const;
+
+  /// Rebuild from snapshot(). Must be constructed with the same
+  /// PreferenceGpOptions as the snapshotted instance.
+  void restore(const obs::json::Value& snap);
 
  private:
   void laplace();

@@ -53,6 +53,35 @@ TEST(Watchdog, TinyDeadlineBreachesImmediately) {
   EXPECT_TRUE(watchdog.breached());
 }
 
+TEST(Watchdog, NegativeDeadlineIsExhaustedNotDisabled) {
+  // Regression: a zero-or-negative remaining budget (e.g. computed by
+  // subtracting elapsed time from a total) must mean "already breached".
+  // The old enabled()/breached() guards used `> 0.0`, so a negative
+  // deadline silently disabled the watchdog entirely.
+  WatchdogOptions options;
+  options.deadline_seconds = -0.5;
+  EpochWatchdog watchdog(options);
+  EXPECT_TRUE(watchdog.enabled());
+  watchdog.arm();
+  EXPECT_TRUE(watchdog.breached());  // immediately, no wall clock needed
+  EXPECT_TRUE(watchdog.fired());
+  // Latches like any other breach, and re-arming does not help: the
+  // budget is still negative.
+  watchdog.arm();
+  EXPECT_TRUE(watchdog.breached());
+}
+
+TEST(Watchdog, ZeroDeadlineStillDisables) {
+  // Exactly 0 is the documented "deadline off" default and must keep
+  // meaning that — only strictly negative budgets are pre-exhausted.
+  WatchdogOptions options;
+  options.deadline_seconds = 0.0;
+  EpochWatchdog watchdog(options);
+  EXPECT_FALSE(watchdog.enabled());
+  watchdog.arm();
+  EXPECT_FALSE(watchdog.breached());
+}
+
 TEST(Watchdog, UnarmedWatchdogIsInert) {
   WatchdogOptions options;
   options.max_failures = 1;

@@ -1,0 +1,138 @@
+// Crash-consistency of the temp → fsync → rename write protocol: for
+// every kill point inside write_file_atomic, a reader after the "crash"
+// sees either the complete old content or the complete new content.
+#include "ckpt/atomic_io.hpp"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/killpoint.hpp"
+#include "common/error.hpp"
+
+namespace pamo::ckpt {
+namespace {
+
+// ctest runs test cases in parallel processes: every case gets its own
+// unique directory.
+std::string make_temp_dir() {
+  char buf[] = "/tmp/pamo_atomic_io_XXXXXX";
+  const char* dir = ::mkdtemp(buf);
+  if (dir == nullptr) throw pamo::Error("mkdtemp failed");
+  return dir;
+}
+
+class AtomicIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = make_temp_dir(); }
+  void TearDown() override {
+    disarm_kill();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(AtomicIoTest, WriteThenReadRoundTrips) {
+  const std::string path = dir_ + "/file.json";
+  write_file_atomic(path, "first contents");
+  auto read = read_file(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, "first contents");
+  write_file_atomic(path, "replaced");
+  EXPECT_EQ(*read_file(path), "replaced");
+}
+
+TEST_F(AtomicIoTest, ReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_file(dir_ + "/absent").has_value());
+}
+
+TEST_F(AtomicIoTest, EnsureDirectoryCreatesNestedAndTolerated) {
+  const std::string nested = dir_ + "/a/b/c";
+  ensure_directory(nested);
+  ensure_directory(nested);  // idempotent
+  write_file_atomic(nested + "/x", "ok");
+  EXPECT_EQ(*read_file(nested + "/x"), "ok");
+  // A file blocking the path is an error, not silent success.
+  EXPECT_THROW(ensure_directory(nested + "/x/deeper"), pamo::Error);
+}
+
+TEST_F(AtomicIoTest, ListFilesSortedIsDeterministic) {
+  EXPECT_TRUE(list_files_sorted(dir_ + "/missing").empty());
+  write_file_atomic(dir_ + "/b.json", "b");
+  write_file_atomic(dir_ + "/a.json", "a");
+  write_file_atomic(dir_ + "/c.json", "c");
+  ensure_directory(dir_ + "/subdir");  // directories are not listed
+  const auto files = list_files_sorted(dir_);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "a.json");
+  EXPECT_EQ(files[1], "b.json");
+  EXPECT_EQ(files[2], "c.json");
+}
+
+TEST_F(AtomicIoTest, RemoveFileIgnoresMissing) {
+  write_file_atomic(dir_ + "/x", "x");
+  remove_file(dir_ + "/x");
+  EXPECT_FALSE(read_file(dir_ + "/x").has_value());
+  remove_file(dir_ + "/x");  // second delete is a no-op
+}
+
+// The heart of the protocol: die at every instrumented step of an
+// overwrite and require the old content to survive intact for every kill
+// point before the rename, and the new content to be complete after it.
+TEST_F(AtomicIoTest, EveryKillPointLeavesAWholeFile) {
+  const std::string path = dir_ + "/state.json";
+  const std::string old_content = "old state, fully intact";
+  const std::string new_content = "new state, fully written";
+  write_file_atomic(path, old_content);
+
+  const struct {
+    const char* point;
+    bool new_visible;  // after dying here, which content must a reader see?
+  } kMatrix[] = {
+      {"ckpt.write.begin", false},
+      {"ckpt.write.partial", false},
+      {"ckpt.write.before_fsync", false},
+      {"ckpt.write.before_rename", false},
+      {"ckpt.write.after_rename", true},
+  };
+  for (const auto& step : kMatrix) {
+    write_file_atomic(path, old_content);  // reset
+    arm_kill(step.point);
+    EXPECT_THROW(write_file_atomic(path, new_content), InjectedKill)
+        << step.point;
+    const auto read = read_file(path);
+    ASSERT_TRUE(read.has_value()) << step.point;
+    EXPECT_EQ(*read, step.new_visible ? new_content : old_content)
+        << "torn or wrong content after dying at " << step.point;
+  }
+  // After the simulated crashes the protocol still works.
+  disarm_kill();
+  write_file_atomic(path, "after recovery");
+  EXPECT_EQ(*read_file(path), "after recovery");
+}
+
+TEST_F(AtomicIoTest, TornTempFileNeverShadowsTheTarget) {
+  // Dying mid-write leaves a .tmp.<pid> file; it must be a different name
+  // than the target (so readers of `path` never see the torn prefix).
+  const std::string path = dir_ + "/victim.json";
+  write_file_atomic(path, "durable");
+  arm_kill("ckpt.write.partial");
+  EXPECT_THROW(write_file_atomic(path, "this write is torn in half"),
+               InjectedKill);
+  EXPECT_EQ(*read_file(path), "durable");
+  bool saw_temp = false;
+  for (const auto& name : list_files_sorted(dir_)) {
+    if (name != "victim.json") {
+      saw_temp = true;
+      EXPECT_NE(name.find(".tmp."), std::string::npos) << name;
+    }
+  }
+  EXPECT_TRUE(saw_temp) << "expected the torn temp file to be left behind";
+}
+
+}  // namespace
+}  // namespace pamo::ckpt

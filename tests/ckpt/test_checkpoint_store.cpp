@@ -1,0 +1,177 @@
+// Envelope integrity and store recovery policy: digests catch tampering,
+// the newest *valid* snapshot wins, corrupt files are skipped but never
+// silently shadowed or deleted.
+#include "ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/atomic_io.hpp"
+#include "ckpt/killpoint.hpp"
+#include "common/error.hpp"
+
+namespace pamo::ckpt {
+namespace {
+
+namespace json = obs::json;
+
+std::string make_temp_dir() {
+  char buf[] = "/tmp/pamo_ckpt_store_XXXXXX";
+  const char* dir = ::mkdtemp(buf);
+  if (dir == nullptr) throw pamo::Error("mkdtemp failed");
+  return dir;
+}
+
+json::Value payload_with(std::uint64_t marker) {
+  json::Value payload = json::Value::object();
+  payload.set("marker", json::Value(marker));
+  json::Value nested = json::Value::array();
+  nested.push_back(json::Value(1.5));
+  nested.push_back(json::Value(false));
+  payload.set("nested", std::move(nested));
+  return payload;
+}
+
+void clobber(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << bytes;
+}
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = make_temp_dir(); }
+  void TearDown() override {
+    disarm_kill();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(CheckpointStoreTest, EncodeDecodeRoundTrips) {
+  const std::string bytes = encode_checkpoint(7, payload_with(42));
+  const Envelope envelope = decode_checkpoint(bytes);
+  EXPECT_EQ(envelope.sequence, 7u);
+  EXPECT_EQ(envelope.payload.dump(), payload_with(42).dump());
+}
+
+TEST_F(CheckpointStoreTest, DecodeRejectsTamperedBytes) {
+  std::string bytes = encode_checkpoint(1, payload_with(42));
+  // Flip one payload character (42 -> 43): digest must catch it.
+  const std::size_t pos = bytes.rfind("42");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 1] = '3';
+  EXPECT_THROW((void)decode_checkpoint(bytes), pamo::Error);
+  // Truncation and garbage are equally rejected.
+  const std::string whole = encode_checkpoint(1, payload_with(42));
+  EXPECT_THROW((void)decode_checkpoint(whole.substr(0, whole.size() / 2)),
+               pamo::Error);
+  EXPECT_THROW((void)decode_checkpoint("not json at all"), pamo::Error);
+  EXPECT_THROW((void)decode_checkpoint(R"({"schema":"other.v9"})"),
+               pamo::Error);
+}
+
+TEST_F(CheckpointStoreTest, SaveAssignsIncreasingSequences) {
+  CheckpointStore store(dir_);
+  EXPECT_EQ(store.save(payload_with(1)), 1u);
+  EXPECT_EQ(store.save(payload_with(2)), 2u);
+  EXPECT_EQ(store.save(payload_with(3)), 3u);
+  const auto files = store.list();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files.front(), "ckpt-00000001.json");
+  EXPECT_EQ(files.back(), "ckpt-00000003.json");
+  const auto newest = store.load_newest_valid();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->sequence, 3u);
+  EXPECT_EQ(newest->payload.at("marker").as_uint(), 3u);
+}
+
+TEST_F(CheckpointStoreTest, EmptyStoreLoadsNothing) {
+  CheckpointStore store(dir_);
+  EXPECT_FALSE(store.load_newest_valid().has_value());
+  EXPECT_TRUE(store.list().empty());
+  EXPECT_TRUE(store.verify_all().empty());
+}
+
+TEST_F(CheckpointStoreTest, CorruptNewestFallsBackToPreviousValid) {
+  CheckpointStore store(dir_);
+  store.save(payload_with(1));
+  store.save(payload_with(2));
+  clobber(dir_ + "/ckpt-00000002.json", "{\"schema\":\"pamo.checkpoint.v1\"");
+  const auto loaded = store.load_newest_valid();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 1u);
+  EXPECT_EQ(loaded->payload.at("marker").as_uint(), 1u);
+
+  const auto verified = store.verify_all();
+  ASSERT_EQ(verified.size(), 2u);
+  EXPECT_TRUE(verified[0].valid);
+  EXPECT_FALSE(verified[1].valid);
+  EXPECT_FALSE(verified[1].error.empty());
+}
+
+TEST_F(CheckpointStoreTest, TruncatedNewestFallsBack) {
+  CheckpointStore store(dir_);
+  store.save(payload_with(1));
+  const std::string newest = dir_ + "/ckpt-00000002.json";
+  store.save(payload_with(2));
+  const auto whole = read_file(newest);
+  ASSERT_TRUE(whole.has_value());
+  clobber(newest, whole->substr(0, whole->size() / 3));  // torn tail
+  const auto loaded = store.load_newest_valid();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 1u);
+}
+
+TEST_F(CheckpointStoreTest, SequenceNeverShadowsACorruptFile) {
+  CheckpointStore store(dir_);
+  store.save(payload_with(1));
+  store.save(payload_with(2));
+  clobber(dir_ + "/ckpt-00000002.json", "garbage");
+  // The next save must advance past the corrupt sequence, not overwrite
+  // it — the bad file stays as evidence.
+  EXPECT_EQ(store.save(payload_with(3)), 3u);
+  const auto loaded = store.load_newest_valid();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 3u);
+  const auto verified = store.verify_all();
+  ASSERT_EQ(verified.size(), 3u);
+  EXPECT_FALSE(verified[1].valid);
+}
+
+TEST_F(CheckpointStoreTest, PruneKeepsNewestValidAndAllCorrupt) {
+  CheckpointStore store(dir_);
+  for (std::uint64_t i = 1; i <= 5; ++i) store.save(payload_with(i));
+  clobber(dir_ + "/ckpt-00000003.json", "garbage");
+  store.prune(2);
+  const auto files = store.list();
+  // Valid 4 and 5 survive (keep=2), corrupt 3 is never touched; 1 and 2
+  // (older valid) are gone.
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "ckpt-00000003.json");
+  EXPECT_EQ(files[1], "ckpt-00000004.json");
+  EXPECT_EQ(files[2], "ckpt-00000005.json");
+  EXPECT_THROW(store.prune(0), pamo::Error);
+}
+
+TEST_F(CheckpointStoreTest, StrayTempFilesAreIgnoredByTheStore) {
+  CheckpointStore store(dir_);
+  store.save(payload_with(1));
+  // Simulate an interrupted save: a torn temp next to the real snapshot.
+  arm_kill("ckpt.write.partial");
+  EXPECT_THROW(store.save(payload_with(2)), InjectedKill);
+  disarm_kill();
+  EXPECT_EQ(store.list().size(), 1u);  // the temp is not a snapshot
+  const auto loaded = store.load_newest_valid();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sequence, 1u);
+  // And the store recovers: the next save lands cleanly.
+  EXPECT_EQ(store.save(payload_with(2)), 2u);
+}
+
+}  // namespace
+}  // namespace pamo::ckpt

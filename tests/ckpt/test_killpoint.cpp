@@ -1,0 +1,106 @@
+// Kill-point harness semantics: arming, counting, firing, env parsing.
+// Exit mode (std::_Exit) is exercised out-of-process by the CI restart
+// matrix (scripts/ckpt_restart_matrix.sh); these tests pin throw mode.
+#include "ckpt/killpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace pamo::ckpt {
+namespace {
+
+// An injected death must not be absorbable by the library's pamo::Error
+// handlers — it has to tear through like a real SIGKILL.
+static_assert(!std::is_base_of_v<pamo::Error, InjectedKill>);
+static_assert(std::is_base_of_v<std::runtime_error, InjectedKill>);
+
+class KillpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    disarm_kill();
+    ::unsetenv("PAMO_KILL_AT");
+  }
+};
+
+TEST_F(KillpointTest, DisarmedPointsAreNoOps) {
+  EXPECT_FALSE(kill_armed());
+  EXPECT_EQ(kill_hits(), 0u);
+  kill_point("anything");  // must not throw
+  EXPECT_EQ(kill_hits(), 0u);
+}
+
+TEST_F(KillpointTest, ThrowModeFiresOnTheArmedCount) {
+  arm_kill("under.test", 3);
+  EXPECT_TRUE(kill_armed());
+  kill_point("under.test");
+  kill_point("under.test");
+  EXPECT_EQ(kill_hits(), 2u);
+  EXPECT_THROW(kill_point("under.test"), InjectedKill);
+  // Firing disarms: the restarted path can traverse the same point.
+  EXPECT_FALSE(kill_armed());
+  kill_point("under.test");
+}
+
+TEST_F(KillpointTest, OtherPointsDoNotFire) {
+  arm_kill("the.point");
+  kill_point("some.other.point");
+  kill_point("the.point.suffix");
+  EXPECT_EQ(kill_hits(), 0u);
+  EXPECT_THROW(kill_point("the.point"), InjectedKill);
+}
+
+TEST_F(KillpointTest, ReArmingReplacesAndResets) {
+  arm_kill("first", 1);
+  arm_kill("second", 2);
+  kill_point("first");  // no longer armed
+  EXPECT_EQ(kill_hits(), 0u);
+  kill_point("second");
+  EXPECT_THROW(kill_point("second"), InjectedKill);
+}
+
+TEST_F(KillpointTest, DisarmStopsAnArmedPoint) {
+  arm_kill("will.be.disarmed");
+  disarm_kill();
+  EXPECT_FALSE(kill_armed());
+  kill_point("will.be.disarmed");
+}
+
+TEST_F(KillpointTest, InjectedKillNamesThePoint) {
+  arm_kill("ckpt.write.before_rename");
+  try {
+    kill_point("ckpt.write.before_rename");
+    FAIL() << "kill point did not fire";
+  } catch (const InjectedKill& e) {
+    EXPECT_NE(std::string(e.what()).find("ckpt.write.before_rename"),
+              std::string::npos);
+  }
+}
+
+TEST_F(KillpointTest, EnvUnsetOrEmptyArmsNothing) {
+  ::unsetenv("PAMO_KILL_AT");
+  EXPECT_FALSE(arm_kill_from_env());
+  ::setenv("PAMO_KILL_AT", "", 1);
+  EXPECT_FALSE(arm_kill_from_env());
+  EXPECT_FALSE(kill_armed());
+}
+
+TEST_F(KillpointTest, EnvPointDefaultsToFirstTraversalThrowMode) {
+  ::setenv("PAMO_KILL_AT", "daemon.epoch.begin", 1);
+  ASSERT_TRUE(arm_kill_from_env());
+  EXPECT_TRUE(kill_armed());
+  EXPECT_THROW(kill_point("daemon.epoch.begin"), InjectedKill);
+}
+
+TEST_F(KillpointTest, EnvParsesCount) {
+  ::setenv("PAMO_KILL_AT", "p:2", 1);
+  ASSERT_TRUE(arm_kill_from_env());
+  kill_point("p");
+  EXPECT_THROW(kill_point("p"), InjectedKill);
+}
+
+}  // namespace
+}  // namespace pamo::ckpt

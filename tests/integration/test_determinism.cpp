@@ -8,11 +8,10 @@
 // the thread pool) shows up as a digest mismatch here.
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
-#include <string>
 
 #include "common/thread_pool.hpp"
+#include "core/report_digest.hpp"
 #include "core/service.hpp"
 #include "eva/clip.hpp"
 #include "sim/fault.hpp"
@@ -20,113 +19,10 @@
 namespace pamo::core {
 namespace {
 
-/// FNV-1a over the bit patterns of whatever the run produced. Doubles are
-/// hashed by their exact bit pattern — a single ULP of drift changes the
-/// digest.
-class Digest {
- public:
-  void mix(std::uint64_t value) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      hash_ = (hash_ ^ ((value >> shift) & 0xFFu)) * 0x100000001B3ULL;
-    }
-  }
-  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
-  void mix(bool value) { mix(std::uint64_t{value ? 1u : 0u}); }
-  void mix(const std::string& value) {
-    mix(std::uint64_t{value.size()});
-    for (char c : value) mix(std::uint64_t{static_cast<unsigned char>(c)});
-  }
-  template <typename T>
-  void mix_all(const T& values) {
-    mix(std::uint64_t{values.size()});
-    for (const auto& v : values) mix(v);
-  }
-
-  [[nodiscard]] std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
-};
-
-std::uint64_t digest_schedule(const sched::ScheduleResult& schedule) {
-  Digest d;
-  d.mix(schedule.feasible);
-  d.mix_all(schedule.assignment);
-  d.mix_all(schedule.phase);
-  d.mix_all(schedule.uplink_per_parent);
-  d.mix_all(schedule.latency_per_parent);
-  d.mix(schedule.comm_cost);
-  d.mix(std::uint64_t{schedule.streams.size()});
-  return d.value();
-}
-
-std::uint64_t digest_sim(const sim::SimReport& report) {
-  Digest d;
-  d.mix(std::uint64_t{report.per_stream.size()});
-  for (const auto& s : report.per_stream) {
-    d.mix(std::uint64_t{s.frames});
-    d.mix(s.mean_latency);
-    d.mix(s.min_latency);
-    d.mix(s.max_latency);
-    d.mix(s.jitter);
-    d.mix(s.queue_delay);
-    d.mix(std::uint64_t{s.emitted});
-    d.mix(std::uint64_t{s.dropped});
-    d.mix(std::uint64_t{s.slo_violations});
-  }
-  d.mix_all(report.latency_per_parent);
-  d.mix(report.mean_latency);
-  d.mix(report.max_jitter);
-  d.mix(report.total_queue_delay);
-  d.mix(std::uint64_t{report.total_frames});
-  d.mix(std::uint64_t{report.total_emitted});
-  d.mix(std::uint64_t{report.total_dropped});
-  d.mix(std::uint64_t{report.dropped_by_loss});
-  d.mix(std::uint64_t{report.slo_violations});
-  d.mix(std::uint64_t{report.unserved_streams});
-  d.mix_all(report.server_availability);
-  d.mix_all(report.server_up_at_end);
-  d.mix_all(report.uplink_factor_at_end);
-  d.mix_all(report.slowdown_at_end);
-  return d.value();
-}
-
-std::uint64_t digest_epoch(const SchedulingService::EpochReport& report) {
-  Digest d;
-  d.mix(std::uint64_t{report.epoch});
-  d.mix(report.feasible);
-  d.mix(report.fallback);
-  d.mix(std::uint64_t{report.config.size()});
-  for (const auto& c : report.config) {
-    d.mix(std::uint64_t{c.resolution});
-    d.mix(std::uint64_t{c.fps});
-  }
-  d.mix(digest_schedule(report.schedule));
-  d.mix(digest_sim(report.sim));
-  d.mix_all(report.benefit_trace);  // the BO trajectory, iteration by
-                                    // iteration
-  d.mix(std::uint64_t{report.oracle_queries});
-  d.mix(report.repaired);
-  if (report.repaired) {
-    d.mix(std::uint64_t{report.repaired_config.size()});
-    for (const auto& c : report.repaired_config) {
-      d.mix(std::uint64_t{c.resolution});
-      d.mix(std::uint64_t{c.fps});
-    }
-    d.mix(digest_schedule(report.repaired_schedule));
-    d.mix(digest_sim(report.post_repair_sim));
-  }
-  d.mix(std::uint64_t{report.repairs.size()});
-  for (const auto& r : report.repairs) {
-    d.mix(std::uint64_t{static_cast<unsigned>(r.kind)});
-    d.mix(r.detail);
-  }
-  d.mix(report.health.optimizer_error);
-  d.mix(report.health.repair_error);
-  d.mix(report.health.fallback_taken);
-  d.mix(report.health.error_message);
-  return d.value();
-}
+// Digests come from core/report_digest.hpp — the same FNV-1a definition
+// the daemon logs per epoch and the restart matrix compares against, so
+// "deterministic here" and "recovered bit-identically there" mean the
+// same thing.
 
 ServiceOptions tiny_service(std::uint64_t seed) {
   ServiceOptions options;

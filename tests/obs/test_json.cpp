@@ -105,6 +105,27 @@ TEST(Json, StrictParserRejectsMalformedInput) {
   }
 }
 
+TEST(Json, StrictParserRejectsDuplicateObjectKeys) {
+  // Regression: duplicate keys used to silently last-win. A repeated key
+  // never comes out of the deterministic writer, so on the way back in it
+  // is evidence of corruption (e.g. a mangled checkpoint) — reject it.
+  for (const char* bad :
+       {"{\"a\":1,\"a\":2}", "{\"a\":1,\"b\":2,\"a\":3}",
+        "{\"out\":{\"k\":1,\"k\":1}}", "[{\"x\":0,\"x\":0}]"}) {
+    EXPECT_THROW((void)Value::parse(bad), Error) << bad;
+  }
+  // Same key at different nesting levels is fine.
+  const Value v = Value::parse("{\"a\":{\"a\":1},\"b\":{\"a\":2}}");
+  EXPECT_EQ(v.at("a").at("a").as_uint(), 1u);
+  EXPECT_EQ(v.at("b").at("a").as_uint(), 2u);
+  // Programmatic set() keeps insert-or-assign semantics; only the parser
+  // treats repetition as malformed input.
+  Value obj = Value::object();
+  obj.set("k", Value(std::uint64_t{1}));
+  obj.set("k", Value(std::uint64_t{2}));
+  EXPECT_EQ(obj.at("k").as_uint(), 2u);
+}
+
 TEST(Json, TypedAccessorsThrowOnKindMismatch) {
   const Value s("text");
   EXPECT_THROW((void)s.as_uint(), Error);

@@ -174,5 +174,84 @@ TEST(Repair, PinnedWithZeroSurvivorsReturnsInfeasible) {
   EXPECT_TRUE(after.assignment.empty());
 }
 
+TEST(Repair, SingleSurvivorAbsorbsEveryOrphanWhenItFits) {
+  // Capacity-saturation edge, fitting side: every server but one dies, so
+  // the pinned set and every orphan must land on the lone survivor. At a
+  // light configuration the survivor has the capacity, and the result
+  // must still be a valid zero-jitter single-server schedule.
+  const eva::Workload w = workload(4, 3);
+  const eva::JointConfig config(4, {480, 5});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+
+  const std::size_t survivor = before.assignment[0];
+  std::vector<bool> usable(w.num_servers(), false);
+  usable[survivor] = true;
+
+  const auto after = reschedule_pinned(w, config, before, usable);
+  ASSERT_TRUE(after.feasible);
+  ASSERT_EQ(after.assignment.size(), before.assignment.size());
+  for (std::size_t server : after.assignment) {
+    EXPECT_EQ(server, survivor) << "stream not on the lone survivor";
+  }
+  // Streams already on the survivor stayed pinned (trivially: there is
+  // only one usable placement), and the packed group is Theorem-3 valid.
+  EXPECT_TRUE(const2_holds(after.streams, after.assignment, w.num_servers(),
+                           w.space.clock()));
+  const auto report = sim::simulate(w, after);
+  EXPECT_NEAR(report.max_jitter, 0.0, 1e-9);
+  EXPECT_NEAR(report.total_queue_delay, 0.0, 1e-9);
+}
+
+TEST(Repair, SingleSurvivorSignalsInfeasibleWhenSaturated) {
+  // Capacity-saturation edge, overload side: the same single-survivor
+  // collapse under a processing headroom large enough that the orphans
+  // cannot all fit one server. The repair must report infeasible (the
+  // resilience loop then escalates to knob degradation or fallback), and
+  // must never throw for an environment-caused overload.
+  const eva::Workload w = workload(6, 3);
+  const eva::JointConfig config(6, {720, 10});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+
+  const std::size_t survivor = before.assignment[0];
+  std::vector<bool> usable(w.num_servers(), false);
+  usable[survivor] = true;
+
+  const auto after =
+      reschedule_pinned(w, config, before, usable, /*proc_headroom=*/50.0);
+  EXPECT_FALSE(after.feasible);
+}
+
+TEST(Repair, SingleSurvivorSaturationBoundaryIsAnOrderedDegradation) {
+  // Walk the headroom up from 1: once the single-survivor repair turns
+  // infeasible it must stay infeasible (capacity only shrinks), so the
+  // boundary between "fits" and "saturated" is a single threshold, not a
+  // flapping region.
+  const eva::Workload w = workload(4, 3);
+  const eva::JointConfig config(4, {480, 5});
+  const auto before = schedule_zero_jitter(w, config);
+  ASSERT_TRUE(before.feasible);
+  const std::size_t survivor = before.assignment[0];
+  std::vector<bool> usable(w.num_servers(), false);
+  usable[survivor] = true;
+
+  bool was_infeasible = false;
+  bool ever_feasible = false;
+  for (double headroom : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    const auto after =
+        reschedule_pinned(w, config, before, usable, headroom);
+    if (after.feasible) {
+      ever_feasible = true;
+      EXPECT_FALSE(was_infeasible)
+          << "repair became feasible again at headroom " << headroom;
+    } else {
+      was_infeasible = true;
+    }
+  }
+  EXPECT_TRUE(ever_feasible) << "never fit even at headroom 1";
+  EXPECT_TRUE(was_infeasible) << "never saturated even at headroom 128";
+}
+
 }  // namespace
 }  // namespace pamo::sched

@@ -27,13 +27,14 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
 
 TEST(PamoLint, RuleListIsStableAndComplete) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 11u);
+  ASSERT_EQ(ids.size(), 12u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "determinism-rng"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "float-eq"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pragma-once"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-thread"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "wall-clock"), ids.end());
   // Appended rules land at the end: the report order is a stable API.
-  EXPECT_EQ(ids.back(), "wall-clock");
+  EXPECT_EQ(ids.back(), "unchecked-file-write");
 }
 
 // ---- determinism-rng ------------------------------------------------------
@@ -314,6 +315,49 @@ TEST(PamoLint, ObsAndTicksMayReadWallClock) {
                         "wall-clock"));
   EXPECT_FALSE(has_rule(lint_source("tests/common/fixture.cpp", source),
                         "wall-clock"));
+}
+
+// ---- unchecked-file-write -------------------------------------------------
+
+TEST(PamoLint, FlagsStreamWritersInLibraryCode) {
+  const std::string source =
+      "#include <fstream>\n"
+      "void a(const std::string& p) { std::ofstream out(p); out << 1; }\n"
+      "void b(const std::string& p) { std::fstream f(p); }\n"
+      "void c(const char* p) { FILE* f = fopen(p, \"w\"); (void)f; }\n";
+  const auto rules = rules_hit(lint_source("src/core/fixture.cpp", source));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "unchecked-file-write"), 3);
+}
+
+TEST(PamoLint, ReadsAndNonLibraryWritersAreAllowed) {
+  const std::string source =
+      "#include <fstream>\n"
+      "std::string a(const std::string& p) { std::ifstream in(p); return {}; }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/core/fixture.cpp", source),
+                        "unchecked-file-write"));
+  const std::string writer =
+      "#include <fstream>\n"
+      "void w(const std::string& p) { std::ofstream out(p); }\n";
+  EXPECT_FALSE(has_rule(lint_source("tools/fixture.cpp", writer),
+                        "unchecked-file-write"));
+  EXPECT_FALSE(has_rule(lint_source("bench/fixture.cpp", writer),
+                        "unchecked-file-write"));
+}
+
+TEST(PamoLint, AtomicIoIsTheSanctionedWriter) {
+  const std::string source =
+      "#include <fstream>\n"
+      "void w(const std::string& p) { std::ofstream out(p); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/ckpt/atomic_io.cpp", source),
+                        "unchecked-file-write"));
+}
+
+TEST(PamoLint, UncheckedFileWriteIsSuppressible) {
+  const std::string source =
+      "#include <fstream>\n"
+      "// pamo-lint: allow(unchecked-file-write)\n"
+      "void w(const std::string& p) { std::ofstream out(p); }\n";
+  EXPECT_TRUE(lint_source("src/core/fixture.cpp", source).empty());
 }
 
 // ---- suppressions ---------------------------------------------------------

@@ -1,0 +1,257 @@
+// pamo_daemon — the restartable serving daemon as a process.
+//
+//   pamo_daemon --dir DIR [--epochs N] [--resume] [flags]   run the loop
+//   pamo_daemon --inspect DIR                               newest snapshot
+//   pamo_daemon --verify-ckpt DIR                           decode them all
+//
+// Run mode drives core::Daemon over a deterministic workload (rebuilt
+// from --streams/--servers/--workload-seed on every invocation, so a
+// restarted process faces the same environment) and prints one
+//   epoch <n> digest <16 hex>
+// line per epoch plus the full `trajectory` at exit — the lines the CI
+// restart matrix diffs between a killed-and-resumed lineage and an
+// uninterrupted run. PAMO_KILL_AT=point[:count][:exit] arms a kill point;
+// in throw mode the injected death is converted to the same exit code
+// (137) a real SIGKILL would produce, so drivers treat both alike.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ckpt/digest.hpp"
+#include "ckpt/killpoint.hpp"
+#include "common/error.hpp"
+#include "core/daemon.hpp"
+#include "eva/workload.hpp"
+#include "pref/oracle.hpp"
+
+namespace {
+
+struct Args {
+  std::string mode = "run";  // run | inspect | verify
+  std::string dir;
+  std::size_t epochs = 3;
+  bool resume = false;
+  bool faults = false;
+  bool corrupt_telemetry = false;
+  std::uint64_t seed = 1;
+  std::size_t streams = 5;
+  std::size_t servers = 4;
+  std::uint64_t workload_seed = 421;
+  std::size_t checkpoint_every = 1;
+  std::size_t keep = 4;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "pamo_daemon: " << message << "\n"
+            << "usage: pamo_daemon --dir DIR [--epochs N] [--resume]\n"
+            << "         [--seed S] [--streams M] [--servers N]\n"
+            << "         [--workload-seed W] [--checkpoint-every N]\n"
+            << "         [--keep N] [--faults] [--corrupt-telemetry]\n"
+            << "       pamo_daemon --inspect DIR\n"
+            << "       pamo_daemon --verify-ckpt DIR\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_uint(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("bad value for " + flag + ": '" + text + "'");
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    auto next = [&](const std::string& flag) -> const std::string& {
+      if (i + 1 >= tokens.size()) usage_error(flag + " needs a value");
+      return tokens[++i];
+    };
+    if (t == "--dir") {
+      args.dir = next(t);
+    } else if (t == "--inspect") {
+      args.mode = "inspect";
+      args.dir = next(t);
+    } else if (t == "--verify-ckpt") {
+      args.mode = "verify";
+      args.dir = next(t);
+    } else if (t == "--epochs") {
+      args.epochs = parse_uint(t, next(t));
+    } else if (t == "--resume") {
+      args.resume = true;
+    } else if (t == "--faults") {
+      args.faults = true;
+    } else if (t == "--corrupt-telemetry") {
+      args.corrupt_telemetry = true;
+    } else if (t == "--seed") {
+      args.seed = parse_uint(t, next(t));
+    } else if (t == "--streams") {
+      args.streams = parse_uint(t, next(t));
+    } else if (t == "--servers") {
+      args.servers = parse_uint(t, next(t));
+    } else if (t == "--workload-seed") {
+      args.workload_seed = parse_uint(t, next(t));
+    } else if (t == "--checkpoint-every") {
+      args.checkpoint_every = parse_uint(t, next(t));
+    } else if (t == "--keep") {
+      args.keep = parse_uint(t, next(t));
+    } else {
+      usage_error("unknown argument '" + t + "'");
+    }
+  }
+  if (args.dir.empty()) usage_error("--dir (or --inspect/--verify-ckpt) is required");
+  return args;
+}
+
+// Trimmed budgets so one epoch runs in seconds (the service test
+// fixture's preset); the point here is the restart protocol, not BO depth.
+pamo::core::ServiceOptions daemon_service_options(std::uint64_t seed) {
+  pamo::core::ServiceOptions options;
+  options.initial.init_profiles = 32;
+  options.initial.init_observations = 3;
+  options.initial.mc_samples = 12;
+  options.initial.batch_size = 2;
+  options.initial.max_iters = 3;
+  options.initial.pool.num_quasi_random = 32;
+  options.initial.pool.mutations_per_incumbent = 6;
+  options.initial.max_pool_feasible = 32;
+  options.initial.gp.mle_restarts = 1;
+  options.initial.gp.mle_max_evals = 50;
+  options.steady = options.initial;
+  options.steady.init_profiles = 24;
+  options.steady.max_iters = 2;
+  options.pref_pool_size = 14;
+  options.initial_comparisons = 8;
+  options.seed = seed;
+  return options;
+}
+
+int run_daemon(const Args& args) {
+  pamo::core::DaemonOptions daemon_options;
+  daemon_options.checkpoint_dir = args.dir;
+  daemon_options.checkpoint_every = args.checkpoint_every;
+  daemon_options.keep_checkpoints = args.keep;
+
+  pamo::core::Daemon daemon(
+      pamo::eva::make_workload(args.streams, args.servers, args.workload_seed),
+      daemon_service_options(args.seed), daemon_options);
+
+  bool resumed = false;
+  if (args.resume) {
+    if (auto sequence = daemon.resume()) {
+      resumed = true;
+      std::cerr << "pamo_daemon: resumed from checkpoint " << *sequence
+                << " (epoch " << daemon.service().epochs_run() << ", tick "
+                << daemon.ticks() << ")\n";
+    } else {
+      std::cerr << "pamo_daemon: no valid checkpoint, starting fresh\n";
+    }
+  }
+  // Environment knobs are part of the checkpoint; re-installing them on a
+  // resumed daemon would reset the telemetry model's stuck-at memory and
+  // corruption counters mid-stream.
+  if (!resumed) {
+    if (args.faults) {
+      pamo::sim::FaultPlan plan;
+      plan.kill_server(1, 1.5, 3.0);
+      plan.collapse_uplink(0, 0.5, 0.4);
+      plan.slow_server(2, 1.0, 2.5, 3.5);
+      plan.drop_frames(0.05, 0xD15EA5E);
+      daemon.service().set_fault_plan(plan);
+    }
+    if (args.corrupt_telemetry) {
+      pamo::eva::TelemetryCorruptionOptions corruption;
+      corruption.nan_rate = 0.02;
+      corruption.inf_rate = 0.01;
+      corruption.outlier_rate = 0.05;
+      corruption.stuck_rate = 0.03;
+      corruption.drop_rate = 0.02;
+      corruption.seed = 0xFEED;
+      daemon.service().set_telemetry_corruption(corruption);
+    }
+  }
+
+  pamo::pref::PreferenceOracle oracle(pamo::pref::BenefitFunction::uniform());
+  while (daemon.service().epochs_run() < args.epochs) {
+    const auto outcome = daemon.step(oracle);
+    std::cout << "epoch " << outcome.report.epoch << " digest "
+              << pamo::ckpt::to_hex(outcome.digest);
+    if (outcome.checkpoint_sequence.has_value()) {
+      std::cout << " ckpt " << *outcome.checkpoint_sequence;
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "trajectory";
+  for (std::uint64_t d : daemon.epoch_digests()) {
+    std::cout << " " << pamo::ckpt::to_hex(d);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int inspect(const Args& args) {
+  pamo::ckpt::CheckpointStore store(args.dir);
+  const auto loaded = store.load_newest_valid();
+  if (!loaded.has_value()) {
+    std::cout << "no valid checkpoint in " << args.dir << "\n";
+    return 1;
+  }
+  const auto& payload = loaded->payload;
+  const auto& service = payload.at("service");
+  std::cout << "file " << loaded->file << "\n"
+            << "sequence " << loaded->sequence << "\n"
+            << "kind " << payload.at("kind").as_string() << "\n"
+            << "ticks " << payload.at("ticks").as_uint() << "\n"
+            << "epoch " << service.at("epoch").as_uint() << "\n"
+            << "epoch_digests " << payload.at("epoch_digests").items().size()
+            << "\n"
+            << "repair_log " << payload.at("repair_log").items().size() << "\n";
+  for (const auto& d : payload.at("epoch_digests").items()) {
+    std::cout << "digest " << pamo::ckpt::to_hex(d.as_uint()) << "\n";
+  }
+  return 0;
+}
+
+int verify(const Args& args) {
+  pamo::ckpt::CheckpointStore store(args.dir);
+  const auto results = store.verify_all();
+  std::size_t valid = 0;
+  for (const auto& r : results) {
+    if (r.valid) {
+      ++valid;
+      std::cout << "ok " << r.file << " sequence " << r.sequence << "\n";
+    } else {
+      std::cout << "corrupt " << r.file << " (" << r.error << ")\n";
+    }
+  }
+  std::cout << valid << "/" << results.size() << " valid\n";
+  return valid > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  pamo::ckpt::arm_kill_from_env();
+  try {
+    if (args.mode == "inspect") return inspect(args);
+    if (args.mode == "verify") return verify(args);
+    return run_daemon(args);
+  } catch (const pamo::ckpt::InjectedKill& e) {
+    // Throw-mode injection from PAMO_KILL_AT: die with the SIGKILL exit
+    // code so restart drivers treat both firing modes identically.
+    std::cerr << "pamo_daemon: " << e.what() << "\n";
+    std::_Exit(137);
+  } catch (const std::exception& e) {
+    std::cerr << "pamo_daemon: " << e.what() << "\n";
+    return 1;
+  }
+}

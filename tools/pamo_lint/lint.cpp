@@ -15,7 +15,7 @@ const char* const kRuleIds[] = {
     "determinism-rng",   "time-seeded-rng",      "unordered-iter",
     "throw-discipline",  "catch-all-swallow",    "float-eq",
     "unchecked-front-back", "pragma-once",       "using-namespace-header",
-    "raw-thread",        "wall-clock",
+    "raw-thread",        "wall-clock",           "unchecked-file-write",
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -358,6 +358,27 @@ struct Linter {
     }
   }
 
+  // -- unchecked-file-write -------------------------------------------------
+  void rule_unchecked_file_write() {
+    if (!is_src_path(path)) return;
+    // The atomic-write protocol is the one sanctioned library writer
+    // (POSIX fds + fsync + rename); everything durable routes through it.
+    if (path.find("src/ckpt/atomic_io") != std::string::npos) return;
+    static const std::regex kWriter(
+        R"((^|[^\w])(std::\s*)?(o?fstream)\b|(^|[^\w])fopen\s*\()");
+    static const std::regex kPreprocessor(R"(^\s*#)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kPreprocessor)) continue;  // #include
+      if (std::regex_search(code[i], kWriter)) {
+        add(i, "unchecked-file-write",
+            "direct file write in library code: stream state goes "
+            "unchecked and a crash mid-write leaves a torn file; route "
+            "durable writes through ckpt::write_file_atomic (temp + fsync "
+            "+ rename) or allowlist if this write is genuinely throwaway");
+      }
+    }
+  }
+
   // -- using-namespace-header -----------------------------------------------
   void rule_using_namespace_header() {
     if (!is_header_path(path)) return;
@@ -525,6 +546,7 @@ std::vector<Finding> lint_source(const std::string& path,
   linter.rule_using_namespace_header();
   linter.rule_raw_thread();
   linter.rule_wall_clock();
+  linter.rule_unchecked_file_write();
 
   std::vector<Finding> result;
   for (auto& f : linter.findings) {

@@ -39,6 +39,10 @@
 //                          localtime/gmtime) in src/ outside src/obs/ and
 //                          common/ticks — library results must not depend
 //                          on the date; monotonic clocks are fine.
+//   unchecked-file-write   std::(o)fstream / fopen in src/ outside
+//                          ckpt/atomic_io — unchecked stream state and torn
+//                          files on crash; durable writes must go through
+//                          ckpt::write_file_atomic (temp + fsync + rename).
 //
 // Suppression: `// pamo-lint: allow(rule-a, rule-b)` on the offending line
 // or the line directly above it. Suppressed findings are dropped unless
