@@ -69,6 +69,47 @@ for entry in "${MATRIX[@]}"; do
   echo "recovered bit-identically"
 done
 
+# Churn lane: same kill discipline with stream churn, the admission
+# governor, and warm-started learning active — the checkpoint now also
+# carries the churn plan, the governor's defer/shed queues, and the
+# cumulative governor log, and resume must still be bit-identical. A
+# subset of kill points keeps the matrix quick; the write path is already
+# covered payload-agnostically above.
+CHURN_FLAGS=(--epochs "$EPOCHS" --faults --churn)
+echo "== churn baseline (uninterrupted, $EPOCHS epochs) =="
+"$DAEMON" --dir "$WORK/churn_baseline" "${CHURN_FLAGS[@]}" \
+  > "$WORK/churn_baseline.out"
+CHURN_BASELINE=$(trajectory_of "$WORK/churn_baseline.out")
+[ -n "$CHURN_BASELINE" ] || fail "churn baseline produced no trajectory"
+[ "$CHURN_BASELINE" != "$BASELINE" ] \
+  || fail "churn baseline identical to churn-free baseline (churn inert?)"
+echo "$CHURN_BASELINE"
+
+CHURN_MATRIX=(
+  daemon.epoch.begin:2
+  daemon.epoch.pre_commit:2
+  daemon.epoch.committed:2
+)
+
+for entry in "${CHURN_MATRIX[@]}"; do
+  point=${entry%:*}
+  count=${entry#*:}
+  dir="$WORK/churn_kill_${entry//[.:]/_}"
+  echo "== churn: kill at $point (traversal $count) =="
+
+  status=0
+  PAMO_KILL_AT="$entry:exit" "$DAEMON" --dir "$dir" "${CHURN_FLAGS[@]}" \
+    > "$dir.killed.out" 2> "$dir.killed.err" || status=$?
+  [ "$status" -eq 137 ] || fail "churn $entry: expected exit 137, got $status"
+
+  "$DAEMON" --dir "$dir" --resume "${CHURN_FLAGS[@]}" > "$dir.resumed.out"
+  got=$(trajectory_of "$dir.resumed.out")
+  [ "$got" = "$CHURN_BASELINE" ] || fail "churn $entry: trajectory diverged
+  expected: $CHURN_BASELINE
+  got:      $got"
+  echo "recovered bit-identically"
+done
+
 echo "== corrupt newest snapshot, resume falls back =="
 dir="$WORK/corrupt"
 "$DAEMON" --dir "$dir" "${FLAGS[@]}" > "$dir.first.out"

@@ -16,6 +16,14 @@
 
 namespace pamo::bo {
 
+/// Both budgets are strictly **per epoch**: every PamoScheduler::run
+/// constructs a fresh watchdog and arm() resets the clock, the failure
+/// count, and the latch. Nothing carries across epochs — an epoch that
+/// burned its whole failure budget leaves the next epoch's budget full,
+/// and an epoch whose BO loop is skipped outright (zero iterations —
+/// e.g. a warm-started epoch with nothing new to optimize) never fires
+/// the watchdog, because budgets are only consumed by recorded failures
+/// and elapsed wall-clock, not by the *absence* of progress.
 struct WatchdogOptions {
   /// Wall-clock budget for one epoch of learning. 0 (the default)
   /// disables the deadline; a *negative* budget is an exhausted one — the

@@ -42,6 +42,9 @@ Daemon::EpochOutcome Daemon::step(pref::PreferenceOracle& oracle) {
   for (const auto& repair : outcome.report.repairs) {
     repair_log_.push_back({outcome.report.epoch, repair.kind, repair.detail});
   }
+  for (const auto& action : outcome.report.governor_actions) {
+    governor_log_.push_back(action);
+  }
   ++epochs_since_checkpoint_;
 
   // The epoch exists in memory only; dying here must replay it with a
@@ -92,6 +95,22 @@ json::Value Daemon::daemon_snapshot() const {
     repairs.push_back(std::move(repair));
   }
   state.set("repair_log", std::move(repairs));
+  // Only present once the governor has acted: churn-free daemons keep
+  // writing byte-identical (pre-governor) checkpoints.
+  if (!governor_log_.empty()) {
+    json::Value actions = json::Value::array();
+    for (const auto& entry : governor_log_) {
+      json::Value action = json::Value::object();
+      action.set("epoch", json::Value(std::uint64_t{entry.epoch}));
+      action.set("stream", json::Value(entry.stream));
+      action.set("decision",
+                 json::Value(std::uint64_t{
+                     static_cast<unsigned>(entry.decision)}));
+      action.set("detail", json::Value(entry.detail));
+      actions.push_back(std::move(action));
+    }
+    state.set("governor_log", std::move(actions));
+  }
   state.set("service", service_.snapshot());
   return state;
 }
@@ -108,6 +127,18 @@ void Daemon::daemon_restore(const json::Value& state) {
     entry.kind = static_cast<RepairKind>(item.at("kind").as_uint());
     entry.detail = item.at("detail").as_string();
     repair_log_.push_back(std::move(entry));
+  }
+  governor_log_.clear();
+  if (const json::Value* actions = state.find("governor_log")) {
+    for (const auto& item : actions->items()) {
+      GovernorAction entry;
+      entry.epoch = static_cast<std::size_t>(item.at("epoch").as_uint());
+      entry.stream = item.at("stream").as_uint();
+      entry.decision =
+          static_cast<GovernorDecision>(item.at("decision").as_uint());
+      entry.detail = item.at("detail").as_string();
+      governor_log_.push_back(std::move(entry));
+    }
   }
   service_.restore(state.at("service"));
   epochs_since_checkpoint_ = 0;

@@ -99,6 +99,14 @@ class Daemon {
   [[nodiscard]] const std::vector<RepairLogEntry>& repair_log() const {
     return repair_log_;
   }
+  /// Cumulative governor admission log (admit/defer/shed/release), same
+  /// contract as repair_log(): the per-epoch report is transient, this
+  /// survives restarts inside the checkpoint. Empty when the governor
+  /// never acted — and then absent from the checkpoint payload, so
+  /// churn-free lineages keep their pre-governor checkpoint bytes.
+  [[nodiscard]] const std::vector<GovernorAction>& governor_log() const {
+    return governor_log_;
+  }
 
  private:
   [[nodiscard]] obs::json::Value daemon_snapshot() const;
@@ -111,6 +119,7 @@ class Daemon {
   std::size_t epochs_since_checkpoint_ = 0;
   std::vector<std::uint64_t> epoch_digests_;
   std::vector<RepairLogEntry> repair_log_;
+  std::vector<GovernorAction> governor_log_;
 };
 
 }  // namespace pamo::core

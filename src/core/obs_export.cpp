@@ -53,6 +53,24 @@ obs::EpochRecord export_epoch_record(
   record.health.repair_error = h.repair_error;
   record.health.fallback_taken = h.fallback_taken;
   record.health.error_message = h.error_message;
+  record.health.warm_started = h.learning.warm_started;
+  record.health.drift_fires = h.learning.drift_fires;
+  record.health.drift_downweighted = h.learning.drift_downweighted;
+
+  record.churn.offered = report.churn.offered;
+  record.churn.arrived = report.churn.arrived;
+  record.churn.departed = report.churn.departed;
+  record.churn.admitted = report.churn.admitted;
+  record.churn.deferred = report.churn.deferred;
+  record.churn.shed = report.churn.shed;
+  record.churn.load_factor = report.churn.load_factor;
+  record.churn.offered_load = report.churn.offered_load;
+  record.churn.admitted_load = report.churn.admitted_load;
+  for (const GovernorAction& action : report.governor_actions) {
+    record.governor_actions.push_back(
+        {static_cast<std::uint64_t>(action.epoch), action.stream,
+         governor_decision_name(action.decision), action.detail});
+  }
 
   record.sim = summarize(report.sim);
   record.post_repair_sim = summarize(report.post_repair_sim);

@@ -125,6 +125,14 @@ std::vector<la::Matrix> OutcomeModels::sample_grid_tables(
   return tables;
 }
 
+std::size_t OutcomeModels::num_points() const {
+  std::size_t most = 0;
+  for (const auto& model : models_) {
+    most = std::max(most, model.num_points());
+  }
+  return most;
+}
+
 gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
   gp::GpFitDiagnostics total;
   for (const auto& model : models_) {
@@ -137,6 +145,9 @@ gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
         std::max(total.posterior_jitter, d.posterior_jitter);
     total.incremental_updates += d.incremental_updates;
     total.incremental_fallbacks += d.incremental_fallbacks;
+    total.drift_fires += d.drift_fires;
+    total.drift_downweighted += d.drift_downweighted;
+    total.drift_score = std::max(total.drift_score, d.drift_score);
   }
   return total;
 }

@@ -46,6 +46,11 @@ class OutcomeModels {
 
   [[nodiscard]] bool is_fit() const;
 
+  /// Training points held by the largest metric GP (the bank feeds all
+  /// five the same rows; they can differ only when a hardened GP rejected
+  /// non-finite rows of one metric).
+  [[nodiscard]] std::size_t num_points() const;
+
   /// Posterior mean of a metric at one configuration.
   [[nodiscard]] double mean(Metric metric,
                             const eva::StreamConfig& config) const;

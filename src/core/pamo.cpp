@@ -245,7 +245,44 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   watchdog.arm();
 
   // ---- Phase 1: outcome-function fitting (Alg. 2 lines 1–4). ----
-  {
+  // Warm-started diagnostics baseline: the transplanted bank carries
+  // counters from previous epochs; health reports this epoch's deltas.
+  gp::GpFitDiagnostics warm_base;
+  const bool warm =
+      options_.warm_start != nullptr && options_.warm_start->is_fit();
+  if (warm) {
+    PAMO_SPAN("pamo.phase1_warm_start");
+    // Continual learning: transplant the retained bank — posteriors,
+    // noise downweights, and drift-detector state included — and
+    // re-anchor it with a few fresh profiles through the incremental
+    // update path. The expensive MLE refit never runs.
+    models_ = *options_.warm_start;
+    model_points_ = models_.num_points();
+    warm_base = models_.diagnostics();
+    health_.warm_started = true;
+    std::vector<eva::StreamConfig> configs;
+    std::vector<eva::StreamMeasurement> measurements;
+    const eva::Profiler profiler;
+    configs.reserve(options_.warm_profiles);
+    for (std::size_t u = 0; u < options_.warm_profiles; ++u) {
+      const auto& clip = workload_.clips[u % workload_.num_streams()];
+      const eva::StreamConfig config = workload_.space.sample(rng);
+      Rng sample_rng = rng.fork(0xA000 + u);
+      eva::StreamMeasurement meas = profiler.measure(clip, config, sample_rng);
+      if (corrupting && !options_.telemetry->corrupt(
+                            meas, u % workload_.num_streams(), 0xA000 + u)) {
+        ++health_.samples_rejected;  // report lost before it reached us
+        continue;
+      }
+      configs.push_back(config);
+      measurements.push_back(meas);
+    }
+    if (model_points_ < options_.max_model_points && !configs.empty()) {
+      models_.update(configs, measurements);
+      model_points_ += configs.size();
+    }
+    profiles_taken_ = options_.warm_profiles;
+  } else {
     PAMO_SPAN("pamo.phase1_outcome_fit");
     std::vector<eva::StreamConfig> configs;
     std::vector<eva::StreamMeasurement> measurements;
@@ -319,9 +356,16 @@ PamoResult PamoScheduler::run(pref::PreferenceOracle& oracle) {
   // Health bookkeeping shared by every exit path.
   auto finalize_health = [&]() {
     const gp::GpFitDiagnostics d = models_.diagnostics();
-    health_.samples_rejected += d.rows_rejected;
-    health_.outliers_downweighted = d.outliers_downweighted;
-    health_.cholesky_recoveries = d.cholesky_recoveries;
+    // Deltas against the warm-start baseline (all-zero on a cold start),
+    // so health always describes *this* epoch.
+    health_.samples_rejected += d.rows_rejected - warm_base.rows_rejected;
+    health_.outliers_downweighted =
+        d.outliers_downweighted - warm_base.outliers_downweighted;
+    health_.cholesky_recoveries =
+        d.cholesky_recoveries - warm_base.cholesky_recoveries;
+    health_.drift_fires = d.drift_fires - warm_base.drift_fires;
+    health_.drift_downweighted =
+        d.drift_downweighted - warm_base.drift_downweighted;
     health_.max_jitter_applied = std::max(d.fit_jitter, d.posterior_jitter);
     health_.iteration_failures = watchdog.failures();
     if (watchdog.fired()) health_.watchdog_fires = 1;

@@ -57,12 +57,31 @@ struct LearningHealth {
   /// True when the BO loop produced no observation and the recommendation
   /// fell back to the zero-jitter heuristic on model point estimates.
   bool heuristic_fallback = false;
+  /// True when Phase 1 reused a retained outcome-model bank.
+  bool warm_started = false;
+  /// Drift-detector (CUSUM) fires across the outcome GPs this epoch.
+  std::size_t drift_fires = 0;
+  /// Training rows down-weighted by drift forgetting this epoch.
+  std::size_t drift_downweighted = 0;
 };
 
 struct PamoOptions {
   // Phase 1 (outcome models).
   std::size_t init_profiles = 64;        // U: initial profiling samples
   std::size_t max_model_points = 220;    // training-set cap for the GPs
+  /// Warm start (continual learning): when set and fit, Phase 1 copies
+  /// this retained outcome-model bank instead of profiling init_profiles
+  /// fresh samples and re-running the MLE from scratch; only
+  /// `warm_profiles` fresh profiles are taken and folded in through the
+  /// incremental update path. The copied bank keeps its own GpOptions —
+  /// including any drift-detector (CUSUM) state, so regime change across
+  /// epochs triggers selective forgetting instead of a full refit.
+  /// Because the bank pools all streams per metric, surviving streams
+  /// reuse their posterior evidence and newcomers inherit the pooled
+  /// prior mean automatically. Externally owned; null = cold start.
+  const OutcomeModels* warm_start = nullptr;
+  /// Fresh profiles taken when warm-starting (cheap re-anchoring).
+  std::size_t warm_profiles = 12;
   gp::GpOptions gp = [] {
     gp::GpOptions g;
     g.mle_restarts = 2;
@@ -136,6 +155,13 @@ class PamoScheduler {
     return models_;
   }
 
+  /// Auto-enable the robust GP / preference options when a telemetry
+  /// corruption model is attached and enabled (no-op otherwise, keeping
+  /// the clean path bit-for-bit unchanged). Public because anything that
+  /// reconstructs a model bank the scheduler fit (e.g. the service's
+  /// snapshot restore) must reproduce the same effective GpOptions.
+  static PamoOptions harden(PamoOptions options);
+
  private:
   struct Observation {
     eva::JointConfig config;
@@ -175,11 +201,6 @@ class PamoScheduler {
   /// belief (learned model for PaMO, true benefit for PaMO+).
   double utility(const eva::OutcomeVector& normalized,
                  const pref::PreferenceOracle& oracle) const;
-
-  /// Auto-enable the robust GP / preference options when a telemetry
-  /// corruption model is attached and enabled (no-op otherwise, keeping
-  /// the clean path bit-for-bit unchanged).
-  static PamoOptions harden(PamoOptions options);
 
   /// A synthetic measurement from the outcome models' posterior means
   /// (the stand-in for a lost or unrepairable telemetry report).

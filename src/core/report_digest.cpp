@@ -81,6 +81,32 @@ std::uint64_t digest_epoch(const SchedulingService::EpochReport& report) {
   d.mix(report.health.repair_error);
   d.mix(report.health.fallback_taken);
   d.mix(report.health.error_message);
+  // Churn/governor surface — mixed only when something actually happened,
+  // so a churn-free epoch's digest is unchanged from pre-churn builds.
+  const auto& churn = report.churn;
+  const bool churn_active =
+      churn.arrived != 0 || churn.departed != 0 || churn.deferred != 0 ||
+      churn.shed != 0 || churn.offered != churn.admitted ||
+      churn.load_factor != 1.0 ||  // pamo-lint: allow(float-eq)
+      !report.governor_actions.empty();
+  if (churn_active) {
+    d.mix(std::uint64_t{churn.offered});
+    d.mix(std::uint64_t{churn.arrived});
+    d.mix(std::uint64_t{churn.departed});
+    d.mix(std::uint64_t{churn.admitted});
+    d.mix(std::uint64_t{churn.deferred});
+    d.mix(std::uint64_t{churn.shed});
+    d.mix(churn.load_factor);
+    d.mix(churn.offered_load);
+    d.mix(churn.admitted_load);
+    d.mix(std::uint64_t{report.governor_actions.size()});
+    for (const auto& a : report.governor_actions) {
+      d.mix(std::uint64_t{a.epoch});
+      d.mix(a.stream);
+      d.mix(std::uint64_t{static_cast<unsigned>(a.decision)});
+      d.mix(a.detail);
+    }
+  }
   return d.value();
 }
 

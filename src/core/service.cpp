@@ -13,7 +13,9 @@ namespace pamo::core {
 
 SchedulingService::SchedulingService(eva::Workload workload,
                                      ServiceOptions options)
-    : workload_(std::move(workload)), options_(std::move(options)) {
+    : workload_(std::move(workload)),
+      options_(std::move(options)),
+      governor_(options_.governor) {
   PAMO_CHECK(workload_.num_streams() > 0 && workload_.num_servers() > 0,
              "service requires a non-empty workload");
 }
@@ -29,6 +31,12 @@ void SchedulingService::set_fault_plan(sim::FaultPlan plan) {
 }
 
 void SchedulingService::clear_fault_plan() { fault_plan_.reset(); }
+
+void SchedulingService::set_churn_plan(eva::ChurnPlan plan) {
+  churn_ = std::move(plan);
+}
+
+void SchedulingService::clear_churn_plan() { churn_ = eva::ChurnPlan(); }
 
 void SchedulingService::set_telemetry_corruption(
     eva::TelemetryCorruptionOptions options) {
@@ -89,7 +97,10 @@ void SchedulingService::attempt_repair(EpochReport& report) {
   PAMO_SPAN("service.attempt_repair");
   PAMO_COUNT("service.repair_attempts", 1);
   const sim::SimReport& sim0 = report.sim;
-  const std::size_t num_servers = workload_.num_servers();
+  // Repair the decision against the workload the epoch actually scheduled
+  // (the churn/governor view when one is active, the base otherwise).
+  const eva::Workload& scheduled = active_workload();
+  const std::size_t num_servers = scheduled.num_servers();
   if (sim0.server_up_at_end.size() != num_servers) return;
   const ResilienceOptions& policy = options_.resilience;
 
@@ -141,7 +152,7 @@ void SchedulingService::attempt_repair(EpochReport& report) {
   // ---- The environment as it will look going forward: collapse folded
   // ---- into the uplinks, dead servers dead from t = 0, stragglers still
   // ---- slow, measured frame loss persisting.
-  const eva::Workload view = eva::scale_uplinks(workload_, factors);
+  const eva::Workload view = eva::scale_uplinks(scheduled, factors);
   sim::FaultPlan residual;
   for (std::size_t s = 0; s < num_servers; ++s) {
     if (!usable[s]) residual.kill_server(s, 0.0);
@@ -203,7 +214,7 @@ void SchedulingService::attempt_repair(EpochReport& report) {
       if (round == policy.max_degrade_rounds) break;
       // Blame the parents that missed the SLO or went unserved; if the
       // signal does not single anyone out, degrade everyone a step.
-      std::vector<bool> blame(workload_.num_streams(), false);
+      std::vector<bool> blame(scheduled.num_streams(), false);
       bool any_blame = false;
       for (std::size_t i = 0; i < post.per_stream.size(); ++i) {
         const auto& stats = post.per_stream[i];
@@ -253,6 +264,55 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   report.epoch = epoch_;
   const std::size_t queries_before = oracle.queries_answered();
 
+  // ---- Materialize this epoch's workload: the churn overlay first, then
+  // ---- governor admission. With both disabled the base workload is used
+  // ---- untouched (epoch_workload_ stays empty — no copy, no new code
+  // ---- path, bit-for-bit the churn-free service).
+  epoch_workload_.reset();
+  const bool churning = churn_.enabled();
+  if (churning) {
+    const eva::EpochChurn& step = churn_.churn_at(epoch_);
+    report.churn.arrived = step.arrived.size();
+    report.churn.departed = step.departed.size();
+    report.churn.load_factor = step.load_factor;
+    epoch_workload_ = churn_.offered_workload(workload_, epoch_);
+  }
+  report.churn.offered = active_workload().num_streams();
+  if (churning || governor_.options().enabled) {
+    GovernorPlan plan = governor_.plan_epoch(epoch_, active_workload());
+    report.churn.admitted = plan.admitted_count;
+    report.churn.deferred = plan.deferred;
+    report.churn.shed = plan.shed;
+    report.churn.offered_load = plan.offered_load;
+    report.churn.admitted_load = plan.admitted_load;
+    report.governor_actions = std::move(plan.actions);
+    PAMO_COUNT("service.streams_shed", plan.shed);
+    PAMO_COUNT("service.streams_deferred", plan.deferred);
+    if (plan.admitted_count < report.churn.offered) {
+      const eva::Workload& offered = active_workload();
+      eva::Workload admitted;
+      admitted.uplink_mbps = offered.uplink_mbps;
+      admitted.space = offered.space;
+      admitted.clips.reserve(plan.admitted.size());
+      for (std::size_t i : plan.admitted) {
+        admitted.clips.push_back(offered.clips[i]);
+      }
+      epoch_workload_ = std::move(admitted);
+    }
+  } else {
+    report.churn.admitted = report.churn.offered;
+  }
+  const eva::Workload& active = active_workload();
+  if (active.num_streams() == 0) {
+    // The governor admitted nothing (extreme overload or a churn trough).
+    // There is no decision to make: the epoch is infeasible by
+    // construction and the next epoch re-plans.
+    report.health.error_message = "no streams admitted this epoch";
+    ++epoch_;
+    PAMO_COUNT("service.infeasible_epochs", 1);
+    return report;
+  }
+
   // The optimization may die wholesale under corrupted telemetry (too few
   // finite profiles to fit any model at all). Absorb the error: the epoch
   // is then infeasible and flows into the last-known-good fallback below
@@ -267,8 +327,17 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
     // Decorrelate epochs while keeping the service deterministic.
     options.seed = options_.seed + 7919 * (epoch_ + 1);
     if (telemetry_.has_value()) options.telemetry = &*telemetry_;
+    // Continual learning: steady-state epochs reuse the retained outcome
+    // bank instead of re-profiling init_profiles samples and re-running
+    // the hyperparameter MLE. The knobs-only GPs transfer across churn
+    // (they never key on stream identity).
+    if (options_.continual.warm_start && epoch_ > 0 &&
+        retained_models_.has_value() && retained_models_->is_fit()) {
+      options.warm_start = &*retained_models_;
+      options.warm_profiles = options_.continual.warm_profiles;
+    }
 
-    PamoScheduler scheduler(workload_, options);
+    PamoScheduler scheduler(active, options);
     result = scheduler.run(oracle);
     if (options_.retain_outcome_models && scheduler.outcome_models().is_fit()) {
       // Copy (never move — the scheduler still owns its run) so the
@@ -282,6 +351,14 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   }
   report.health.learning = result.health;
   report.benefit_trace = std::move(result.benefit_trace);
+  // Long lineages: bound the shared preference pool (in-loop comparisons
+  // grow it every epoch) before the next epoch extends it again.
+  if (options_.continual.pref_pool_cap > 0 && learner_.has_value() &&
+      learner_->pool().size() > options_.continual.pref_pool_cap) {
+    const std::size_t dropped = learner_->compact_pool(
+        options_.continual.pref_pool_cap, options_.pref_pool_size);
+    PAMO_COUNT("service.pref_pool_dropped", dropped);
+  }
   ++epoch_;
   report.oracle_queries = oracle.queries_answered() - queries_before;
 
@@ -290,16 +367,20 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
     report.config = result.best_config;
     report.schedule = result.best_schedule;
     last_good_ = LastGood{report.config, report.schedule};
-  } else if (last_good_.has_value()) {
+  } else if (last_good_.has_value() &&
+             last_good_->config.size() == active.num_streams()) {
     // An infeasible epoch must never leave callers running with nothing:
     // carry the last-known-good decision forward, re-scheduled against
-    // the current workload when possible, verbatim otherwise.
+    // the current workload when possible, verbatim otherwise. Under churn
+    // the previous decision only transfers when the stream set has the
+    // same cardinality (the size guard above) — otherwise the epoch stays
+    // infeasible and the next one re-plans.
     sched::ScheduleResult rebuilt =
-        sched::schedule_zero_jitter(workload_, last_good_->config);
+        sched::schedule_zero_jitter(active, last_good_->config);
     const bool previous_fits = std::all_of(
         last_good_->schedule.assignment.begin(),
         last_good_->schedule.assignment.end(),
-        [&](std::size_t server) { return server < workload_.num_servers(); });
+        [&](std::size_t server) { return server < active.num_servers(); });
     if (rebuilt.feasible) {
       report.feasible = true;
       report.fallback = true;
@@ -335,7 +416,7 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   if (options_.resilience.slo_latency > 0.0) {
     sim_options.slo_latency = options_.resilience.slo_latency;
   }
-  report.sim = sim::simulate(workload_, report.schedule, sim_options);
+  report.sim = sim::simulate(active, report.schedule, sim_options);
 
   if (options_.resilience.enabled) {
     try {

@@ -26,7 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "core/governor.hpp"
 #include "core/pamo.hpp"
+#include "eva/churn.hpp"
 #include "eva/telemetry.hpp"
 #include "obs/json.hpp"
 #include "sim/fault.hpp"
@@ -67,6 +69,26 @@ struct ResilienceOptions {
   double straggler_exclusion = 4.0;
 };
 
+/// Continual-learning policy across epochs (requires
+/// retain_outcome_models for the warm path to have a bank to reuse).
+struct ContinualOptions {
+  /// Warm-start steady-state epochs from the previous epoch's retained
+  /// outcome models instead of re-profiling and re-fitting from scratch.
+  /// Because the bank pools all streams per metric, surviving streams
+  /// reuse their posterior evidence and churned-in newcomers inherit the
+  /// pooled prior mean automatically. Off by default: every epoch is then
+  /// bit-for-bit identical to the cold-start service.
+  bool warm_start = false;
+  /// Fresh profiles folded in per warm-started epoch (re-anchoring).
+  std::size_t warm_profiles = 12;
+  /// Cap on the shared preference learner's candidate pool, which the
+  /// in-loop comparisons grow every epoch. When the pool exceeds the cap
+  /// after an epoch, the oldest BO-loop extensions are dropped (the
+  /// operator-interview anchor pool is always kept) and the model refit.
+  /// 0 = unbounded (the pre-churn behaviour, bit-for-bit).
+  std::size_t pref_pool_cap = 0;
+};
+
 struct ServiceOptions {
   /// Epoch-0 optimization (full preference interview + BO).
   PamoOptions initial;
@@ -87,6 +109,10 @@ struct ServiceOptions {
   /// Validation-simulation parameters shared by every epoch.
   sim::SimOptions sim;
   ResilienceOptions resilience;
+  ContinualOptions continual;
+  /// Admission/degradation governor over the offered stream set; disabled
+  /// by default (every offered stream is scheduled, no actions logged).
+  GovernorOptions governor;
   /// Keep a copy of the most recent epoch's fitted outcome models so they
   /// ride along in checkpoints (snapshot()). Costs one model-bank copy per
   /// feasible epoch and never touches any RNG stream.
@@ -120,6 +146,19 @@ class SchedulingService {
   void set_fault_plan(sim::FaultPlan plan);
   void clear_fault_plan();
 
+  /// Install a churn plan: from the next epoch on, the scheduled workload
+  /// is the plan's offered view of the base workload (arrivals join,
+  /// departures leave, content drifts, diurnal load waves scale). The
+  /// base workload and its snapshot fingerprint never change — churn is
+  /// an overlay, not a mutation. An empty plan (the default) leaves every
+  /// epoch bit-for-bit identical to a churn-free service.
+  void set_churn_plan(eva::ChurnPlan plan);
+  void clear_churn_plan();
+  [[nodiscard]] const eva::ChurnPlan& churn_plan() const { return churn_; }
+  [[nodiscard]] const AdmissionGovernor& governor() const {
+    return governor_;
+  }
+
   /// Install a telemetry-corruption model applied to every profiler
   /// measurement from the next epoch on (the learning-side analogue of
   /// set_fault_plan). The model persists across epochs, so its stuck-at
@@ -130,6 +169,21 @@ class SchedulingService {
   [[nodiscard]] const eva::TelemetryCorruption* telemetry_corruption() const {
     return telemetry_ ? &*telemetry_ : nullptr;
   }
+
+  /// Stream-churn and admission accounting of one epoch. Invariant
+  /// (checked by `pamo_trace --check`): admitted + deferred + shed ==
+  /// offered.
+  struct ChurnSummary {
+    std::size_t offered = 0;    // streams the plan offered this epoch
+    std::size_t arrived = 0;    // newly arrived at this epoch
+    std::size_t departed = 0;   // departed at this epoch
+    std::size_t admitted = 0;   // scheduled after governor admission
+    std::size_t deferred = 0;   // waiting in the governor's retry queue
+    std::size_t shed = 0;       // dropped by the governor
+    double load_factor = 1.0;   // diurnal wave multiplier
+    double offered_load = 0.0;  // knob-floor load of the offered set
+    double admitted_load = 0.0;
+  };
 
   struct EpochReport {
     std::size_t epoch = 0;
@@ -155,6 +209,12 @@ class SchedulingService {
     std::vector<RepairAction> repairs;  // what degraded, and why
     /// Robustness record: what the learning stack absorbed this epoch.
     EpochHealth health;
+    // -- Stream churn & admission (all-default when churn and the
+    // -- governor are off). --
+    ChurnSummary churn;
+    /// Admission decisions the governor made this epoch (empty when the
+    /// governor is disabled).
+    std::vector<GovernorAction> governor_actions;
   };
 
   /// Run one scheduling epoch against the decision-maker.
@@ -199,6 +259,12 @@ class SchedulingService {
   void attempt_repair(EpochReport& report);
   /// Step one configuration down one knob; returns false at the floor.
   bool step_down(eva::StreamConfig& config, bool resolution_first) const;
+  /// The workload this epoch actually schedules: the base workload, or —
+  /// under churn / an active governor — the materialized offered/admitted
+  /// view of it. Valid between the top of run_epoch and the next epoch.
+  [[nodiscard]] const eva::Workload& active_workload() const {
+    return epoch_workload_ ? *epoch_workload_ : workload_;
+  }
 
   eva::Workload workload_;
   ServiceOptions options_;
@@ -207,6 +273,11 @@ class SchedulingService {
   std::optional<eva::TelemetryCorruption> telemetry_;
   std::optional<LastGood> last_good_;
   std::optional<OutcomeModels> retained_models_;
+  eva::ChurnPlan churn_;            // empty plan = no churn
+  AdmissionGovernor governor_;      // default options = admit everything
+  /// Materialized per-epoch workload under churn/governor (unset when
+  /// both are off, so the clean path never copies the workload).
+  std::optional<eva::Workload> epoch_workload_;
   std::size_t epoch_ = 0;
 };
 

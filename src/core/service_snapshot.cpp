@@ -211,6 +211,11 @@ json::Value SchedulingService::snapshot() const {
   }
   state.set("models",
             retained_models_ ? retained_models_->snapshot() : json::Value());
+  // Churn/governor state is emitted only when the feature is in use, so a
+  // churn-free service's snapshot stays byte-identical to pre-churn
+  // builds (and old readers never see unknown keys).
+  if (churn_.enabled()) state.set("churn", churn_.snapshot());
+  if (options_.governor.enabled) state.set("governor", governor_.snapshot());
   return state;
 }
 
@@ -257,13 +262,34 @@ void SchedulingService::restore(const json::Value& state) {
     last_good_.reset();
   }
 
+  // Optional (post-v1 but version-compatible) churn/governor state: old
+  // snapshots simply lack the keys and restore to the features-off state.
+  const json::Value* churn = state.find("churn");
+  if (churn != nullptr && churn->kind() != json::Value::Kind::kNull) {
+    churn_ = eva::ChurnPlan::restore(*churn);
+  } else {
+    churn_ = eva::ChurnPlan();
+  }
+  const json::Value* governor = state.find("governor");
+  if (governor != nullptr && governor->kind() != json::Value::Kind::kNull) {
+    governor_.restore(*governor);
+  } else {
+    governor_ = AdmissionGovernor(options_.governor);
+  }
+
   const json::Value& models = state.at("models");
   if (models.kind() != json::Value::Kind::kNull) {
-    // The retained bank is a frozen artifact: its GpOptions only matter
-    // for future fit/update calls, which the service never issues on it.
-    retained_models_.emplace(workload_.space,
-                             (epoch_ <= 1 ? options_.initial : options_.steady)
-                                 .gp);
+    // The bank must carry the GpOptions it was actually fit under. The
+    // scheduler hardens its options when telemetry corruption is active
+    // (reject_nonfinite, robust_noise), and warm-started epochs transplant
+    // this bank back into a scheduler and *update* it — restoring it with
+    // the unhardened options would make the first post-resume update throw
+    // on a NaN profile the live lineage silently drops.
+    PamoOptions bank_options =
+        epoch_ <= 1 ? options_.initial : options_.steady;
+    if (telemetry_.has_value()) bank_options.telemetry = &*telemetry_;
+    bank_options = PamoScheduler::harden(std::move(bank_options));
+    retained_models_.emplace(workload_.space, bank_options.gp);
     retained_models_->restore(models);
   } else {
     retained_models_.reset();

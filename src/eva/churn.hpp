@@ -1,0 +1,121 @@
+// Stream churn across scheduling epochs: arrivals, departures, diurnal
+// load waves, and per-clip content drift.
+//
+// The paper optimizes a fixed stream set; production traffic is not fixed
+// (ROADMAP "stream churn and continual adaptation", grounded in FCPO and
+// MultiTASC++). ChurnPlan is the seeded workload-dynamics substrate the
+// SchedulingService consumes epoch by epoch:
+//
+//   - arrivals  ~ Poisson(arrival_rate · wave(epoch)) per epoch,
+//   - lifetimes ~ Geometric(mean_lifetime_epochs) (0 allowed: a stream may
+//     arrive and depart within one epoch and never be offered),
+//   - diurnal wave: wave(e) = 1 + amplitude · sin(2π e / period) scales
+//     every clip's load,
+//   - content drift: each clip blends toward a seeded target realization
+//     with cumulative factor 1 - (1 - drift_per_epoch)^age.
+//
+// Everything is a pure function of (options, epoch): the whole arrival
+// timeline is pre-generated from the seed at construction, so the only
+// churn *cursor* a checkpoint must carry is the epoch index itself, and a
+// snapshot serializes just the options. A default-constructed (empty) plan
+// returns the base workload bit-for-bit unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eva/workload.hpp"
+#include "obs/json.hpp"
+
+namespace pamo::eva {
+
+/// Knobs of the churn process. All dynamics default off: default options
+/// describe the empty plan.
+struct ChurnOptions {
+  /// Mean Poisson arrivals per epoch (modulated by the diurnal wave).
+  double arrival_rate = 0.0;
+  /// Mean of the geometric lifetime (in epochs) of an arrived stream.
+  /// <= 0 makes every arrival zero-lifetime (arrive + depart same epoch).
+  double mean_lifetime_epochs = 8.0;
+  /// Cap on concurrently live *churn* arrivals (base streams are immortal
+  /// and not counted). Arrivals past the cap are dropped at generation
+  /// time, deterministically. 0 = unlimited.
+  std::size_t max_streams = 0;
+  /// Diurnal load-wave amplitude in [0, 1): wave(e) = 1 + A·sin(2πe/P).
+  double diurnal_amplitude = 0.0;
+  /// Diurnal period P in epochs.
+  std::size_t diurnal_period = 24;
+  /// Per-epoch content-drift rate in [0, 1): cumulative blend factor after
+  /// k epochs is 1 - (1 - rate)^k.
+  double drift_per_epoch = 0.0;
+  /// Seed of the drift *target* realization per clip id.
+  std::uint64_t drift_seed = 0xD01F7;
+  /// Seed of newly arrived clips' content.
+  std::uint64_t clip_seed = 0xC11F5;
+  /// Clip ids of arrivals start here (must not collide with base ids).
+  std::uint64_t arrival_id_base = 1000;
+  /// Seed of the arrival/lifetime process.
+  std::uint64_t seed = 42;
+  /// Epochs of pre-generated arrivals; epochs past the horizon see no new
+  /// arrivals (existing streams still depart on schedule).
+  std::size_t horizon = 128;
+};
+
+/// What changed at one epoch, for logs and reports. A zero-lifetime stream
+/// appears in both `arrived` and `departed` of the same epoch and is never
+/// offered.
+struct EpochChurn {
+  std::vector<std::uint64_t> arrived;
+  std::vector<std::uint64_t> departed;
+  double load_factor = 1.0;
+  double drift_t = 0.0;
+};
+
+class ChurnPlan {
+ public:
+  /// The empty plan: enabled() is false and offered_workload returns the
+  /// base unchanged.
+  ChurnPlan() = default;
+  explicit ChurnPlan(const ChurnOptions& options);
+
+  [[nodiscard]] const ChurnOptions& options() const { return options_; }
+  /// True when any dynamic (arrivals, wave, drift) is active.
+  [[nodiscard]] bool enabled() const;
+
+  /// Diurnal load multiplier at `epoch`.
+  [[nodiscard]] double load_factor(std::size_t epoch) const;
+  /// Cumulative content-drift blend after `age` epochs.
+  [[nodiscard]] double drift_t(std::size_t age) const;
+  /// Churn events at `epoch` (arrivals first offered here; departures no
+  /// longer offered here).
+  [[nodiscard]] EpochChurn churn_at(std::size_t epoch) const;
+  /// Ids of churn arrivals live (offered) at `epoch`, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> live_arrivals(
+      std::size_t epoch) const;
+
+  /// The workload offered at `epoch`: base streams plus live arrivals,
+  /// both content-drifted by age and load-scaled by the diurnal wave.
+  /// Servers and uplinks are unchanged. Pure function of (base, epoch).
+  [[nodiscard]] Workload offered_workload(const Workload& base,
+                                          std::size_t epoch) const;
+
+  /// Serialize the options (the timeline regenerates deterministically).
+  [[nodiscard]] obs::json::Value snapshot() const;
+  static ChurnPlan restore(const obs::json::Value& snap);
+
+ private:
+  struct Arrival {
+    std::uint64_t id = 0;
+    std::size_t arrival = 0;
+    std::size_t departure = 0;  // first epoch the stream is NOT offered
+  };
+
+  [[nodiscard]] std::size_t live_count(std::size_t epoch) const;
+  [[nodiscard]] ClipProfile arrival_clip(const Arrival& a,
+                                         std::size_t epoch) const;
+
+  ChurnOptions options_;
+  std::vector<Arrival> arrivals_;  // sorted by (arrival epoch, id)
+};
+
+}  // namespace pamo::eva

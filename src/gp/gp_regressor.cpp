@@ -93,6 +93,8 @@ void GpRegressor::fit(std::vector<std::vector<double>> x,
   PAMO_COUNT("gp.fits", 1);
   PAMO_CHECK(x.size() == y.size(), "x/y size mismatch");
   diagnostics_ = {};
+  drift_cusum_ = 0.0;
+  noise_scale_.clear();
   sanitize(x, y);
   PAMO_CHECK(x.size() >= 2, "GP fit requires at least 2 finite points");
   dim_ = x.front().size();
@@ -125,6 +127,33 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
     // exactly what a rebuild over the unchanged data would produce.
     return;
   }
+  // Drift detection: score incoming rows against the posterior *before*
+  // they are incorporated. A fire down-weights every pre-existing row and
+  // forces a re-solve (never an MLE refit), so a content shift gets
+  // explained by fresh data instead of averaged into a stale posterior.
+  bool drift_fired = false;
+  if (options_.drift_cusum_h > 0.0 && !xs.empty()) {
+    const double noise_raw =
+        std::exp(params_.log_noise_var) * y_std_ * y_std_;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double mu = predict_mean(xs[i]);
+      const double var = predict_var(xs[i]) + noise_raw;
+      const double z = (ys[i] - mu) / std::sqrt(std::max(var, 1e-12));
+      drift_cusum_ = std::max(
+          0.0, drift_cusum_ + std::fabs(z) - options_.drift_cusum_k);
+    }
+    if (drift_cusum_ > options_.drift_cusum_h) {
+      drift_fired = true;
+      ++diagnostics_.drift_fires;
+      for (double& scale : noise_scale_) {
+        scale = std::min(options_.robust_inflation_cap,
+                         scale * options_.drift_forget_inflation);
+      }
+      diagnostics_.drift_downweighted += noise_scale_.size();
+      drift_cusum_ = 0.0;
+    }
+    diagnostics_.drift_score = drift_cusum_;
+  }
   // The factor extension is exact only when the solved system is a pure
   // function of the appended rows: hyperparameters kept, robust noise off
   // (reweighting re-solves over all rows), a jitter-free factor (the
@@ -139,7 +168,7 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
     }
     return true;
   };
-  const bool eligible = options_.incremental && !want_mle &&
+  const bool eligible = options_.incremental && !want_mle && !drift_fired &&
                         !options_.robust_noise && chol_.has_value() &&
                         chol_->jitter() == 0.0 &&  // pamo-lint: allow(float-eq)
                         !xs.empty() && inside_box(xs);
@@ -148,6 +177,10 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
   y_raw_.insert(y_raw_.end(), ys.begin(), ys.end());
   if (eligible && try_incremental_update(new_rows)) {
     ++diagnostics_.incremental_updates;
+  } else if (drift_fired && !want_mle) {
+    // Selective forgetting: the inflated noise scales must survive, so a
+    // plain rebuild (which resets them) is off the table.
+    refit_keep_noise(new_rows);
   } else {
     if (options_.incremental && !want_mle) ++diagnostics_.incremental_fallbacks;
     rebuild(want_mle);
@@ -271,7 +304,45 @@ void GpRegressor::rebuild(bool optimize_hyperparams) {
     params_ = KernelParams::unpack(best.x, dim_);
   }
 
-  noise_scale_.assign(n, 1.0);
+  if (options_.drift_cusum_h > 0.0 && noise_scale_.size() <= n) {
+    // Drift downweights are not re-derivable from the data (unlike robust
+    // outlier weights), so a full rebuild keeps them and extends with 1.0
+    // for the fresh rows. fit() clears the scales first: a refit is a
+    // fresh start.
+    noise_scale_.resize(n, 1.0);
+  } else {
+    noise_scale_.assign(n, 1.0);
+  }
+  solve_system();
+  if (options_.robust_noise) {
+    for (std::size_t round = 0; round < options_.robust_rounds; ++round) {
+      if (!reweight_outliers()) break;
+    }
+  }
+}
+
+void GpRegressor::refit_keep_noise(std::size_t new_rows) {
+  PAMO_SPAN("gp.refit_keep_noise");
+  const std::size_t n = x_raw_.size();
+  // Same scaling/standardization arithmetic as rebuild(), over all rows.
+  x_lo_.assign(dim_, std::numeric_limits<double>::max());
+  x_hi_.assign(dim_, std::numeric_limits<double>::lowest());
+  for (const auto& row : x_raw_) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      x_lo_[i] = std::min(x_lo_[i], row[i]);
+      x_hi_[i] = std::max(x_hi_[i], row[i]);
+    }
+  }
+  x_.clear();
+  x_.reserve(n);
+  for (const auto& row : x_raw_) x_.push_back(scale_input(row));
+  y_mean_ = mean_of(y_raw_);
+  y_std_ = stddev_of(y_raw_);
+  if (y_std_ < 1e-12) y_std_ = 1.0;  // constant targets: keep scale sane
+  y_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = (y_raw_[i] - y_mean_) / y_std_;
+  noise_scale_.insert(noise_scale_.end(), new_rows, 1.0);
+  PAMO_CHECK(noise_scale_.size() == n, "noise scales cover every row");
   solve_system();
   if (options_.robust_noise) {
     for (std::size_t round = 0; round < options_.robust_rounds; ++round) {

@@ -60,6 +60,26 @@ struct GpOptions {
   /// it automatically whenever exactness cannot be guaranteed — see
   /// diagnostics().incremental_fallbacks for when that happens.
   bool incremental = true;
+  /// Drift detection for continual learning: a CUSUM statistic over the
+  /// standardized prediction residuals of incoming update() rows, scored
+  /// against the posterior *before* they are incorporated. Each row
+  /// contributes max(0, S + |z| − k) to the running score S; when S
+  /// exceeds `drift_cusum_h` the detector fires: every pre-existing
+  /// training row's noise variance is inflated by
+  /// `drift_forget_inflation` (selective forgetting — stale observations
+  /// are down-weighted, never evicted) and the system is re-solved
+  /// *without* re-optimizing hyperparameters. A fire with `reoptimize`
+  /// requested still runs the full MLE rebuild (which supersedes the
+  /// forgetting). drift_cusum_h == 0 disables the detector entirely
+  /// (default; bit-for-bit no-op).
+  double drift_cusum_h = 0.0;
+  /// CUSUM drift allowance k: |z| below it decays the score. The default
+  /// sits above the folded-normal mean E|z| ≈ 0.8, so a stationary stream
+  /// decays the score instead of creeping it upward.
+  double drift_cusum_k = 1.0;
+  /// Noise-variance inflation applied to pre-drift rows on a fire
+  /// (bounded by robust_inflation_cap).
+  double drift_forget_inflation = 4.0;
   std::uint64_t seed = 0xC0FFEE;
 };
 
@@ -82,6 +102,13 @@ struct GpFitDiagnostics {
   /// (hyperparameter re-optimization, robust noise, prior jitter, a grown
   /// input box, or a non-PD extension).
   std::size_t incremental_fallbacks = 0;
+  /// Drift-detector (CUSUM) fires since the last fit().
+  std::size_t drift_fires = 0;
+  /// Training rows down-weighted by drift forgetting (cumulative over
+  /// fires; a row hit twice counts twice).
+  std::size_t drift_downweighted = 0;
+  /// Current CUSUM score (resets to 0 on a fire).
+  double drift_score = 0.0;
 };
 
 struct Posterior {
@@ -189,6 +216,12 @@ class GpRegressor {
   /// false (leaving the solve untouched, bit-for-bit) when no residual
   /// crosses the threshold.
   bool reweight_outliers();
+  /// Selective refit after a drift fire: redo the input scaling and target
+  /// standardization over all rows and re-solve with the *current*
+  /// noise_scale_ (extended by 1.0 for the `new_rows` fresh rows), so the
+  /// forgetting survives. Hyperparameters are never re-optimized here —
+  /// skipping the MLE is exactly the cost the detector avoids.
+  void refit_keep_noise(std::size_t new_rows);
   /// Drop non-finite rows (reject_nonfinite) or reject them loudly.
   void sanitize(std::vector<std::vector<double>>& x, std::vector<double>& y);
   [[nodiscard]] double lml_on(const std::vector<std::vector<double>>& xs,
@@ -218,6 +251,8 @@ class GpRegressor {
   // Per-point noise-variance inflation factors (≥ 1; 1 when the robust
   // fit is off or the point is an inlier).
   std::vector<double> noise_scale_;
+  // Running CUSUM score of the drift detector (see GpOptions).
+  double drift_cusum_ = 0.0;
   mutable GpFitDiagnostics diagnostics_;
 
   // Bumped by every full refactorization (solve_system); incremental

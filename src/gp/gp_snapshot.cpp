@@ -49,6 +49,10 @@ json::Value diagnostics_to_json(const GpFitDiagnostics& d) {
           json::Value(std::uint64_t{d.incremental_updates}));
   obj.set("incremental_fallbacks",
           json::Value(std::uint64_t{d.incremental_fallbacks}));
+  obj.set("drift_fires", json::Value(std::uint64_t{d.drift_fires}));
+  obj.set("drift_downweighted",
+          json::Value(std::uint64_t{d.drift_downweighted}));
+  obj.set("drift_score", json::Value(d.drift_score));
   return obj;
 }
 
@@ -65,6 +69,17 @@ GpFitDiagnostics diagnostics_from_json(const json::Value& v) {
       static_cast<std::size_t>(v.at("incremental_updates").as_uint());
   d.incremental_fallbacks =
       static_cast<std::size_t>(v.at("incremental_fallbacks").as_uint());
+  // Drift counters postdate the first snapshot format; absent keys read as
+  // zero so old checkpoints stay loadable (backward-readable addition).
+  if (const json::Value* fires = v.find("drift_fires")) {
+    d.drift_fires = static_cast<std::size_t>(fires->as_uint());
+  }
+  if (const json::Value* rows = v.find("drift_downweighted")) {
+    d.drift_downweighted = static_cast<std::size_t>(rows->as_uint());
+  }
+  if (const json::Value* score = v.find("drift_score")) {
+    d.drift_score = score->as_double();
+  }
   return d;
 }
 
@@ -87,6 +102,7 @@ json::Value GpRegressor::snapshot() const {
   obj.set("noise_scale", codec::doubles_to_json(noise_scale_));
   obj.set("diagnostics", diagnostics_to_json(diagnostics_));
   obj.set("factor_epoch", json::Value(factor_epoch_));
+  obj.set("drift_cusum", json::Value(drift_cusum_));
   return obj;
 }
 
@@ -106,6 +122,9 @@ void GpRegressor::restore(const json::Value& snap) {
   noise_scale_ = codec::doubles_from_json(snap.at("noise_scale"));
   diagnostics_ = diagnostics_from_json(snap.at("diagnostics"));
   factor_epoch_ = snap.at("factor_epoch").as_uint();
+  // Backward-readable addition: pre-drift snapshots carry no CUSUM state.
+  const json::Value* cusum = snap.find("drift_cusum");
+  drift_cusum_ = cusum ? cusum->as_double() : 0.0;
   PAMO_CHECK(x_.size() == y_.size() && x_raw_.size() == y_raw_.size(),
              "GP snapshot is internally inconsistent");
   PAMO_CHECK(!is_fit() || (chol_.has_value() && alpha_.size() == x_.size()),

@@ -22,6 +22,9 @@ json::Value health_to_json(const EpochRecord::Health& h) {
   v.set("repair_error", h.repair_error);
   v.set("fallback_taken", h.fallback_taken);
   v.set("error_message", h.error_message);
+  v.set("warm_started", h.warm_started);
+  v.set("drift_fires", h.drift_fires);
+  v.set("drift_downweighted", h.drift_downweighted);
   return v;
 }
 
@@ -40,7 +43,46 @@ EpochRecord::Health health_from_json(const json::Value& v) {
   h.repair_error = v.at("repair_error").as_bool();
   h.fallback_taken = v.at("fallback_taken").as_bool();
   h.error_message = v.at("error_message").as_string();
+  // Post-v1 continual-learning counters: absent in older records, so read
+  // them leniently and keep the struct defaults when missing.
+  if (const json::Value* warm = v.find("warm_started")) {
+    h.warm_started = warm->as_bool();
+  }
+  if (const json::Value* fires = v.find("drift_fires")) {
+    h.drift_fires = fires->as_uint();
+  }
+  if (const json::Value* down = v.find("drift_downweighted")) {
+    h.drift_downweighted = down->as_uint();
+  }
   return h;
+}
+
+json::Value churn_to_json(const EpochRecord::Churn& c) {
+  json::Value v = json::Value::object();
+  v.set("offered", c.offered);
+  v.set("arrived", c.arrived);
+  v.set("departed", c.departed);
+  v.set("admitted", c.admitted);
+  v.set("deferred", c.deferred);
+  v.set("shed", c.shed);
+  v.set("load_factor", c.load_factor);
+  v.set("offered_load", c.offered_load);
+  v.set("admitted_load", c.admitted_load);
+  return v;
+}
+
+EpochRecord::Churn churn_from_json(const json::Value& v) {
+  EpochRecord::Churn c;
+  c.offered = v.at("offered").as_uint();
+  c.arrived = v.at("arrived").as_uint();
+  c.departed = v.at("departed").as_uint();
+  c.admitted = v.at("admitted").as_uint();
+  c.deferred = v.at("deferred").as_uint();
+  c.shed = v.at("shed").as_uint();
+  c.load_factor = v.at("load_factor").as_double();
+  c.offered_load = v.at("offered_load").as_double();
+  c.admitted_load = v.at("admitted_load").as_double();
+  return c;
 }
 
 json::Value sim_to_json(const EpochRecord::SimSummary& s) {
@@ -195,6 +237,17 @@ std::string to_json(const EpochRecord& record) {
     repairs.push_back(std::move(entry));
   }
   v.set("repairs", std::move(repairs));
+  v.set("churn", churn_to_json(record.churn));
+  json::Value governor = json::Value::array();
+  for (const auto& action : record.governor_actions) {
+    json::Value entry = json::Value::object();
+    entry.set("epoch", action.epoch);
+    entry.set("stream", action.stream);
+    entry.set("decision", action.decision);
+    entry.set("detail", action.detail);
+    governor.push_back(std::move(entry));
+  }
+  v.set("governor_actions", std::move(governor));
   json::Value trace = json::Value::array();
   for (double z : record.benefit_trace) trace.push_back(z);
   v.set("benefit_trace", std::move(trace));
@@ -219,6 +272,22 @@ EpochRecord record_from_json(const std::string& text) {
   for (const auto& entry : v.at("repairs").items()) {
     record.repairs.push_back(EpochRecord::Repair{
         entry.at("kind").as_string(), entry.at("detail").as_string()});
+  }
+  // Churn/governor fields are post-v1: records written before stream churn
+  // existed have neither key, and must still parse (with defaults meaning
+  // "no churn, everything offered was admitted").
+  if (const json::Value* churn = v.find("churn")) {
+    record.churn = churn_from_json(*churn);
+  }
+  if (const json::Value* governor = v.find("governor_actions")) {
+    for (const auto& entry : governor->items()) {
+      EpochRecord::GovernorEntry action;
+      action.epoch = entry.at("epoch").as_uint();
+      action.stream = entry.at("stream").as_uint();
+      action.decision = entry.at("decision").as_string();
+      action.detail = entry.at("detail").as_string();
+      record.governor_actions.push_back(std::move(action));
+    }
   }
   for (const auto& z : v.at("benefit_trace").items()) {
     record.benefit_trace.push_back(z.as_double());

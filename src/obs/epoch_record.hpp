@@ -49,6 +49,11 @@ struct EpochRecord {
     bool repair_error = false;
     bool fallback_taken = false;
     std::string error_message;
+    // Continual-learning counters (post-v1 additions; absent in records
+    // written by older builds and parsed as their defaults).
+    bool warm_started = false;
+    std::uint64_t drift_fires = 0;
+    std::uint64_t drift_downweighted = 0;
   } health;
 
   /// Aggregate of one sim::SimReport (per-stream detail stays in the
@@ -73,6 +78,32 @@ struct EpochRecord {
     std::string detail;
   };
   std::vector<Repair> repairs;
+
+  /// Stream churn & admission accounting (post-v1 additions, absent in
+  /// older records). Invariant checked by `pamo_trace --check`:
+  /// admitted + deferred + shed == offered.
+  struct Churn {
+    std::uint64_t offered = 0;
+    std::uint64_t arrived = 0;
+    std::uint64_t departed = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t deferred = 0;
+    std::uint64_t shed = 0;
+    double load_factor = 1.0;
+    double offered_load = 0.0;
+    double admitted_load = 0.0;
+  };
+  Churn churn;
+
+  /// The governor's structured admission log (decision is one of
+  /// "admit", "defer", "shed", "release").
+  struct GovernorEntry {
+    std::uint64_t epoch = 0;
+    std::uint64_t stream = 0;
+    std::string decision;
+    std::string detail;
+  };
+  std::vector<GovernorEntry> governor_actions;
 
   /// Model-estimated incumbent benefit after each BO iteration.
   std::vector<double> benefit_trace;

@@ -45,6 +45,39 @@ std::size_t PreferenceLearner::extend_pool(
   return first;
 }
 
+std::size_t PreferenceLearner::compact_pool(std::size_t max_points,
+                                            std::size_t keep_anchor) {
+  PAMO_CHECK(max_points >= 2 && keep_anchor <= max_points,
+             "compact_pool needs keep_anchor <= max_points and >= 2 kept");
+  if (pool_.size() <= max_points) return 0;
+  keep_anchor = std::min(keep_anchor, pool_.size());
+  // Survivors: the anchor prefix plus the newest extensions; the dropped
+  // middle is the oldest BO-loop history, whose evidence the model keeps
+  // only through comparisons that never referenced it.
+  const std::size_t keep_recent = max_points - keep_anchor;
+  const std::size_t drop_begin = keep_anchor;
+  const std::size_t drop_end = pool_.size() - keep_recent;
+  std::vector<std::size_t> remap(pool_.size(), SIZE_MAX);
+  std::vector<std::vector<double>> kept;
+  kept.reserve(max_points);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (i >= drop_begin && i < drop_end) continue;
+    remap[i] = kept.size();
+    kept.push_back(std::move(pool_[i]));
+  }
+  const std::size_t dropped = pool_.size() - kept.size();
+  pool_ = std::move(kept);
+  std::vector<ComparisonPair> surviving;
+  surviving.reserve(pairs_.size());
+  for (const auto& [winner, loser] : pairs_) {
+    if (remap[winner] == SIZE_MAX || remap[loser] == SIZE_MAX) continue;
+    surviving.push_back({remap[winner], remap[loser]});
+  }
+  pairs_ = std::move(surviving);
+  refit();
+  return dropped;
+}
+
 void PreferenceLearner::run(PreferenceOracle& oracle,
                             std::size_t num_comparisons) {
   for (std::size_t round = 0; round < num_comparisons; ++round) {

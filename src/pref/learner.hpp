@@ -53,6 +53,15 @@ class PreferenceLearner {
   /// the BO loop); returns the index of the first appended point.
   std::size_t extend_pool(const std::vector<std::vector<double>>& outcomes);
 
+  /// Bound the pool for long-running (churned) lineages: keep the first
+  /// `keep_anchor` points (the anchor pool the operator's interview was
+  /// run over) and the most recent extensions up to `max_points` total,
+  /// dropping the *oldest* extensions in between. Comparisons touching a
+  /// dropped point are discarded; survivors are re-indexed and the model
+  /// refit. No-op (and no refit) when the pool already fits. Returns the
+  /// number of pool points dropped.
+  std::size_t compact_pool(std::size_t max_points, std::size_t keep_anchor);
+
   /// Serialize the learner's persistent state: the candidate pool, every
   /// comparison asked so far, the pair-selection RNG mid-stream, and the
   /// fitted preference model.

@@ -82,6 +82,24 @@ TEST(Watchdog, ZeroDeadlineStillDisables) {
   EXPECT_FALSE(watchdog.breached());
 }
 
+TEST(Watchdog, ArmResetsBudgetBetweenEpochs) {
+  // The budgets are per-epoch: every PamoScheduler::run arms a fresh
+  // clock/failure-count/latch, so an epoch that burned its whole budget
+  // never taxes its successor.
+  WatchdogOptions options;
+  options.max_failures = 3;
+  EpochWatchdog watchdog(options);
+  watchdog.arm();
+  for (int i = 0; i < 3; ++i) watchdog.record_failure("epoch 1 burn");
+  EXPECT_TRUE(watchdog.breached());
+  watchdog.arm();
+  EXPECT_FALSE(watchdog.breached());
+  EXPECT_FALSE(watchdog.fired());
+  EXPECT_EQ(watchdog.failures(), 0u);
+  watchdog.record_failure("epoch 2, within budget");
+  EXPECT_FALSE(watchdog.breached());
+}
+
 TEST(Watchdog, UnarmedWatchdogIsInert) {
   WatchdogOptions options;
   options.max_failures = 1;

@@ -1,0 +1,286 @@
+#include "core/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "eva/workload.hpp"
+
+namespace pamo::core {
+namespace {
+
+eva::Workload small_workload(std::size_t streams, std::size_t servers) {
+  eva::Workload w = eva::make_workload(streams, servers, /*seed=*/7);
+  return w;
+}
+
+std::size_t count_actions(const GovernorPlan& plan, GovernorDecision d) {
+  return static_cast<std::size_t>(
+      std::count_if(plan.actions.begin(), plan.actions.end(),
+                    [&](const GovernorAction& a) { return a.decision == d; }));
+}
+
+TEST(Governor, DisabledGovernorAdmitsEverythingSilently) {
+  AdmissionGovernor governor;  // default options: enabled = false
+  const auto w = small_workload(6, 3);
+  const auto plan = governor.plan_epoch(0, w);
+  EXPECT_EQ(plan.offered, 6u);
+  EXPECT_EQ(plan.admitted_count, 6u);
+  EXPECT_EQ(plan.deferred, 0u);
+  EXPECT_EQ(plan.shed, 0u);
+  EXPECT_TRUE(plan.actions.empty());
+  for (std::size_t i = 0; i < plan.admitted.size(); ++i) {
+    EXPECT_EQ(plan.admitted[i], i);
+  }
+}
+
+TEST(Governor, UnderloadAdmitsAllWithLoggedAdmissions) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 100.0;  // effectively infinite capacity
+  AdmissionGovernor governor(opts);
+  const auto w = small_workload(5, 4);
+  const auto plan = governor.plan_epoch(0, w);
+  EXPECT_EQ(plan.admitted_count, 5u);
+  EXPECT_EQ(plan.shed, 0u);
+  EXPECT_EQ(plan.deferred, 0u);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kAdmit), 5u);
+  EXPECT_GT(plan.offered_load, 0.0);
+  EXPECT_DOUBLE_EQ(plan.admitted_load, plan.offered_load);
+}
+
+TEST(Governor, OverloadShedsByMarginalBenefitOrder) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 0.05;  // far less than the offered floor load
+  opts.hysteresis = 0.0;
+  opts.max_defer_retries = 0;  // defer path off: straight to shed
+  AdmissionGovernor governor(opts);
+  const auto w = small_workload(8, 2);
+  const auto plan = governor.plan_epoch(0, w);
+  EXPECT_LT(plan.admitted_count, plan.offered);
+  EXPECT_EQ(plan.admitted_count + plan.deferred + plan.shed, plan.offered);
+  EXPECT_LE(plan.admitted_load, opts.max_load + 1e-12);
+  // Whatever was admitted must score at least as well per unit load as
+  // anything shed (the greedy order is marginal benefit).
+  const double fr = static_cast<double>(w.space.resolutions().front());
+  const double ff = static_cast<double>(w.space.fps_knobs().front());
+  double total_uplink = 0.0;
+  for (double u : w.uplink_mbps) total_uplink += u;
+  const auto score = [&](std::size_t i) {
+    const auto& c = w.clips[i];
+    const double load =
+        std::max(c.bandwidth_mbps(fr, ff) / total_uplink,
+                 c.proc_time(fr) * ff / static_cast<double>(w.num_servers()));
+    return c.accuracy(fr, ff) / load;
+  };
+  double worst_admitted = 1e300;
+  for (std::size_t i : plan.admitted) {
+    worst_admitted = std::min(worst_admitted, score(i));
+  }
+  for (const auto& a : plan.actions) {
+    if (a.decision != GovernorDecision::kShed) continue;
+    for (std::size_t i = 0; i < w.clips.size(); ++i) {
+      if (w.clips[i].id() == a.stream) {
+        EXPECT_LE(score(i), worst_admitted + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Governor, MaxStreamsCapBindsEvenWithSpareLoad) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 100.0;
+  opts.max_streams = 3;
+  opts.max_defer_retries = 0;
+  AdmissionGovernor governor(opts);
+  const auto w = small_workload(7, 4);
+  const auto plan = governor.plan_epoch(0, w);
+  EXPECT_EQ(plan.admitted_count, 3u);
+  EXPECT_EQ(plan.shed, 4u);
+}
+
+TEST(Governor, DeferredArrivalRetriesWithExponentialBackoff) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 1e-6;  // nothing ever fits
+  opts.max_defer_retries = 3;
+  AdmissionGovernor governor(opts);
+  const auto w = small_workload(1, 2);
+  // Epoch 0: first attempt fails -> defer, retry at epoch 1 (backoff 1).
+  auto plan = governor.plan_epoch(0, w);
+  EXPECT_EQ(plan.deferred, 1u);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kDefer), 1u);
+  // Epochs where the stream is just waiting make no new decision.
+  // Epoch 1: retry due -> fails again, backoff 2 (retry at epoch 3).
+  plan = governor.plan_epoch(1, w);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kDefer), 1u);
+  EXPECT_EQ(plan.deferred, 1u);
+  // Epoch 2: still waiting, no action.
+  plan = governor.plan_epoch(2, w);
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_EQ(plan.deferred, 1u);
+  // Epoch 3: third failed attempt, backoff 4 (retry at epoch 7).
+  plan = governor.plan_epoch(3, w);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kDefer), 1u);
+  // Epoch 7: retry budget (3) exhausted -> shed for good.
+  plan = governor.plan_epoch(7, w);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kShed), 1u);
+  EXPECT_EQ(plan.shed, 1u);
+  EXPECT_EQ(plan.deferred, 0u);
+  // Epoch 8: stays shed, silently.
+  plan = governor.plan_epoch(8, w);
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_EQ(plan.shed, 1u);
+}
+
+TEST(Governor, DeferredStreamAdmittedWhenCapacityReturns) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 1e-6;
+  opts.max_defer_retries = 5;
+  AdmissionGovernor governor(opts);
+  const auto w = small_workload(1, 2);
+  auto plan = governor.plan_epoch(0, w);
+  EXPECT_EQ(plan.deferred, 1u);
+  // Capacity "returns": re-plan with a generous budget at the retry epoch.
+  GovernorOptions roomy = opts;
+  roomy.max_load = 100.0;
+  AdmissionGovernor governor2(roomy);
+  governor2.restore(governor.snapshot());
+  plan = governor2.plan_epoch(1, w);
+  EXPECT_EQ(plan.admitted_count, 1u);
+  EXPECT_EQ(plan.deferred, 0u);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kAdmit), 1u);
+  EXPECT_NE(plan.actions.front().detail.find("retry admitted"),
+            std::string::npos);
+}
+
+TEST(Governor, HysteresisKeepsIncumbentThatANewcomerCouldNotEnterAt) {
+  // Budget sized so the full set fits under max_load but not under the
+  // newcomer headroom: incumbents survive, a fresh governor defers.
+  const auto w = small_workload(4, 2);
+  GovernorOptions probe;
+  probe.enabled = true;
+  probe.max_load = 100.0;
+  AdmissionGovernor measure(probe);
+  const double full_load = measure.plan_epoch(0, w).offered_load;
+
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = full_load * 1.02;  // fits whole set...
+  opts.hysteresis = 0.2;             // ...but headroom is ~0.82 * full_load
+  // Incumbent governor: admitted everything back when capacity was high.
+  AdmissionGovernor incumbent(probe);
+  (void)incumbent.plan_epoch(0, w);
+  AdmissionGovernor tightened(opts);
+  tightened.restore(incumbent.snapshot());
+  const auto kept = tightened.plan_epoch(1, w);
+  EXPECT_EQ(kept.admitted_count, 4u);  // incumbents judged against max_load
+
+  AdmissionGovernor fresh(opts);
+  const auto entered = fresh.plan_epoch(0, w);
+  EXPECT_LT(entered.admitted_count, 4u);  // newcomers judged against headroom
+  EXPECT_GT(entered.deferred + entered.shed, 0u);
+}
+
+TEST(Governor, DepartureReleasesSlotWithLoggedRelease) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 100.0;
+  AdmissionGovernor governor(opts);
+  auto w = small_workload(4, 2);
+  (void)governor.plan_epoch(0, w);
+  EXPECT_EQ(governor.num_admitted(), 4u);
+  auto shrunk = w;
+  shrunk.clips.erase(shrunk.clips.begin() + 1);
+  const auto plan = governor.plan_epoch(1, w = shrunk);
+  EXPECT_EQ(plan.offered, 3u);
+  EXPECT_EQ(plan.admitted_count, 3u);
+  EXPECT_EQ(count_actions(plan, GovernorDecision::kRelease), 1u);
+  EXPECT_EQ(governor.num_admitted(), 3u);
+}
+
+TEST(Governor, EveryAdmittedSetChangeHasAMatchingAction) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 0.4;
+  opts.max_defer_retries = 2;
+  AdmissionGovernor governor(opts);
+  auto w = small_workload(6, 2);
+  std::vector<std::uint64_t> previous;
+  for (std::size_t epoch = 0; epoch < 6; ++epoch) {
+    if (epoch == 3) w.clips.pop_back();  // a departure mid-run
+    const auto plan = governor.plan_epoch(epoch, w);
+    std::vector<std::uint64_t> current;
+    for (std::size_t i : plan.admitted) current.push_back(w.clips[i].id());
+    std::sort(current.begin(), current.end());
+    // Joined the set -> an admit action; left it -> a shed or release.
+    for (std::uint64_t id : current) {
+      if (std::binary_search(previous.begin(), previous.end(), id)) continue;
+      EXPECT_TRUE(std::any_of(plan.actions.begin(), plan.actions.end(),
+                              [&](const GovernorAction& a) {
+                                return a.stream == id &&
+                                       a.decision == GovernorDecision::kAdmit;
+                              }))
+          << "stream " << id << " joined without an admit action at epoch "
+          << epoch;
+    }
+    for (std::uint64_t id : previous) {
+      if (std::binary_search(current.begin(), current.end(), id)) continue;
+      EXPECT_TRUE(std::any_of(plan.actions.begin(), plan.actions.end(),
+                              [&](const GovernorAction& a) {
+                                return a.stream == id &&
+                                       (a.decision == GovernorDecision::kShed ||
+                                        a.decision ==
+                                            GovernorDecision::kRelease);
+                              }))
+          << "stream " << id << " left without a shed/release action at epoch "
+          << epoch;
+    }
+    EXPECT_EQ(plan.admitted_count + plan.deferred + plan.shed, plan.offered);
+    previous = std::move(current);
+  }
+}
+
+TEST(Governor, SnapshotRoundTripContinuesIdentically) {
+  GovernorOptions opts;
+  opts.enabled = true;
+  opts.max_load = 0.3;
+  opts.hysteresis = 0.15;
+  opts.max_defer_retries = 3;
+  AdmissionGovernor a(opts);
+  const auto w = small_workload(8, 2);
+  (void)a.plan_epoch(0, w);
+  (void)a.plan_epoch(1, w);
+  AdmissionGovernor b(opts);
+  b.restore(a.snapshot());
+  for (std::size_t epoch = 2; epoch < 6; ++epoch) {
+    const auto pa = a.plan_epoch(epoch, w);
+    const auto pb = b.plan_epoch(epoch, w);
+    EXPECT_EQ(pa.admitted, pb.admitted);
+    EXPECT_EQ(pa.deferred, pb.deferred);
+    EXPECT_EQ(pa.shed, pb.shed);
+    ASSERT_EQ(pa.actions.size(), pb.actions.size());
+    for (std::size_t i = 0; i < pa.actions.size(); ++i) {
+      EXPECT_EQ(pa.actions[i].stream, pb.actions[i].stream);
+      EXPECT_EQ(pa.actions[i].decision, pb.actions[i].decision);
+      EXPECT_EQ(pa.actions[i].detail, pb.actions[i].detail);
+    }
+  }
+}
+
+TEST(Governor, RejectsInvalidOptions) {
+  GovernorOptions bad;
+  bad.enabled = true;
+  bad.max_load = 0.0;
+  EXPECT_THROW(AdmissionGovernor{bad}, Error);
+  bad.max_load = 1.0;
+  bad.hysteresis = 1.0;
+  EXPECT_THROW(AdmissionGovernor{bad}, Error);
+}
+
+}  // namespace
+}  // namespace pamo::core

@@ -1,0 +1,234 @@
+#include "eva/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pamo::eva {
+namespace {
+
+ChurnOptions busy_options() {
+  ChurnOptions options;
+  options.arrival_rate = 1.5;
+  options.mean_lifetime_epochs = 4.0;
+  options.diurnal_amplitude = 0.3;
+  options.diurnal_period = 8;
+  options.drift_per_epoch = 0.05;
+  options.seed = 77;
+  options.horizon = 32;
+  return options;
+}
+
+TEST(ChurnPlan, EmptyPlanIsBitwiseIdentity) {
+  const Workload base = make_workload(5, 3, 42);
+  const ChurnPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (std::size_t epoch : {0u, 3u, 17u}) {
+    const Workload offered = plan.offered_workload(base, epoch);
+    ASSERT_EQ(offered.clips.size(), base.clips.size());
+    for (std::size_t i = 0; i < base.clips.size(); ++i) {
+      for (double r : {480.0, 960.0, 1920.0}) {
+        EXPECT_EQ(offered.clips[i].accuracy(r, 15),
+                  base.clips[i].accuracy(r, 15));
+        EXPECT_EQ(offered.clips[i].proc_time(r), base.clips[i].proc_time(r));
+        EXPECT_EQ(offered.clips[i].bits_per_frame(r),
+                  base.clips[i].bits_per_frame(r));
+      }
+    }
+    EXPECT_EQ(offered.uplink_mbps, base.uplink_mbps);
+    const EpochChurn churn = plan.churn_at(epoch);
+    EXPECT_TRUE(churn.arrived.empty());
+    EXPECT_TRUE(churn.departed.empty());
+    EXPECT_EQ(churn.load_factor, 1.0);
+    EXPECT_EQ(churn.drift_t, 0.0);
+  }
+}
+
+TEST(ChurnPlan, SameSeedSameTimeline) {
+  const ChurnOptions options = busy_options();
+  const ChurnPlan a(options);
+  const ChurnPlan b(options);
+  const Workload base = make_workload(4, 3, 42);
+  for (std::size_t epoch = 0; epoch < 20; ++epoch) {
+    const EpochChurn ca = a.churn_at(epoch);
+    const EpochChurn cb = b.churn_at(epoch);
+    EXPECT_EQ(ca.arrived, cb.arrived);
+    EXPECT_EQ(ca.departed, cb.departed);
+    const Workload wa = a.offered_workload(base, epoch);
+    const Workload wb = b.offered_workload(base, epoch);
+    ASSERT_EQ(wa.clips.size(), wb.clips.size());
+    for (std::size_t i = 0; i < wa.clips.size(); ++i) {
+      EXPECT_EQ(wa.clips[i].accuracy(960, 15), wb.clips[i].accuracy(960, 15));
+      EXPECT_EQ(wa.clips[i].proc_time(960), wb.clips[i].proc_time(960));
+    }
+  }
+}
+
+TEST(ChurnPlan, DifferentSeedsDiverge) {
+  ChurnOptions options = busy_options();
+  const ChurnPlan a(options);
+  options.seed = 78;
+  const ChurnPlan b(options);
+  bool diverged = false;
+  for (std::size_t epoch = 0; epoch < 20 && !diverged; ++epoch) {
+    diverged = a.churn_at(epoch).arrived != b.churn_at(epoch).arrived;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ChurnPlan, ArrivalsAppearAndDepartOnSchedule) {
+  const ChurnPlan plan(busy_options());
+  const Workload base = make_workload(4, 3, 42);
+  std::set<std::uint64_t> live;
+  std::size_t total_arrived = 0;
+  for (std::size_t epoch = 0; epoch < 40; ++epoch) {
+    const EpochChurn churn = plan.churn_at(epoch);
+    for (std::uint64_t id : churn.arrived) {
+      ++total_arrived;
+      live.insert(id);
+    }
+    for (std::uint64_t id : churn.departed) {
+      live.erase(id);
+    }
+    const std::vector<std::uint64_t> expect(live.begin(), live.end());
+    EXPECT_EQ(plan.live_arrivals(epoch), expect) << "epoch " << epoch;
+    // Offered workload = base streams + live arrivals, in that order.
+    const Workload offered = plan.offered_workload(base, epoch);
+    ASSERT_EQ(offered.clips.size(), base.clips.size() + expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(offered.clips[base.clips.size() + i].id(), expect[i]);
+    }
+  }
+  EXPECT_GT(total_arrived, 10u);
+  // Ids are unique and start at the arrival base.
+  EXPECT_GE(plan.options().arrival_id_base, base.clips.size());
+}
+
+TEST(ChurnPlan, ZeroLifetimeStreamsNeverOffered) {
+  ChurnOptions options = busy_options();
+  options.mean_lifetime_epochs = 0.0;  // every arrival is zero-lifetime
+  const ChurnPlan plan(options);
+  const Workload base = make_workload(3, 2, 42);
+  std::size_t arrivals = 0;
+  for (std::size_t epoch = 0; epoch < 32; ++epoch) {
+    const EpochChurn churn = plan.churn_at(epoch);
+    arrivals += churn.arrived.size();
+    // Simultaneous arrival + departure: the same ids appear in both lists.
+    EXPECT_EQ(churn.arrived, churn.departed);
+    EXPECT_TRUE(plan.live_arrivals(epoch).empty());
+    EXPECT_EQ(plan.offered_workload(base, epoch).clips.size(),
+              base.clips.size());
+  }
+  EXPECT_GT(arrivals, 0u);
+}
+
+TEST(ChurnPlan, MaxStreamsCapsLiveArrivals) {
+  ChurnOptions options = busy_options();
+  options.arrival_rate = 4.0;
+  options.mean_lifetime_epochs = 50.0;
+  options.max_streams = 5;
+  const ChurnPlan plan(options);
+  for (std::size_t epoch = 0; epoch < 32; ++epoch) {
+    EXPECT_LE(plan.live_arrivals(epoch).size(), 5u) << "epoch " << epoch;
+  }
+}
+
+TEST(ChurnPlan, DiurnalWaveScalesLoadNotAccuracy) {
+  ChurnOptions options;
+  options.diurnal_amplitude = 0.4;
+  options.diurnal_period = 8;
+  const ChurnPlan plan(options);
+  EXPECT_TRUE(plan.enabled());
+  const Workload base = make_workload(3, 2, 42);
+  // Epoch 2 sits at the crest of a period-8 wave: sin(pi/2) = 1.
+  const double crest = plan.load_factor(2);
+  EXPECT_NEAR(crest, 1.4, 1e-12);
+  const Workload offered = plan.offered_workload(base, 2);
+  for (std::size_t i = 0; i < base.clips.size(); ++i) {
+    EXPECT_NEAR(offered.clips[i].bits_per_frame(960),
+                crest * base.clips[i].bits_per_frame(960), 1e-9);
+    EXPECT_EQ(offered.clips[i].accuracy(960, 15),
+              base.clips[i].accuracy(960, 15));
+  }
+  // Mean of the wave over one full period is 1 (load-neutral).
+  double mean = 0.0;
+  for (std::size_t e = 0; e < 8; ++e) {
+    mean += plan.load_factor(e);
+  }
+  EXPECT_NEAR(mean / 8.0, 1.0, 1e-9);
+}
+
+TEST(ChurnPlan, DriftAccumulatesTowardTarget) {
+  ChurnOptions options;
+  options.drift_per_epoch = 0.1;
+  const ChurnPlan plan(options);
+  const Workload base = make_workload(3, 2, 42);
+  EXPECT_EQ(plan.drift_t(0), 0.0);
+  EXPECT_NEAR(plan.drift_t(1), 0.1, 1e-12);
+  EXPECT_LT(plan.drift_t(5), plan.drift_t(10));
+  EXPECT_LT(plan.drift_t(10), 1.0);
+  const Workload early = plan.offered_workload(base, 1);
+  const Workload late = plan.offered_workload(base, 20);
+  const ClipProfile target =
+      ClipProfile::generate(options.drift_seed, base.clips[0].id());
+  const double base_gap =
+      std::fabs(base.clips[0].accuracy(960, 15) - target.accuracy(960, 15));
+  const double early_gap =
+      std::fabs(early.clips[0].accuracy(960, 15) - target.accuracy(960, 15));
+  const double late_gap =
+      std::fabs(late.clips[0].accuracy(960, 15) - target.accuracy(960, 15));
+  EXPECT_LT(early_gap, base_gap);
+  EXPECT_LT(late_gap, early_gap);
+}
+
+TEST(ChurnPlan, HorizonStopsArrivalsButNotDepartures) {
+  ChurnOptions options = busy_options();
+  options.horizon = 6;
+  options.mean_lifetime_epochs = 3.0;
+  const ChurnPlan plan(options);
+  for (std::size_t epoch = 6; epoch < 64; ++epoch) {
+    EXPECT_TRUE(plan.churn_at(epoch).arrived.empty());
+  }
+  // Eventually everything departs.
+  EXPECT_TRUE(plan.live_arrivals(1000).empty());
+}
+
+TEST(ChurnPlan, SnapshotRoundTripReproducesTimeline) {
+  const ChurnPlan plan(busy_options());
+  const ChurnPlan restored = ChurnPlan::restore(plan.snapshot());
+  const Workload base = make_workload(4, 3, 42);
+  for (std::size_t epoch = 0; epoch < 24; ++epoch) {
+    EXPECT_EQ(plan.churn_at(epoch).arrived, restored.churn_at(epoch).arrived);
+    EXPECT_EQ(plan.churn_at(epoch).departed,
+              restored.churn_at(epoch).departed);
+    const Workload a = plan.offered_workload(base, epoch);
+    const Workload b = restored.offered_workload(base, epoch);
+    ASSERT_EQ(a.clips.size(), b.clips.size());
+    for (std::size_t i = 0; i < a.clips.size(); ++i) {
+      EXPECT_EQ(a.clips[i].accuracy(960, 15), b.clips[i].accuracy(960, 15));
+      EXPECT_EQ(a.clips[i].bits_per_frame(960), b.clips[i].bits_per_frame(960));
+    }
+  }
+}
+
+TEST(ChurnPlan, RejectsInvalidOptions) {
+  ChurnOptions options;
+  options.arrival_rate = -1.0;
+  EXPECT_THROW(ChurnPlan{options}, Error);
+  options = ChurnOptions{};
+  options.diurnal_amplitude = 1.5;
+  EXPECT_THROW(ChurnPlan{options}, Error);
+  options = ChurnOptions{};
+  options.drift_per_epoch = 1.0;
+  EXPECT_THROW(ChurnPlan{options}, Error);
+  options = ChurnOptions{};
+  options.diurnal_period = 0;
+  EXPECT_THROW(ChurnPlan{options}, Error);
+}
+
+}  // namespace
+}  // namespace pamo::eva

@@ -1,0 +1,204 @@
+// Drift detection + selective forgetting (GpOptions::drift_cusum_h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gp/gp_regressor.hpp"
+
+namespace pamo::gp {
+namespace {
+
+/// Training data from a smooth 1-D function, optionally shifted by `jump`.
+/// The high-frequency wiggle is unexplainable at the GP's lengthscale, so
+/// the MLE attributes it to observation noise — which keeps standardized
+/// residuals of in-regime points at O(1) instead of exploding off the
+/// noise floor.
+void make_data(double jump, std::size_t count, double x0,
+               std::vector<std::vector<double>>* xs, std::vector<double>* ys) {
+  xs->clear();
+  ys->clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = x0 + 0.05 * static_cast<double>(i);
+    xs->push_back({x});
+    ys->push_back(std::sin(x) + jump + 0.1 * std::sin(37.0 * x * x + 1.7));
+  }
+}
+
+GpOptions drift_options() {
+  GpOptions options;
+  options.mle_restarts = 1;
+  options.mle_max_evals = 60;
+  // The allowance k sits above the folded-normal mean |z| ≈ 0.8, so a
+  // stationary stream decays the score instead of creeping it upward.
+  options.drift_cusum_h = 8.0;
+  options.drift_cusum_k = 1.0;
+  return options;
+}
+
+TEST(GpDrift, StationaryDataNeverFires) {
+  GpRegressor gp(drift_options());
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 20, 0.0, &xs, &ys);
+  gp.fit(xs, ys);
+  // Stationary batches inside the trained window: no fire.
+  for (int batch = 0; batch < 6; ++batch) {
+    make_data(0.0, 3, 0.07 + 0.12 * batch, &xs, &ys);
+    gp.update(xs, ys);
+  }
+  EXPECT_EQ(gp.diagnostics().drift_fires, 0u);
+  EXPECT_EQ(gp.diagnostics().drift_downweighted, 0u);
+}
+
+TEST(GpDrift, ShiftedDataFiresAndDownweightsStaleRows) {
+  GpRegressor gp(drift_options());
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 12, 0.0, &xs, &ys);
+  gp.fit(xs, ys);
+  const std::size_t stale = gp.num_points();
+  // A large mean shift: residuals blow past the CUSUM allowance.
+  for (int batch = 0; batch < 4 && gp.diagnostics().drift_fires == 0;
+       ++batch) {
+    make_data(3.0, 3, 0.1 + 0.15 * batch, &xs, &ys);
+    gp.update(xs, ys);
+  }
+  ASSERT_GE(gp.diagnostics().drift_fires, 1u);
+  EXPECT_GE(gp.diagnostics().drift_downweighted, stale);
+  // Score resets on fire and the system stays solved over every row.
+  EXPECT_GE(gp.num_points(), stale + 3);
+  EXPECT_TRUE(std::isfinite(gp.predict_mean({0.3})));
+}
+
+TEST(GpDrift, ForgettingMovesPosteriorTowardFreshRegime) {
+  GpOptions options = drift_options();
+  options.drift_cusum_h = 3.0;
+  options.drift_forget_inflation = 100.0;
+  GpRegressor with_forget(options);
+  GpOptions off = options;
+  off.drift_cusum_h = 0.0;  // detector disabled
+  GpRegressor without(off);
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 12, 0.0, &xs, &ys);
+  with_forget.fit(xs, ys);
+  without.fit(xs, ys);
+  for (int batch = 0; batch < 4; ++batch) {
+    make_data(3.0, 3, 0.1 + 0.15 * batch, &xs, &ys);
+    with_forget.update(xs, ys);
+    without.update(xs, ys);
+  }
+  ASSERT_GE(with_forget.diagnostics().drift_fires, 1u);
+  EXPECT_EQ(without.diagnostics().drift_fires, 0u);
+  // In the observed window the forgetting GP tracks the shifted regime
+  // (y ≈ sin(x) + 3) more closely than the stale-weighted one.
+  const double target = std::sin(0.35) + 3.0;
+  const double err_forget = std::fabs(with_forget.predict_mean({0.35}) - target);
+  const double err_stale = std::fabs(without.predict_mean({0.35}) - target);
+  EXPECT_LT(err_forget, err_stale);
+}
+
+TEST(GpDrift, DisabledDetectorIsBitwiseNoop) {
+  GpOptions off;
+  off.mle_restarts = 1;
+  off.mle_max_evals = 60;
+  ASSERT_EQ(off.drift_cusum_h, 0.0);
+  GpRegressor a(off);
+  GpRegressor b(off);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 10, 0.0, &xs, &ys);
+  a.fit(xs, ys);
+  b.fit(xs, ys);
+  make_data(2.0, 4, 0.2, &xs, &ys);
+  a.update(xs, ys);
+  b.update(xs, ys);
+  for (double q : {0.1, 0.4, 0.8}) {
+    EXPECT_EQ(a.predict_mean({q}), b.predict_mean({q}));
+    EXPECT_EQ(a.predict_var({q}), b.predict_var({q}));
+  }
+  EXPECT_EQ(a.diagnostics().drift_fires, 0u);
+  EXPECT_EQ(a.diagnostics().drift_score, 0.0);
+}
+
+TEST(GpDrift, SelectiveRefitSkipsHyperparameterMle) {
+  GpOptions options = drift_options();
+  options.drift_cusum_h = 1.0;  // hair trigger
+  GpRegressor gp(options);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 10, 0.0, &xs, &ys);
+  gp.fit(xs, ys);
+  const KernelParams before = gp.params();
+  make_data(4.0, 3, 0.2, &xs, &ys);
+  gp.update(xs, ys);  // fires, but must not re-run the MLE
+  ASSERT_GE(gp.diagnostics().drift_fires, 1u);
+  ASSERT_EQ(before.log_lengthscales.size(),
+            gp.params().log_lengthscales.size());
+  EXPECT_EQ(gp.params().log_signal_var, before.log_signal_var);
+  EXPECT_EQ(gp.params().log_noise_var, before.log_noise_var);
+  for (std::size_t d = 0; d < before.log_lengthscales.size(); ++d) {
+    EXPECT_EQ(gp.params().log_lengthscales[d], before.log_lengthscales[d]);
+  }
+}
+
+TEST(GpDrift, CusumStateSurvivesSnapshotRoundTrip) {
+  GpOptions options = drift_options();
+  options.drift_cusum_h = 1.0e5;  // accumulate without firing
+  GpRegressor gp(options);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 10, 0.0, &xs, &ys);
+  gp.fit(xs, ys);
+  make_data(2.0, 3, 0.2, &xs, &ys);
+  gp.update(xs, ys);
+  ASSERT_GT(gp.diagnostics().drift_score, 0.0);
+
+  GpRegressor restored(options);
+  restored.restore(gp.snapshot());
+  EXPECT_EQ(restored.diagnostics().drift_score, gp.diagnostics().drift_score);
+  // Identical continuation: the same next batch produces identical scores
+  // and predictions in both instances.
+  make_data(2.0, 3, 0.5, &xs, &ys);
+  gp.update(xs, ys);
+  restored.update(xs, ys);
+  EXPECT_EQ(restored.diagnostics().drift_score, gp.diagnostics().drift_score);
+  EXPECT_EQ(restored.diagnostics().drift_fires, gp.diagnostics().drift_fires);
+  EXPECT_EQ(restored.predict_mean({0.45}), gp.predict_mean({0.45}));
+}
+
+TEST(GpDrift, PreDriftSnapshotStillRestores) {
+  // Simulate an old checkpoint: strip the drift keys from a fresh snapshot.
+  GpOptions options;
+  options.mle_restarts = 1;
+  options.mle_max_evals = 60;
+  GpRegressor gp(options);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  make_data(0.0, 8, 0.0, &xs, &ys);
+  gp.fit(xs, ys);
+  obs::json::Value snap = gp.snapshot();
+  obs::json::Value trimmed = obs::json::Value::object();
+  for (const auto& [key, value] : snap.members()) {
+    if (key == "drift_cusum") continue;
+    if (key == "diagnostics") {
+      obs::json::Value diag = obs::json::Value::object();
+      for (const auto& [dkey, dvalue] : value.members()) {
+        if (dkey.rfind("drift_", 0) == 0) continue;
+        diag.set(dkey, dvalue);
+      }
+      trimmed.set(key, std::move(diag));
+      continue;
+    }
+    trimmed.set(key, value);
+  }
+  GpRegressor restored(options);
+  restored.restore(trimmed);
+  EXPECT_EQ(restored.predict_mean({0.2}), gp.predict_mean({0.2}));
+  EXPECT_EQ(restored.diagnostics().drift_score, 0.0);
+}
+
+}  // namespace
+}  // namespace pamo::gp

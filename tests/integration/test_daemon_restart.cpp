@@ -18,6 +18,7 @@
 #include "ckpt/killpoint.hpp"
 #include "common/error.hpp"
 #include "core/daemon.hpp"
+#include "eva/churn.hpp"
 #include "eva/clip.hpp"
 #include "sim/fault.hpp"
 
@@ -264,6 +265,83 @@ TEST_F(DaemonRestartTest, CorruptNewestSnapshotFallsBackAndRecovers) {
   pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
   while (daemon.epoch_digests().size() < kEpochs) daemon.step(oracle);
   EXPECT_EQ(daemon.epoch_digests(), baseline_);
+}
+
+// Churn lane: kill a daemon whose checkpoint additionally carries the
+// churn plan, the governor's defer/shed queues, warm-started models, and
+// the cumulative governor log. The resumed lineage must reproduce both
+// the digest trajectory and the governor log bit-for-bit.
+TEST(DaemonChurnRestart, KillMidChurnResumesTrajectoryAndGovernorLog) {
+  const std::string dir = make_temp_dir();
+  const eva::Workload workload = eva::make_workload(5, 4, 421);
+
+  ServiceOptions service_options = tiny_service(77);
+  service_options.continual.warm_start = true;
+  service_options.governor.enabled = true;
+  service_options.governor.max_streams = workload.num_streams() + 1;
+
+  eva::ChurnOptions churn;
+  churn.arrival_rate = 0.8;
+  churn.mean_lifetime_epochs = 3.0;
+  churn.diurnal_amplitude = 0.3;
+  churn.diurnal_period = 6;
+  churn.drift_per_epoch = 0.05;
+  churn.horizon = 16;
+  churn.seed = 909;
+
+  auto cold_start = [&](Daemon& daemon) {
+    daemon.service().set_churn_plan(eva::ChurnPlan(churn));
+    arm_hostile(daemon);
+  };
+
+  std::vector<std::uint64_t> baseline;
+  std::vector<GovernorAction> baseline_log;
+  {
+    DaemonOptions options;
+    options.checkpoint_dir = dir + "/baseline";
+    Daemon churned(workload, service_options, options);
+    cold_start(churned);
+    pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
+    churned.run(oracle, kEpochs);
+    baseline = churned.epoch_digests();
+    baseline_log = churned.governor_log();
+  }
+  ASSERT_EQ(baseline.size(), kEpochs);
+  ASSERT_FALSE(baseline_log.empty())
+      << "churn scenario never exercised the governor";
+
+  DaemonOptions options;
+  options.checkpoint_dir = dir + "/s";
+  {
+    Daemon daemon(workload, service_options, options);
+    cold_start(daemon);
+    pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
+    ckpt::arm_kill("daemon.epoch.pre_commit", 2);
+    bool died = false;
+    try {
+      for (std::size_t i = 0; i < kEpochs; ++i) daemon.step(oracle);
+    } catch (const ckpt::InjectedKill&) {
+      died = true;
+    }
+    EXPECT_TRUE(died);
+  }
+  ckpt::disarm_kill();
+
+  Daemon daemon(workload, service_options, options);
+  const auto resumed = daemon.resume();
+  if (!resumed.has_value()) cold_start(daemon);
+  pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
+  while (daemon.epoch_digests().size() < kEpochs) daemon.step(oracle);
+
+  EXPECT_EQ(daemon.epoch_digests(), baseline);
+  ASSERT_EQ(daemon.governor_log().size(), baseline_log.size());
+  for (std::size_t i = 0; i < baseline_log.size(); ++i) {
+    EXPECT_EQ(daemon.governor_log()[i].epoch, baseline_log[i].epoch);
+    EXPECT_EQ(daemon.governor_log()[i].stream, baseline_log[i].stream);
+    EXPECT_EQ(daemon.governor_log()[i].decision, baseline_log[i].decision);
+    EXPECT_EQ(daemon.governor_log()[i].detail, baseline_log[i].detail);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "common/thread_pool.hpp"
 #include "core/report_digest.hpp"
 #include "core/service.hpp"
+#include "eva/churn.hpp"
 #include "eva/clip.hpp"
 #include "sim/fault.hpp"
 
@@ -137,6 +138,66 @@ TEST(Determinism, SameSeedIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial[i], parallel[i])
         << "epoch " << i << " diverged across thread counts";
   }
+}
+
+// Stream churn, the admission governor, and warm-started continual
+// learning all ride the same pre-drawn-randomness discipline as the rest
+// of the stack: a churning service at a 1-worker pool and at an 8-worker
+// pool must produce identical digests (which, under churn, also mix the
+// admission accounting and every governor action).
+TEST(Determinism, ChurnedServiceIsBitIdenticalAcrossThreadCounts) {
+  const eva::Workload workload = eva::make_workload(5, 4, 421);
+  eva::ChurnOptions churn;
+  churn.arrival_rate = 0.8;
+  churn.mean_lifetime_epochs = 3.0;
+  churn.diurnal_amplitude = 0.3;
+  churn.diurnal_period = 6;
+  churn.drift_per_epoch = 0.05;
+  churn.horizon = 16;
+  churn.seed = 909;
+
+  auto run = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    ThreadPool::ScopedDefault guard(pool);
+    ServiceOptions options = tiny_service(77);
+    options.continual.warm_start = true;
+    options.governor.enabled = true;
+    options.governor.max_streams = workload.num_streams() + 1;
+    SchedulingService service(workload, options);
+    service.set_churn_plan(eva::ChurnPlan(churn));
+    pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
+    std::vector<std::uint64_t> digests;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      digests.push_back(digest_epoch(service.run_epoch(oracle)));
+    }
+    return digests;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i])
+        << "epoch " << i << " diverged across thread counts";
+  }
+}
+
+// The empty churn plan is the identity: installing it must not perturb a
+// single digest relative to a plain service (the clean path stays
+// zero-copy, and the digest of a churn-free epoch mixes no churn fields).
+TEST(Determinism, EmptyChurnPlanLeavesDigestsUntouched) {
+  const eva::Workload workload = eva::make_workload(4, 3, 422);
+  auto run = [&](bool install_empty_plan) {
+    SchedulingService service(workload, tiny_service(9));
+    if (install_empty_plan) service.set_churn_plan(eva::ChurnPlan());
+    pref::PreferenceOracle oracle(pref::BenefitFunction::uniform());
+    std::vector<std::uint64_t> digests;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      digests.push_back(digest_epoch(service.run_epoch(oracle)));
+    }
+    return digests;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 // The fault-free loop must be reproducible too (faults off is the

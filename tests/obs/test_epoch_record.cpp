@@ -32,6 +32,20 @@ EpochRecord sample_record() {
   r.health.repair_error = false;
   r.health.fallback_taken = true;
   r.health.error_message = "watchdog: iteration budget";
+  r.health.warm_started = true;
+  r.health.drift_fires = 2;
+  r.health.drift_downweighted = 9;
+  r.churn.offered = 6;
+  r.churn.arrived = 2;
+  r.churn.departed = 1;
+  r.churn.admitted = 4;
+  r.churn.deferred = 1;
+  r.churn.shed = 1;
+  r.churn.load_factor = 1.25;
+  r.churn.offered_load = 1.4;
+  r.churn.admitted_load = 0.9;
+  r.governor_actions.push_back({7, 11, "admit", "arrival admitted"});
+  r.governor_actions.push_back({7, 12, "defer", "no headroom"});
   r.sim.total_frames = 120;
   r.sim.total_emitted = 130;
   r.sim.total_dropped = 10;
@@ -82,6 +96,25 @@ void expect_equal(const EpochRecord& a, const EpochRecord& b) {
   EXPECT_EQ(a.health.repair_error, b.health.repair_error);
   EXPECT_EQ(a.health.fallback_taken, b.health.fallback_taken);
   EXPECT_EQ(a.health.error_message, b.health.error_message);
+  EXPECT_EQ(a.health.warm_started, b.health.warm_started);
+  EXPECT_EQ(a.health.drift_fires, b.health.drift_fires);
+  EXPECT_EQ(a.health.drift_downweighted, b.health.drift_downweighted);
+  EXPECT_EQ(a.churn.offered, b.churn.offered);
+  EXPECT_EQ(a.churn.arrived, b.churn.arrived);
+  EXPECT_EQ(a.churn.departed, b.churn.departed);
+  EXPECT_EQ(a.churn.admitted, b.churn.admitted);
+  EXPECT_EQ(a.churn.deferred, b.churn.deferred);
+  EXPECT_EQ(a.churn.shed, b.churn.shed);
+  EXPECT_EQ(a.churn.load_factor, b.churn.load_factor);
+  EXPECT_EQ(a.churn.offered_load, b.churn.offered_load);
+  EXPECT_EQ(a.churn.admitted_load, b.churn.admitted_load);
+  ASSERT_EQ(a.governor_actions.size(), b.governor_actions.size());
+  for (std::size_t i = 0; i < a.governor_actions.size(); ++i) {
+    EXPECT_EQ(a.governor_actions[i].epoch, b.governor_actions[i].epoch);
+    EXPECT_EQ(a.governor_actions[i].stream, b.governor_actions[i].stream);
+    EXPECT_EQ(a.governor_actions[i].decision, b.governor_actions[i].decision);
+    EXPECT_EQ(a.governor_actions[i].detail, b.governor_actions[i].detail);
+  }
   EXPECT_EQ(a.sim.total_frames, b.sim.total_frames);
   EXPECT_EQ(a.sim.total_emitted, b.sim.total_emitted);
   EXPECT_EQ(a.sim.total_dropped, b.sim.total_dropped);
@@ -168,6 +201,37 @@ TEST(EpochRecord, RejectsMistypedFields) {
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, needle.size(), "\"epoch\":\"7\"");
   EXPECT_THROW((void)record_from_json(text), Error);
+}
+
+TEST(EpochRecord, ReadsRecordsWrittenBeforeChurnExisted) {
+  // Records exported by builds that predate stream churn have no "churn",
+  // "governor_actions", or continual-learning health keys. They must still
+  // parse, with defaults meaning "no churn, nothing warm-started".
+  std::string text = to_json(sample_record());
+  auto strip = [&text](const std::string& from, const std::string& to) {
+    const auto begin = text.find(from);
+    ASSERT_NE(begin, std::string::npos) << from;
+    const auto end = text.find(to, begin);
+    ASSERT_NE(end, std::string::npos) << to;
+    text.erase(begin, end - begin);
+  };
+  strip(",\"warm_started\"", "}");
+  strip(",\"churn\"", ",\"benefit_trace\"");
+  EXPECT_EQ(text.find("\"churn\""), std::string::npos);
+  EXPECT_EQ(text.find("\"governor_actions\""), std::string::npos);
+  EXPECT_EQ(text.find("\"drift_fires\""), std::string::npos);
+
+  const EpochRecord back = record_from_json(text);
+  EXPECT_FALSE(back.health.warm_started);
+  EXPECT_EQ(back.health.drift_fires, 0u);
+  EXPECT_EQ(back.health.drift_downweighted, 0u);
+  EXPECT_EQ(back.churn.offered, 0u);
+  EXPECT_EQ(back.churn.admitted, 0u);
+  EXPECT_EQ(back.churn.load_factor, 1.0);
+  EXPECT_TRUE(back.governor_actions.empty());
+  // The rest of the record came through untouched.
+  EXPECT_EQ(back.epoch, 7u);
+  EXPECT_EQ(back.health.error_message, "watchdog: iteration budget");
 }
 
 TEST(EpochRecord, CapturesLiveSnapshotsFromTheGlobalRegistry) {

@@ -135,6 +135,47 @@ TEST(PreferenceLearner, ExtendPoolAddsCandidates) {
   EXPECT_EQ(learner.pool().size(), 11u);
 }
 
+TEST(PreferenceLearner, CompactPoolKeepsAnchorAndNewestExtensions) {
+  Rng rng(13);
+  PreferenceLearner learner(pool_5d(6, rng), {}, 21);
+  PreferenceOracle oracle(BenefitFunction::uniform());
+  learner.run(oracle, 4);  // comparisons over the anchor pool
+  const auto extension_a = pool_5d(4, rng);
+  const auto extension_b = pool_5d(4, rng);
+  learner.extend_pool(extension_a);
+  const std::size_t first_b = learner.extend_pool(extension_b);
+  learner.add_comparison({first_b, 0});  // references the newest batch
+  ASSERT_EQ(learner.pool().size(), 14u);
+
+  // Cap at 10 keeping the 6 anchors: the oldest extension batch is the
+  // one that goes.
+  const std::size_t dropped = learner.compact_pool(10, 6);
+  EXPECT_EQ(dropped, 4u);
+  ASSERT_EQ(learner.pool().size(), 10u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(learner.pool()[6 + i], extension_b[i]);
+  }
+  // Comparisons over survivors were re-indexed, none lost here (all
+  // referenced anchors or the surviving batch).
+  EXPECT_EQ(learner.num_comparisons(), 5u);
+
+  // Already within bounds: a second compaction is a no-op.
+  EXPECT_EQ(learner.compact_pool(10, 6), 0u);
+  EXPECT_THROW(learner.compact_pool(4, 6), Error);
+}
+
+TEST(PreferenceLearner, CompactPoolDropsComparisonsTouchingDroppedPoints) {
+  Rng rng(14);
+  PreferenceLearner learner(pool_5d(4, rng), {}, 22);
+  const std::size_t first = learner.extend_pool(pool_5d(4, rng));
+  learner.add_comparison({first, 0});      // touches the doomed batch
+  learner.add_comparison({0, 1});          // anchors only — survives
+  learner.extend_pool(pool_5d(4, rng));
+  const std::size_t dropped = learner.compact_pool(8, 4);
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(learner.num_comparisons(), 1u);
+}
+
 TEST(PreferenceLearner, AddComparisonValidatesIndices) {
   Rng rng(10);
   PreferenceLearner learner(pool_5d(4, rng), {}, 11);

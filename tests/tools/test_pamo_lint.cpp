@@ -27,14 +27,16 @@ bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
 
 TEST(PamoLint, RuleListIsStableAndComplete) {
   const auto& ids = rule_ids();
-  ASSERT_EQ(ids.size(), 12u);
+  ASSERT_EQ(ids.size(), 13u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "determinism-rng"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "float-eq"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "pragma-once"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "raw-thread"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "wall-clock"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "unchecked-file-write"),
+            ids.end());
   // Appended rules land at the end: the report order is a stable API.
-  EXPECT_EQ(ids.back(), "unchecked-file-write");
+  EXPECT_EQ(ids.back(), "governor-action");
 }
 
 // ---- determinism-rng ------------------------------------------------------
@@ -357,6 +359,60 @@ TEST(PamoLint, UncheckedFileWriteIsSuppressible) {
       "#include <fstream>\n"
       "// pamo-lint: allow(unchecked-file-write)\n"
       "void w(const std::string& p) { std::ofstream out(p); }\n";
+  EXPECT_TRUE(lint_source("src/core/fixture.cpp", source).empty());
+}
+
+// ---- governor-action ------------------------------------------------------
+
+TEST(PamoLint, FlagsUnloggedAdmittedSetMutationInCore) {
+  const std::string source =
+      "void Governor::force_admit(std::uint64_t id) {\n"
+      "  admitted_.push_back(id);\n"
+      "}\n"
+      "void Governor::swap_in(std::vector<std::uint64_t> next) {\n"
+      "  admitted_ = std::move(next);\n"
+      "}\n";
+  const auto rules = rules_hit(lint_source("src/core/fixture.cpp", source));
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "governor-action"), 2);
+}
+
+TEST(PamoLint, LoggedAdmittedSetMutationIsAllowed) {
+  const std::string source =
+      "void Governor::admit(GovernorPlan& plan, std::uint64_t id) {\n"
+      "  record_action(plan, epoch_, id, GovernorDecision::kAdmit, \"ok\");\n"
+      "  admitted_.push_back(id);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/core/fixture.cpp", source),
+                        "governor-action"));
+}
+
+TEST(PamoLint, AdmittedReadsAndLookalikeNamesAreNotMutations) {
+  const std::string source =
+      "bool Governor::incumbent(std::uint64_t id) const {\n"
+      "  return std::binary_search(admitted_.begin(), admitted_.end(), id);\n"
+      "}\n"
+      "void Governor::finish(GovernorPlan& plan) {\n"
+      "  plan.admitted_count = admitted_.size();\n"
+      "  plan.admitted_load = load_sum_;\n"
+      "  next_admitted.push_back(7);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/core/fixture.cpp", source).empty());
+}
+
+TEST(PamoLint, GovernorActionDoesNotApplyOutsideCore) {
+  const std::string source =
+      "void Fixture::reset() { admitted_.clear(); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/eva/fixture.cpp", source),
+                        "governor-action"));
+  EXPECT_FALSE(has_rule(lint_source("tests/core/fixture.cpp", source),
+                        "governor-action"));
+}
+
+TEST(PamoLint, GovernorActionIsSuppressibleForStateRebuild) {
+  const std::string source =
+      "void Governor::restore() {\n"
+      "  admitted_.clear();  // pamo-lint: allow(governor-action)\n"
+      "}\n";
   EXPECT_TRUE(lint_source("src/core/fixture.cpp", source).empty());
 }
 

@@ -154,6 +154,87 @@ TEST(TraceCheck, FlagsMetricAndSimViolations) {
   }
 }
 
+/// A record for a churn-active epoch whose admission accounting adds up:
+/// 6 offered = 4 admitted + 1 deferred + 1 shed.
+obs::EpochRecord churned_record() {
+  obs::EpochRecord r = consistent_record();
+  r.churn.offered = 6;
+  r.churn.arrived = 2;
+  r.churn.departed = 1;
+  r.churn.admitted = 4;
+  r.churn.deferred = 1;
+  r.churn.shed = 1;
+  r.churn.load_factor = 1.25;
+  r.churn.offered_load = 1.4;
+  r.churn.admitted_load = 0.9;
+  r.governor_actions.push_back({7, 11, "admit", "arrival admitted"});
+  r.governor_actions.push_back({7, 12, "defer", "no headroom"});
+  r.governor_actions.push_back({7, 13, "shed", "overload"});
+  return r;
+}
+
+TEST(TraceCheck, PassesOnBalancedChurnAccounting) {
+  const TraceCheck check = check_record(churned_record());
+  EXPECT_TRUE(check.ok) << (check.problems.empty() ? std::string()
+                                                   : check.problems.front());
+}
+
+TEST(TraceCheck, FlagsChurnAccountingViolations) {
+  {
+    // A lost stream: offered 6 but only 5 accounted for.
+    obs::EpochRecord r = churned_record();
+    r.churn.admitted = 3;
+    EXPECT_TRUE(mentions(check_record(r), "!= offered"));
+  }
+  {
+    // A double-counted stream: 7 accounted for out of 6 offered.
+    obs::EpochRecord r = churned_record();
+    r.churn.shed = 2;
+    EXPECT_TRUE(mentions(check_record(r), "!= offered"));
+  }
+  {
+    obs::EpochRecord r = churned_record();
+    r.churn.arrived = 9;
+    EXPECT_TRUE(mentions(check_record(r), "more arrivals than offered"));
+  }
+  {
+    obs::EpochRecord r = churned_record();
+    r.churn.admitted_load = 2.0;  // > offered_load
+    EXPECT_TRUE(mentions(check_record(r), "admitted_load exceeds"));
+  }
+  {
+    obs::EpochRecord r = churned_record();
+    r.churn.load_factor = 0.0;
+    EXPECT_TRUE(mentions(check_record(r), "load statistics"));
+  }
+  {
+    obs::EpochRecord r = churned_record();
+    r.governor_actions[1].decision = "banish";
+    EXPECT_TRUE(mentions(check_record(r), "unknown decision 'banish'"));
+  }
+  {
+    obs::EpochRecord r = churned_record();
+    r.governor_actions[0].epoch = 3;  // record is epoch 7
+    EXPECT_TRUE(mentions(check_record(r), "different epoch"));
+  }
+}
+
+TEST(TraceRender, ChurnFreeRecordOmitsChurnSections) {
+  const std::string text = render_record(consistent_record());
+  EXPECT_EQ(text.find("churn:"), std::string::npos);
+  EXPECT_EQ(text.find("governor:"), std::string::npos);
+  EXPECT_EQ(text.find("continual:"), std::string::npos);
+}
+
+TEST(TraceRender, ChurnedRecordShowsAccountingAndGovernorLog) {
+  const std::string text = render_record(churned_record());
+  EXPECT_NE(text.find("churn: offered=6 (+2/-1)  admitted=4 deferred=1 "
+                      "shed=1"),
+            std::string::npos);
+  EXPECT_NE(text.find("governor:"), std::string::npos);
+  EXPECT_NE(text.find("[defer] stream 12: no headroom"), std::string::npos);
+}
+
 TEST(TraceRender, RecordReportCoversAllSections) {
   const std::string text = render_record(consistent_record());
   EXPECT_NE(text.find("epoch 7"), std::string::npos);

@@ -23,6 +23,7 @@
 #include "ckpt/killpoint.hpp"
 #include "common/error.hpp"
 #include "core/daemon.hpp"
+#include "eva/churn.hpp"
 #include "eva/workload.hpp"
 #include "pref/oracle.hpp"
 
@@ -35,6 +36,7 @@ struct Args {
   bool resume = false;
   bool faults = false;
   bool corrupt_telemetry = false;
+  bool churn = false;
   std::uint64_t seed = 1;
   std::size_t streams = 5;
   std::size_t servers = 4;
@@ -49,6 +51,7 @@ struct Args {
             << "         [--seed S] [--streams M] [--servers N]\n"
             << "         [--workload-seed W] [--checkpoint-every N]\n"
             << "         [--keep N] [--faults] [--corrupt-telemetry]\n"
+            << "         [--churn]\n"
             << "       pamo_daemon --inspect DIR\n"
             << "       pamo_daemon --verify-ckpt DIR\n";
   std::exit(2);
@@ -90,6 +93,8 @@ Args parse_args(int argc, char** argv) {
       args.faults = true;
     } else if (t == "--corrupt-telemetry") {
       args.corrupt_telemetry = true;
+    } else if (t == "--churn") {
+      args.churn = true;
     } else if (t == "--seed") {
       args.seed = parse_uint(t, next(t));
     } else if (t == "--streams") {
@@ -112,7 +117,7 @@ Args parse_args(int argc, char** argv) {
 
 // Trimmed budgets so one epoch runs in seconds (the service test
 // fixture's preset); the point here is the restart protocol, not BO depth.
-pamo::core::ServiceOptions daemon_service_options(std::uint64_t seed) {
+pamo::core::ServiceOptions daemon_service_options(const Args& args) {
   pamo::core::ServiceOptions options;
   options.initial.init_profiles = 32;
   options.initial.init_observations = 3;
@@ -129,8 +134,35 @@ pamo::core::ServiceOptions daemon_service_options(std::uint64_t seed) {
   options.steady.max_iters = 2;
   options.pref_pool_size = 14;
   options.initial_comparisons = 8;
-  options.seed = seed;
+  options.seed = args.seed;
+  if (args.churn) {
+    // Under churn the daemon runs the full continual-adaptation stack:
+    // warm-started BO, a bounded preference pool, and the admission
+    // governor. All knobs derive from args, so a restarted process
+    // reconstructs the identical configuration.
+    options.continual.warm_start = true;
+    options.continual.pref_pool_cap = 24;
+    options.governor.enabled = true;
+    options.governor.max_streams = args.streams + 1;
+    options.governor.hysteresis = 0.1;
+  }
   return options;
+}
+
+// The canonical churn plan of a `--churn` daemon: a pure function of the
+// workload seed and epoch budget, so every process in a restart lineage
+// builds the same timeline (and a resumed daemon restores the identical
+// plan from its checkpoint anyway).
+pamo::eva::ChurnPlan daemon_churn_plan(const Args& args) {
+  pamo::eva::ChurnOptions churn;
+  churn.arrival_rate = 0.6;
+  churn.mean_lifetime_epochs = 4.0;
+  churn.diurnal_amplitude = 0.3;
+  churn.diurnal_period = 6;
+  churn.drift_per_epoch = 0.03;
+  churn.horizon = args.epochs;
+  churn.seed = args.workload_seed ^ 0xC0FFEEull;
+  return pamo::eva::ChurnPlan(churn);
 }
 
 int run_daemon(const Args& args) {
@@ -141,7 +173,7 @@ int run_daemon(const Args& args) {
 
   pamo::core::Daemon daemon(
       pamo::eva::make_workload(args.streams, args.servers, args.workload_seed),
-      daemon_service_options(args.seed), daemon_options);
+      daemon_service_options(args), daemon_options);
 
   bool resumed = false;
   if (args.resume) {
@@ -158,6 +190,7 @@ int run_daemon(const Args& args) {
   // resumed daemon would reset the telemetry model's stuck-at memory and
   // corruption counters mid-stream.
   if (!resumed) {
+    if (args.churn) daemon.service().set_churn_plan(daemon_churn_plan(args));
     if (args.faults) {
       pamo::sim::FaultPlan plan;
       plan.kill_server(1, 1.5, 3.0);
@@ -183,6 +216,12 @@ int run_daemon(const Args& args) {
     const auto outcome = daemon.step(oracle);
     std::cout << "epoch " << outcome.report.epoch << " digest "
               << pamo::ckpt::to_hex(outcome.digest);
+    if (args.churn) {
+      const auto& churn = outcome.report.churn;
+      std::cout << " offered " << churn.offered << " admitted "
+                << churn.admitted << " deferred " << churn.deferred
+                << " shed " << churn.shed;
+    }
     if (outcome.checkpoint_sequence.has_value()) {
       std::cout << " ckpt " << *outcome.checkpoint_sequence;
     }
@@ -214,6 +253,29 @@ int inspect(const Args& args) {
             << "epoch_digests " << payload.at("epoch_digests").items().size()
             << "\n"
             << "repair_log " << payload.at("repair_log").items().size() << "\n";
+  // Churn/governor state is post-v1: checkpoints written before stream
+  // churn existed have none of these keys and must still inspect cleanly.
+  if (const auto* churn = service.find("churn")) {
+    std::cout << "churn on (arrival_rate "
+              << churn->at("arrival_rate").as_double() << ", horizon "
+              << churn->at("horizon").as_uint() << ", seed "
+              << churn->at("seed").as_uint() << ")\n";
+  } else {
+    std::cout << "churn off\n";
+  }
+  if (const auto* governor = service.find("governor")) {
+    std::cout << "governor admitted "
+              << governor->at("admitted").items().size() << " deferred "
+              << governor->at("deferred").items().size() << " shed "
+              << governor->at("shed").items().size() << "\n";
+  } else {
+    std::cout << "governor off\n";
+  }
+  if (const auto* log = payload.find("governor_log")) {
+    std::cout << "governor_log " << log->items().size() << "\n";
+  } else {
+    std::cout << "governor_log 0\n";
+  }
   for (const auto& d : payload.at("epoch_digests").items()) {
     std::cout << "digest " << pamo::ckpt::to_hex(d.as_uint()) << "\n";
   }

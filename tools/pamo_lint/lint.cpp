@@ -16,6 +16,7 @@ const char* const kRuleIds[] = {
     "throw-discipline",  "catch-all-swallow",    "float-eq",
     "unchecked-front-back", "pragma-once",       "using-namespace-header",
     "raw-thread",        "wall-clock",           "unchecked-file-write",
+    "governor-action",
 };
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -379,6 +380,38 @@ struct Linter {
     }
   }
 
+  // -- governor-action ------------------------------------------------------
+  void rule_governor_action() {
+    if (path.find("src/core") == std::string::npos) return;
+    // A mutation of the governor's remembered admitted set: assignment or
+    // a mutating member call on the exact identifier `admitted_`. Reads
+    // (begin/end/size, binary_search) and lookalike names (admitted_count,
+    // admitted_load, next_admitted) do not match.
+    static const std::regex kMutate(
+        R"((^|[^\w])admitted_\s*(=([^=]|$)|(\.|->)\s*(push_back|emplace_back|erase|clear|insert|assign|resize|pop_back)\b))");
+    // Evidence window: the record_action call logging the decision may sit
+    // a full admission pass above the final set swap, so the window is
+    // wider than unchecked-front-back's.
+    constexpr std::size_t kWindow = 30;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (!std::regex_search(code[i], kMutate)) continue;
+      bool evidenced = false;
+      const std::size_t first = i >= kWindow ? i - kWindow : 0;
+      for (std::size_t j = first; j <= i && !evidenced; ++j) {
+        if (code[j].find("record_action") != std::string::npos) {
+          evidenced = true;
+        }
+      }
+      if (!evidenced) {
+        add(i, "governor-action",
+            "admitted-set mutation with no GovernorAction evidence nearby: "
+            "every admit/defer/shed/release decision must be logged through "
+            "record_action before it changes who is admitted; allowlist "
+            "state-rebuild paths (snapshot restore) explicitly");
+      }
+    }
+  }
+
   // -- using-namespace-header -----------------------------------------------
   void rule_using_namespace_header() {
     if (!is_header_path(path)) return;
@@ -547,6 +580,7 @@ std::vector<Finding> lint_source(const std::string& path,
   linter.rule_raw_thread();
   linter.rule_wall_clock();
   linter.rule_unchecked_file_write();
+  linter.rule_governor_action();
 
   std::vector<Finding> result;
   for (auto& f : linter.findings) {

@@ -43,6 +43,13 @@
 //                          ckpt/atomic_io — unchecked stream state and torn
 //                          files on crash; durable writes must go through
 //                          ckpt::write_file_atomic (temp + fsync + rename).
+//   governor-action        mutation of the admission governor's remembered
+//                          admitted set (`admitted_`) in src/core with no
+//                          record_action call in the preceding lines —
+//                          every admit/defer/shed/release decision must be
+//                          logged as a structured GovernorAction before it
+//                          changes who is admitted (state-rebuild paths
+//                          like snapshot restore are allowlisted per line).
 //
 // Suppression: `// pamo-lint: allow(rule-a, rule-b)` on the offending line
 // or the line directly above it. Suppressed findings are dropped unless

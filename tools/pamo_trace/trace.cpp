@@ -149,6 +149,41 @@ TraceCheck check_record(const obs::EpochRecord& record) {
     }
   }
 
+  // ---- Churn & admission accounting. ----
+  // Every offered stream must land in exactly one bucket per epoch; a
+  // governor that loses (or double-counts) a stream is a real bug, not a
+  // rendering nit.
+  const auto& churn = record.churn;
+  if (churn.admitted + churn.deferred + churn.shed != churn.offered) {
+    check.fail("churn: admitted " + std::to_string(churn.admitted) +
+               " + deferred " + std::to_string(churn.deferred) + " + shed " +
+               std::to_string(churn.shed) + " != offered " +
+               std::to_string(churn.offered));
+  }
+  if (churn.arrived > churn.offered) {
+    check.fail("churn: more arrivals than offered streams");
+  }
+  if (!std::isfinite(churn.load_factor) || churn.load_factor <= 0.0 ||
+      !std::isfinite(churn.offered_load) || churn.offered_load < 0.0 ||
+      !std::isfinite(churn.admitted_load) || churn.admitted_load < 0.0) {
+    check.fail("churn: non-finite or non-positive load statistics");
+  }
+  if (churn.admitted_load > churn.offered_load * (1.0 + 1e-9)) {
+    check.fail("churn: admitted_load exceeds offered_load");
+  }
+  for (const auto& action : record.governor_actions) {
+    if (action.decision != "admit" && action.decision != "defer" &&
+        action.decision != "shed" && action.decision != "release") {
+      check.fail("governor action with unknown decision '" +
+                 action.decision + "'");
+    }
+    if (action.epoch != record.epoch) {
+      check.fail("governor action for stream " +
+                 std::to_string(action.stream) +
+                 " logged against a different epoch");
+    }
+  }
+
   // ---- Epoch payload. ----
   check_sim(check, record.sim, "sim");
   if (record.repaired) check_sim(check, record.post_repair_sim, "post_repair_sim");
@@ -241,6 +276,30 @@ std::string render_record(const obs::EpochRecord& record) {
       << " inconsistent_pairs=" << h.inconsistent_pairs << "\n";
   if (!h.error_message.empty()) {
     out << "health: last absorbed error: " << h.error_message << "\n";
+  }
+  if (h.warm_started || h.drift_fires > 0 || h.drift_downweighted > 0) {
+    out << "continual: warm_started=" << h.warm_started
+        << " drift_fires=" << h.drift_fires
+        << " drift_downweighted=" << h.drift_downweighted << "\n";
+  }
+  const auto& churn = record.churn;
+  const bool churn_active = churn.arrived > 0 || churn.departed > 0 ||
+                            churn.deferred > 0 || churn.shed > 0 ||
+                            churn.offered != churn.admitted ||
+                            !record.governor_actions.empty();
+  if (churn_active) {
+    out << "churn: offered=" << churn.offered << " (+" << churn.arrived
+        << "/-" << churn.departed << ")  admitted=" << churn.admitted
+        << " deferred=" << churn.deferred << " shed=" << churn.shed
+        << "  load=" << churn.admitted_load << "/" << churn.offered_load
+        << " (x" << churn.load_factor << ")\n";
+  }
+  if (!record.governor_actions.empty()) {
+    out << "governor:\n";
+    for (const auto& action : record.governor_actions) {
+      out << "  [" << action.decision << "] stream " << action.stream << ": "
+          << action.detail << "\n";
+    }
   }
   out << "sim: frames=" << record.sim.total_frames
       << " emitted=" << record.sim.total_emitted
