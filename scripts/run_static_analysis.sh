@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-stop local static analysis: the same three passes CI's analyze.yml
+# runs, in the same scopes, against an existing build tree.
+#
+#   1. pamo_lint     per-file rules over src tests bench examples tools
+#   2. pamo_analyze  cross-file semantics (snapshot coverage, layer DAG,
+#                    contract coverage, capture hygiene) over src tools
+#   3. clang-tidy    curated .clang-tidy profile over the compile database
+#                    (skipped with a note when run-clang-tidy is absent)
+#
+# usage: scripts/run_static_analysis.sh [build-dir]   (default: build)
+set -eu
+
+BUILD=${1:-build}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+[ -d "$BUILD" ] || { echo "error: build dir '$BUILD' not found (configure with cmake first)" >&2; exit 2; }
+
+cmake --build "$BUILD" -j "$(nproc)" --target pamo_lint pamo_analyze
+
+status=0
+
+echo "== pamo_lint =="
+"$BUILD"/tools/pamo_lint src tests bench examples tools || status=1
+
+echo "== pamo_analyze =="
+"$BUILD"/tools/pamo_analyze src tools || status=1
+
+echo "== clang-tidy =="
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  if [ -f "$BUILD"/compile_commands.json ]; then
+    run-clang-tidy -quiet -p "$BUILD" "$ROOT/(src|tools)/.*\.cpp$" || status=1
+  else
+    echo "skipped: $BUILD/compile_commands.json missing (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+  fi
+else
+  echo "skipped: run-clang-tidy not installed"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "static analysis FAILED" >&2
+else
+  echo "static analysis clean"
+fi
+exit "$status"

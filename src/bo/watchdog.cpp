@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/contracts.hpp"
+
 namespace pamo::bo {
 
 EpochWatchdog::EpochWatchdog(WatchdogOptions options) : options_(options) {}
@@ -42,6 +44,7 @@ bool EpochWatchdog::breached() {
   const bool over_failures =
       options_.max_failures > 0 && failures_ >= options_.max_failures;
   fired_ = over_deadline || over_failures;
+  PAMO_ENSURES(!fired_ || armed_, "a fired watchdog must be an armed one");
   return fired_;
 }
 

@@ -70,6 +70,7 @@ inline std::vector<std::size_t> uints_from_json(const obs::json::Value& v) {
   return out;
 }
 
+// pamo-analyze: snapshot(Matrix)
 inline obs::json::Value matrix_to_json(const la::Matrix& m) {
   obs::json::Value obj = obs::json::Value::object();
   obj.set("rows", obs::json::Value(static_cast<std::uint64_t>(m.rows())));
@@ -78,6 +79,7 @@ inline obs::json::Value matrix_to_json(const la::Matrix& m) {
   return obj;
 }
 
+// pamo-analyze: snapshot(Matrix)
 inline la::Matrix matrix_from_json(const obs::json::Value& v) {
   const auto rows = static_cast<std::size_t>(v.at("rows").as_uint());
   const auto cols = static_cast<std::size_t>(v.at("cols").as_uint());
@@ -89,6 +91,7 @@ inline la::Matrix matrix_from_json(const obs::json::Value& v) {
 }
 
 /// Optional Cholesky: null when absent, {lower, jitter} otherwise.
+// pamo-analyze: snapshot(Cholesky)
 inline obs::json::Value cholesky_to_json(
     const std::optional<la::Cholesky>& chol) {
   if (!chol.has_value()) return obs::json::Value();
@@ -98,6 +101,7 @@ inline obs::json::Value cholesky_to_json(
   return obj;
 }
 
+// pamo-analyze: snapshot(Cholesky)
 inline std::optional<la::Cholesky> cholesky_from_json(
     const obs::json::Value& v) {
   if (v.kind() == obs::json::Value::Kind::kNull) return std::nullopt;
@@ -119,6 +123,7 @@ inline double time_from_json(const obs::json::Value& v) {
   return v.as_double();
 }
 
+// pamo-analyze: snapshot(RngState)
 inline obs::json::Value rng_to_json(const Rng& rng) {
   const RngState state = rng.state();
   obs::json::Value obj = obs::json::Value::object();
@@ -130,6 +135,7 @@ inline obs::json::Value rng_to_json(const Rng& rng) {
   return obj;
 }
 
+// pamo-analyze: snapshot(RngState)
 inline Rng rng_from_json(const obs::json::Value& v) {
   RngState state;
   const auto& words = v.at("s").items();

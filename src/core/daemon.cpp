@@ -4,6 +4,7 @@
 
 #include "ckpt/codec.hpp"
 #include "ckpt/killpoint.hpp"
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "core/report_digest.hpp"
 
@@ -62,6 +63,9 @@ Daemon::EpochOutcome Daemon::step(pref::PreferenceOracle& oracle) {
   // The checkpoint (when due) is durable; dying here must resume *past*
   // this epoch, not replay it.
   ckpt::kill_point("daemon.epoch.committed");
+  PAMO_ENSURES(!outcome.checkpoint_sequence.has_value() ||
+                   epochs_since_checkpoint_ == 0,
+               "a committed checkpoint must reset the cadence counter");
   return outcome;
 }
 

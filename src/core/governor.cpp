@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace pamo::core {
@@ -240,6 +241,7 @@ GovernorPlan AdmissionGovernor::plan_epoch(std::size_t epoch,
   return plan;
 }
 
+// pamo-analyze: snapshot(AdmissionGovernor)
 obs::json::Value AdmissionGovernor::snapshot() const {
   namespace json = obs::json;
   json::Value obj = json::Value::object();
@@ -262,9 +264,14 @@ obs::json::Value AdmissionGovernor::snapshot() const {
     shed.push_back(json::Value(static_cast<double>(id)));
   }
   obj.set("shed", std::move(shed));
+  PAMO_ENSURES(obj.at("admitted").items().size() == admitted_.size() &&
+                   obj.at("deferred").items().size() == deferred_.size() &&
+                   obj.at("shed").items().size() == shed_.size(),
+               "governor snapshot must cover every tracked stream");
   return obj;
 }
 
+// pamo-analyze: snapshot(AdmissionGovernor)
 void AdmissionGovernor::restore(const obs::json::Value& snap) {
   // Restore rebuilds remembered state from a checkpoint: the decisions
   // were logged when they were made, so no new GovernorAction is emitted.
@@ -291,6 +298,10 @@ void AdmissionGovernor::restore(const obs::json::Value& snap) {
               return a.stream < b.stream;
             });
   std::sort(shed_.begin(), shed_.end());
+  PAMO_ENSURES(std::is_sorted(admitted_.begin(), admitted_.end()) &&
+                   std::is_sorted(shed_.begin(), shed_.end()),
+               "restored governor sets must be sorted for deterministic "
+               "iteration");
 }
 
 }  // namespace pamo::core

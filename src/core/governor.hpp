@@ -129,6 +129,8 @@ class AdmissionGovernor {
                             std::uint64_t stream, GovernorDecision decision,
                             std::string detail);
 
+  // Construction-time configuration, re-supplied by the ctor on restore;
+  // not learned state. pamo-analyze: allow(snapshot-coverage)
   GovernorOptions options_;
   std::vector<std::uint64_t> admitted_;  // stream ids, sorted
   std::vector<Deferred> deferred_;       // sorted by stream id

@@ -1,5 +1,7 @@
 #include "core/obs_export.hpp"
 
+#include "common/contracts.hpp"
+
 namespace pamo::core {
 
 namespace {
@@ -83,6 +85,10 @@ obs::EpochRecord export_epoch_record(
     record.metrics = obs::MetricsRegistry::global().snapshot();
     record.spans = obs::span_snapshot();
   }
+  PAMO_ENSURES(record.governor_actions.size() ==
+                       report.governor_actions.size() &&
+                   record.repairs.size() == report.repairs.size(),
+               "exported record must carry every action in the report");
   return record;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -36,6 +37,11 @@ OutcomeModels::OutcomeModels(const eva::ConfigSpace& space,
     options.seed = gp_options.seed + m;  // decorrelate MLE restarts
     models_.emplace_back(options);
   }
+  PAMO_ENSURES(grid_.size() == space.resolutions().size() *
+                                   space.fps_knobs().size() &&
+                   models_.size() == kNumMetrics,
+               "outcome models must cover the full knob grid, one GP per "
+               "metric");
 }
 
 void OutcomeModels::fit(const std::vector<eva::StreamConfig>& configs,
@@ -134,6 +140,8 @@ std::size_t OutcomeModels::num_points() const {
 }
 
 gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
+  PAMO_CHECK(models_.size() == kNumMetrics,
+             "diagnostics over a partially constructed model set");
   gp::GpFitDiagnostics total;
   for (const auto& model : models_) {
     const auto& d = model.diagnostics();
@@ -152,12 +160,14 @@ gp::GpFitDiagnostics OutcomeModels::diagnostics() const {
   return total;
 }
 
+// pamo-analyze: snapshot(OutcomeModels)
 obs::json::Value OutcomeModels::snapshot() const {
   obs::json::Value arr = obs::json::Value::array();
   for (const auto& model : models_) arr.push_back(model.snapshot());
   return arr;
 }
 
+// pamo-analyze: snapshot(OutcomeModels)
 void OutcomeModels::restore(const obs::json::Value& snap) {
   PAMO_CHECK(snap.items().size() == models_.size(),
              "outcome-model snapshot metric count mismatch");

@@ -83,7 +83,11 @@ class OutcomeModels {
   void restore(const obs::json::Value& snap);
 
  private:
+  // grid_/grid_inputs_ are derived from the ConfigSpace in the ctor
+  // (pure function of the workload, not learned state).
+  // pamo-analyze: allow(snapshot-coverage)
   std::vector<eva::StreamConfig> grid_;
+  // pamo-analyze: allow(snapshot-coverage)
   std::vector<std::vector<double>> grid_inputs_;
   std::vector<gp::GpRegressor> models_;  // one per metric
 };

@@ -1,5 +1,6 @@
 #include "core/pareto.hpp"
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/quasi.hpp"
 #include "sched/scheduler.hpp"
@@ -77,6 +78,8 @@ std::vector<ParetoSample> sample_outcome_space(const eva::Workload& workload,
         eva::true_outcomes(workload, config, schedule.uplink_per_parent);
     samples.push_back({std::move(config), normalizer.normalize(raw)});
   }
+  PAMO_ENSURES(samples.size() <= num_samples,
+               "sampler must not overshoot the requested sample count");
   return samples;
 }
 

@@ -277,6 +277,9 @@ class SchedulingService {
   AdmissionGovernor governor_;      // default options = admit everything
   /// Materialized per-epoch workload under churn/governor (unset when
   /// both are off, so the clean path never copies the workload).
+  // Rebuilt from scratch at the top of every epoch; snapshotting it
+  // would only duplicate the (unserialized) workload environment.
+  // pamo-analyze: allow(snapshot-coverage)
   std::optional<eva::Workload> epoch_workload_;
   std::size_t epoch_ = 0;
 };

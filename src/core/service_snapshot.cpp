@@ -22,6 +22,7 @@
 
 #include "ckpt/codec.hpp"
 #include "ckpt/digest.hpp"
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "core/service.hpp"
 
@@ -81,6 +82,7 @@ eva::JointConfig config_from_json(const json::Value& v) {
   return config;
 }
 
+// pamo-analyze: snapshot(ScheduleResult)
 json::Value schedule_to_json(const sched::ScheduleResult& schedule) {
   json::Value obj = json::Value::object();
   obj.set("feasible", json::Value(schedule.feasible));
@@ -105,6 +107,7 @@ json::Value schedule_to_json(const sched::ScheduleResult& schedule) {
   return obj;
 }
 
+// pamo-analyze: snapshot(ScheduleResult)
 sched::ScheduleResult schedule_from_json(const json::Value& v) {
   sched::ScheduleResult schedule;
   schedule.feasible = v.at("feasible").as_bool();
@@ -130,6 +133,7 @@ sched::ScheduleResult schedule_from_json(const json::Value& v) {
   return schedule;
 }
 
+// pamo-analyze: snapshot(FaultPlan)
 json::Value fault_plan_to_json(const sim::FaultPlan& plan) {
   json::Value obj = json::Value::object();
   json::Value crashes = json::Value::array();
@@ -166,6 +170,7 @@ json::Value fault_plan_to_json(const sim::FaultPlan& plan) {
   return obj;
 }
 
+// pamo-analyze: snapshot(FaultPlan)
 sim::FaultPlan fault_plan_from_json(const json::Value& v) {
   sim::FaultPlan plan;
   for (const auto& item : v.at("crashes").items()) {
@@ -191,6 +196,7 @@ sim::FaultPlan fault_plan_from_json(const json::Value& v) {
 
 }  // namespace
 
+// pamo-analyze: snapshot(SchedulingService)
 json::Value SchedulingService::snapshot() const {
   json::Value state = json::Value::object();
   state.set("kind", json::Value(kServiceStateKind));
@@ -216,9 +222,14 @@ json::Value SchedulingService::snapshot() const {
   // builds (and old readers never see unknown keys).
   if (churn_.enabled()) state.set("churn", churn_.snapshot());
   if (options_.governor.enabled) state.set("governor", governor_.snapshot());
+  PAMO_ENSURES(state.find("kind") != nullptr &&
+                   state.find("workload_fingerprint") != nullptr,
+               "service snapshot must be self-describing so restore() can "
+               "reject mismatched state");
   return state;
 }
 
+// pamo-analyze: snapshot(SchedulingService)
 void SchedulingService::restore(const json::Value& state) {
   PAMO_CHECK(state.at("kind").as_string() == kServiceStateKind,
              "unsupported service-state snapshot kind");
@@ -232,6 +243,9 @@ void SchedulingService::restore(const json::Value& state) {
   if (learner.kind() != json::Value::Kind::kNull) {
     // Construct over the snapshot pool (the ctor's cold refit is then
     // overwritten by the exact posterior transplant in restore()).
+    // "pool" lives inside the learner sub-object and is written by
+    // PreferenceLearner::snapshot(), not by this encoder.
+    // pamo-analyze: allow(snapshot-coverage)
     learner_.emplace(codec::rows_from_json(learner.at("pool")),
                      options_.initial.pref_learner, options_.seed + 0xB01);
     learner_->restore(learner);

@@ -176,6 +176,7 @@ Workload ChurnPlan::offered_workload(const Workload& base,
   return offered;
 }
 
+// pamo-analyze: snapshot(ChurnPlan)
 json::Value ChurnPlan::snapshot() const {
   json::Value obj = json::Value::object();
   obj.set("arrival_rate", json::Value(options_.arrival_rate));
@@ -193,6 +194,7 @@ json::Value ChurnPlan::snapshot() const {
   return obj;
 }
 
+// pamo-analyze: snapshot(ChurnPlan)
 ChurnPlan ChurnPlan::restore(const json::Value& snap) {
   ChurnOptions options;
   options.arrival_rate = snap.at("arrival_rate").as_double();

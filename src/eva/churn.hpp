@@ -115,6 +115,8 @@ class ChurnPlan {
                                          std::size_t epoch) const;
 
   ChurnOptions options_;
+  // Regenerated deterministically by the ctor from options_ (the seeded
+  // plan IS the state). pamo-analyze: allow(snapshot-coverage)
   std::vector<Arrival> arrivals_;  // sorted by (arrival epoch, id)
 };
 

@@ -15,6 +15,7 @@ namespace json = obs::json;
 
 namespace {
 
+// pamo-analyze: snapshot(StreamMeasurement)
 json::Value measurement_to_json(const StreamMeasurement& m) {
   json::Value arr = json::Value::array();
   arr.push_back(json::Value(m.accuracy));
@@ -25,6 +26,7 @@ json::Value measurement_to_json(const StreamMeasurement& m) {
   return arr;
 }
 
+// pamo-analyze: snapshot(StreamMeasurement)
 StreamMeasurement measurement_from_json(const json::Value& v) {
   const auto& items = v.items();
   PAMO_CHECK(items.size() == 5, "measurement snapshot must have 5 fields");
@@ -39,6 +41,7 @@ StreamMeasurement measurement_from_json(const json::Value& v) {
 
 }  // namespace
 
+// pamo-analyze: snapshot(TelemetryCorruption)
 json::Value TelemetryCorruption::snapshot() const {
   json::Value obj = json::Value::object();
   json::Value options = json::Value::object();
@@ -75,6 +78,7 @@ json::Value TelemetryCorruption::snapshot() const {
   return obj;
 }
 
+// pamo-analyze: snapshot(TelemetryCorruption)
 void TelemetryCorruption::restore(const json::Value& snap) {
   const json::Value& options = snap.at("options");
   options_.nan_rate = options.at("nan_rate").as_double();

@@ -230,6 +230,8 @@ class GpRegressor {
   [[nodiscard]] std::vector<double> scale_input(
       const std::vector<double>& x) const;
 
+  // Construction-time configuration, re-supplied by the ctor on restore.
+  // pamo-analyze: allow(snapshot-coverage)
   GpOptions options_;
   std::size_t dim_ = 0;
 
@@ -259,6 +261,8 @@ class GpRegressor {
   // factor extensions keep it, which is what lets the posterior workspace
   // extend its V rows instead of starting over.
   std::uint64_t factor_epoch_ = 0;
+  // Prediction scratch: contents are dead between calls.
+  // pamo-analyze: allow(snapshot-coverage)
   mutable PosteriorWorkspace workspace_;
 };
 

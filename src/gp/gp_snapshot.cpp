@@ -20,6 +20,7 @@ namespace codec = ckpt::codec;
 
 namespace {
 
+// pamo-analyze: snapshot(KernelParams)
 json::Value params_to_json(const KernelParams& params) {
   json::Value obj = json::Value::object();
   obj.set("log_lengthscales", codec::doubles_to_json(params.log_lengthscales));
@@ -28,6 +29,7 @@ json::Value params_to_json(const KernelParams& params) {
   return obj;
 }
 
+// pamo-analyze: snapshot(KernelParams)
 KernelParams params_from_json(const json::Value& v) {
   KernelParams params;
   params.log_lengthscales = codec::doubles_from_json(v.at("log_lengthscales"));
@@ -36,6 +38,7 @@ KernelParams params_from_json(const json::Value& v) {
   return params;
 }
 
+// pamo-analyze: snapshot(GpFitDiagnostics)
 json::Value diagnostics_to_json(const GpFitDiagnostics& d) {
   json::Value obj = json::Value::object();
   obj.set("rows_rejected", json::Value(std::uint64_t{d.rows_rejected}));
@@ -56,6 +59,7 @@ json::Value diagnostics_to_json(const GpFitDiagnostics& d) {
   return obj;
 }
 
+// pamo-analyze: snapshot(GpFitDiagnostics)
 GpFitDiagnostics diagnostics_from_json(const json::Value& v) {
   GpFitDiagnostics d;
   d.rows_rejected = static_cast<std::size_t>(v.at("rows_rejected").as_uint());
@@ -85,7 +89,10 @@ GpFitDiagnostics diagnostics_from_json(const json::Value& v) {
 
 }  // namespace
 
+// pamo-analyze: snapshot(GpRegressor)
 json::Value GpRegressor::snapshot() const {
+  PAMO_CHECK(x_.size() == y_.size() && x_raw_.size() == y_raw_.size(),
+             "GP snapshot over inconsistent training arrays");
   json::Value obj = json::Value::object();
   obj.set("dim", json::Value(std::uint64_t{dim_}));
   obj.set("x_raw", codec::rows_to_json(x_raw_));
@@ -106,6 +113,7 @@ json::Value GpRegressor::snapshot() const {
   return obj;
 }
 
+// pamo-analyze: snapshot(GpRegressor)
 void GpRegressor::restore(const json::Value& snap) {
   dim_ = static_cast<std::size_t>(snap.at("dim").as_uint());
   x_raw_ = codec::rows_from_json(snap.at("x_raw"));

@@ -64,6 +64,8 @@ double kernel_value(KernelType type, const KernelParams& params,
 
 la::Matrix kernel_matrix(KernelType type, const KernelParams& params,
                          const std::vector<std::vector<double>>& x) {
+  PAMO_CHECK(x.empty() || x.front().size() == params.dim(),
+             "kernel input dimension mismatch");
   const std::size_t n = x.size();
   const double sf2 = std::exp(params.log_signal_var);
   la::Matrix k(n, n);

@@ -30,9 +30,9 @@ Cholesky::Cholesky(const Matrix& a, double max_jitter) {
   PAMO_CHECK(a.rows() > 0, "Cholesky of an empty matrix");
   PAMO_EXPECTS(max_jitter >= 0.0, "negative jitter cap");
   double jitter = 0.0;
-  if (try_factor(a, jitter, l_)) {
+  if (try_factor(a, jitter, lower_)) {
     jitter_ = jitter;
-    PAMO_ENSURES(l_.rows() == a.rows(), "factor keeps the input dimension");
+    PAMO_ENSURES(lower_.rows() == a.rows(), "factor keeps the input dimension");
     return;
   }
   // Scale the starting jitter with the matrix magnitude.
@@ -44,9 +44,9 @@ Cholesky::Cholesky(const Matrix& a, double max_jitter) {
   if (scale == 0.0) scale = 1.0;  // pamo-lint: allow(float-eq)
   jitter = scale * 1e-10;
   while (jitter <= max_jitter * scale) {
-    if (try_factor(a, jitter, l_)) {
+    if (try_factor(a, jitter, lower_)) {
       jitter_ = jitter;
-      PAMO_ENSURES(l_.rows() == a.rows(), "factor keeps the input dimension");
+      PAMO_ENSURES(lower_.rows() == a.rows(), "factor keeps the input dimension");
       return;
     }
     jitter *= 10.0;
@@ -60,32 +60,32 @@ Cholesky Cholesky::from_parts(Matrix lower, double jitter) {
   PAMO_CHECK(lower.rows() > 0, "Cholesky factor must be non-empty");
   PAMO_CHECK(jitter >= 0.0, "Cholesky jitter must be non-negative");
   Cholesky out;
-  out.l_ = std::move(lower);
+  out.lower_ = std::move(lower);
   out.jitter_ = jitter;
   return out;
 }
 
 Vector Cholesky::solve_lower(const Vector& b) const {
-  const std::size_t n = l_.rows();
+  const std::size_t n = lower_.rows();
   PAMO_CHECK(b.size() == n, "solve_lower dimension mismatch");
   Vector y(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[i];
-    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
-    y[i] = sum / l_(i, i);
+    for (std::size_t k = 0; k < i; ++k) sum -= lower_(i, k) * y[k];
+    y[i] = sum / lower_(i, i);
   }
   return y;
 }
 
 Vector Cholesky::solve_upper(const Vector& y) const {
-  const std::size_t n = l_.rows();
+  const std::size_t n = lower_.rows();
   PAMO_CHECK(y.size() == n, "solve_upper dimension mismatch");
   Vector x(n, 0.0);
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     double sum = y[i];
-    for (std::size_t k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
-    x[i] = sum / l_(i, i);
+    for (std::size_t k = i + 1; k < n; ++k) sum -= lower_(k, i) * x[k];
+    x[i] = sum / lower_(i, i);
   }
   return x;
 }
@@ -95,45 +95,45 @@ Vector Cholesky::solve(const Vector& b) const {
 }
 
 Matrix Cholesky::solve_lower(const Matrix& b) const {
-  const std::size_t n = l_.rows();
+  const std::size_t n = lower_.rows();
   PAMO_CHECK(b.rows() == n, "solve_lower dimension mismatch");
   const std::size_t m = b.cols();
   Matrix y = b;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t k = 0; k < i; ++k) {
-      const double lik = l_(i, k);
+      const double lik = lower_(i, k);
       for (std::size_t c = 0; c < m; ++c) y(i, c) -= lik * y(k, c);
     }
-    const double lii = l_(i, i);
+    const double lii = lower_(i, i);
     for (std::size_t c = 0; c < m; ++c) y(i, c) /= lii;
   }
   return y;
 }
 
 Matrix Cholesky::solve_upper(const Matrix& y) const {
-  const std::size_t n = l_.rows();
+  const std::size_t n = lower_.rows();
   PAMO_CHECK(y.rows() == n, "solve_upper dimension mismatch");
   const std::size_t m = y.cols();
   Matrix x = y;
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     for (std::size_t k = i + 1; k < n; ++k) {
-      const double lki = l_(k, i);
+      const double lki = lower_(k, i);
       for (std::size_t c = 0; c < m; ++c) x(i, c) -= lki * x(k, c);
     }
-    const double lii = l_(i, i);
+    const double lii = lower_(i, i);
     for (std::size_t c = 0; c < m; ++c) x(i, c) /= lii;
   }
   return x;
 }
 
 Matrix Cholesky::solve(const Matrix& b) const {
-  PAMO_CHECK(b.rows() == l_.rows(), "solve dimension mismatch");
+  PAMO_CHECK(b.rows() == lower_.rows(), "solve dimension mismatch");
   return solve_upper(solve_lower(b));
 }
 
 bool Cholesky::extend(const Matrix& cross, const Matrix& corner) {
-  const std::size_t n = l_.rows();
+  const std::size_t n = lower_.rows();
   const std::size_t m = cross.rows();
   PAMO_CHECK(cross.cols() == n, "extend: cross block must be m x n");
   PAMO_CHECK(corner.rows() == m && corner.cols() == m,
@@ -151,8 +151,8 @@ bool Cholesky::extend(const Matrix& cross, const Matrix& corner) {
   for (std::size_t r = 0; r < m; ++r) {
     for (std::size_t j = 0; j < n; ++j) {
       double sum = cross(r, j);
-      for (std::size_t k = 0; k < j; ++k) sum -= l21(r, k) * l_(j, k);
-      l21(r, j) = sum / l_(j, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l21(r, k) * lower_(j, k);
+      l21(r, j) = sum / lower_(j, j);
     }
   }
 
@@ -180,20 +180,20 @@ bool Cholesky::extend(const Matrix& cross, const Matrix& corner) {
   // extend leaves the factor usable for the caller's full-refit fallback.
   Matrix grown(n + m, n + m, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = lower_(i, j);
   }
   for (std::size_t r = 0; r < m; ++r) {
     for (std::size_t j = 0; j < n; ++j) grown(n + r, j) = l21(r, j);
     for (std::size_t j = 0; j <= r; ++j) grown(n + r, n + j) = l22(r, j);
   }
-  l_ = std::move(grown);
-  PAMO_ENSURES(l_.rows() == n + m, "extend grows the factor by m rows");
+  lower_ = std::move(grown);
+  PAMO_ENSURES(lower_.rows() == n + m, "extend grows the factor by m rows");
   return true;
 }
 
 double Cholesky::log_det() const {
   double sum = 0.0;
-  for (std::size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  for (std::size_t i = 0; i < lower_.rows(); ++i) sum += std::log(lower_(i, i));
   return 2.0 * sum;
 }
 

@@ -23,7 +23,7 @@ class Cholesky {
   /// square; its strict upper triangle is ignored by every operation.
   static Cholesky from_parts(Matrix lower, double jitter);
 
-  [[nodiscard]] const Matrix& lower() const { return l_; }
+  [[nodiscard]] const Matrix& lower() const { return lower_; }
   /// The jitter that was finally added to the diagonal (0 if none).
   [[nodiscard]] double jitter() const { return jitter_; }
 
@@ -68,7 +68,7 @@ class Cholesky {
   Cholesky() = default;  // for from_parts
   static bool try_factor(const Matrix& a, double jitter, Matrix& out);
 
-  Matrix l_;
+  Matrix lower_;
   double jitter_ = 0.0;
 };
 

@@ -84,6 +84,8 @@ class PreferenceLearner {
 
   std::vector<std::vector<double>> pool_;
   std::vector<ComparisonPair> pairs_;
+  // Construction-time configuration, re-supplied by the ctor on restore.
+  // pamo-analyze: allow(snapshot-coverage)
   LearnerOptions options_;
   PreferenceGp model_;
   Rng rng_;

@@ -46,6 +46,7 @@ std::vector<ComparisonPair> pairs_from_json(const json::Value& v) {
 
 }  // namespace
 
+// pamo-analyze: snapshot(PreferenceGp)
 json::Value PreferenceGp::snapshot() const {
   json::Value obj = json::Value::object();
   json::Value params = json::Value::object();
@@ -67,6 +68,7 @@ json::Value PreferenceGp::snapshot() const {
   return obj;
 }
 
+// pamo-analyze: snapshot(PreferenceGp)
 void PreferenceGp::restore(const json::Value& snap) {
   const json::Value& params = snap.at("params");
   params_.log_lengthscales =
@@ -89,6 +91,7 @@ void PreferenceGp::restore(const json::Value& snap) {
              "fitted preference snapshot must carry both factors");
 }
 
+// pamo-analyze: snapshot(PreferenceLearner)
 json::Value PreferenceLearner::snapshot() const {
   json::Value obj = json::Value::object();
   obj.set("pool", codec::rows_to_json(pool_));
@@ -98,6 +101,7 @@ json::Value PreferenceLearner::snapshot() const {
   return obj;
 }
 
+// pamo-analyze: snapshot(PreferenceLearner)
 void PreferenceLearner::restore(const json::Value& snap) {
   pool_ = codec::rows_from_json(snap.at("pool"));
   PAMO_CHECK(pool_.size() >= 2, "learner snapshot needs >= 2 candidates");

@@ -100,6 +100,8 @@ class PreferenceGp {
   /// softens their λ when downweight_inconsistent is on.
   void compute_pair_weights();
 
+  // Construction-time configuration, re-supplied by the ctor on restore.
+  // pamo-analyze: allow(snapshot-coverage)
   PreferenceGpOptions options_;
   gp::KernelParams params_;
 

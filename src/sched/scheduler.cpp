@@ -349,6 +349,8 @@ ScheduleResult reschedule_pinned(const eva::Workload& workload,
 
 ScheduleResult schedule_first_fit(const eva::Workload& workload,
                                   const eva::JointConfig& config) {
+  PAMO_CHECK(config.size() == workload.num_streams(),
+             "joint config size mismatch");
   ScheduleResult result;
   result.streams = split_streams(workload, config);
   const auto& clock = workload.space.clock();
@@ -380,6 +382,8 @@ ScheduleResult schedule_first_fit(const eva::Workload& workload,
 
 ScheduleResult schedule_worst_fit(const eva::Workload& workload,
                                   const eva::JointConfig& config) {
+  PAMO_CHECK(config.size() == workload.num_streams(),
+             "joint config size mismatch");
   ScheduleResult result;
   result.streams = split_streams(workload, config);
   const auto& clock = workload.space.clock();

@@ -52,6 +52,7 @@ bool FaultPlan::server_up(std::size_t server, double t) const {
 }
 
 double FaultPlan::next_up(std::size_t server, double t) const {
+  PAMO_CHECK(std::isfinite(t), "next_up needs a finite query time");
   // Crash windows may overlap; chase the latest covering recovery until a
   // fixed point (bounded by the number of crash entries).
   double candidate = t;

@@ -448,6 +448,16 @@ TEST(PamoLint, IncludeSuppressedKeepsAndMarksFinding) {
   EXPECT_TRUE(findings.front().suppressed);
 }
 
+TEST(PamoLint, SuppressionInsideStringLiteralIsInert) {
+  // The allow directive lives in a string literal, not a comment; it must
+  // not silence the float-eq on the next line (it used to, when
+  // suppressions were scanned over raw source text).
+  const std::string source =
+      "const char* doc = \"pamo-lint: allow(float-eq)\";\n"
+      "bool f(double x) { return x == 0.0; }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/la/fixture.cpp", source), "float-eq"));
+}
+
 TEST(PamoLint, MultiRuleSuppressionList) {
   const std::string source =
       "bool f(double x) { return x == 0.0; }"

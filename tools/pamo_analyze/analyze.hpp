@@ -1,0 +1,133 @@
+// pamo_analyze — whole-tree semantic analysis for PaMO's cross-file
+// invariants.
+//
+// pamo_lint is a per-file pass and cannot see the bug classes that actually
+// threaten the repo's headline guarantees: a member added to a checkpointed
+// type but forgotten in its codec silently loses learned state on restore,
+// an #include that points the wrong way up the layer stack couples modules
+// that must stay independent, and a by-reference capture written inside a
+// parallel_for body silently breaks the 1-vs-8-worker digest. pamo_analyze
+// builds a tree-wide index (files, includes, class/struct members, function
+// definitions) on the shared tokenizer and runs four analyses over it:
+//
+//   snapshot-coverage   Types participating in checkpointing register their
+//                       encode/decode pair with a `snapshot(TypeName)`
+//                       annotation comment (prefixed with the analyzer tag).
+//                       The analysis diffs the type's declared data members
+//                       against the identifiers its encoders write and its
+//                       decoders read, and checks that every key written via
+//                       set("k") is read back via at("k")/find("k") and vice
+//                       versa. Deliberately unserialized members (caches,
+//                       construction-time options) carry a per-member allow.
+//   layer-dag           The #include graph over src/ must respect the layer
+//                       order (see kLayerRanks in analyze.cpp and DESIGN.md):
+//                       common < {obs, la, opt} < ckpt < {gp, eva} <
+//                       {pref, bo, sched} < {sim, baselines} < core < tools.
+//                       Upward edges, same-rank lateral edges, and file-level
+//                       include cycles are findings.
+//   contract-coverage   Every public non-trivial function defined in
+//                       src/{la,gp,sched,bo,sim,core} must contain a
+//                       PAMO_EXPECTS/PAMO_ENSURES (or an always-on
+//                       PAMO_CHECK/PAMO_ASSERT, which is stricter) or carry a
+//                       per-function allow.
+//   capture-hygiene     Inside lambdas passed to parallel_for/submit, a
+//                       by-reference or this capture that is written without
+//                       per-index partitioning evidence is a finding: indexed
+//                       writes like out[i] / results(s, c) whose every index
+//                       identifier is a lambda parameter or body-local are
+//                       fine; push_back/insert on a shared container, `+=` on
+//                       a shared local, and writes through non-local indices
+//                       are races against the determinism digest.
+//
+// Suppression mirrors pamo_lint: an `allow(rule-a, rule-b)` comment tagged
+// `pamo-analyze:` on the finding line or the line directly above silences it
+// (only in real comments — literals are inert, courtesy of the tokenizer).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pamo_analyze/tokenizer.hpp"
+
+namespace pamo::analyze {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct Options {
+  /// Keep findings silenced by allow() comments, marked suppressed=true.
+  bool include_suppressed = false;
+};
+
+/// One translation unit handed to the tree analysis.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// All rule ids, in report order (stable; used by --list-rules and tests).
+const std::vector<std::string>& rule_ids();
+
+/// Run all four analyses over the tree. Findings come back sorted by file
+/// then line.
+std::vector<Finding> analyze_tree(const std::vector<SourceFile>& files,
+                                  const Options& options = {});
+
+// ---- Index types, exposed for tests --------------------------------------
+
+struct MemberDecl {
+  std::string name;
+  std::size_t line = 0;
+};
+
+struct TypeDecl {
+  std::string name;  // unqualified
+  std::string file;
+  std::size_t line = 0;
+  std::vector<MemberDecl> members;
+  /// Method names declared public (used to decide publicness of out-of-class
+  /// definitions).
+  std::vector<std::string> public_methods;
+};
+
+struct FunctionDef {
+  std::string name;        // unqualified
+  std::string qualifier;   // "Type" for Type::name / in-class defs, else ""
+  std::string file;
+  std::size_t line = 0;       // line of the name token
+  std::size_t body_begin = 0; // token index of '{' in the file token stream
+  std::size_t body_end = 0;   // token index one past the matching '}'
+  std::size_t first_body_line = 0;
+  std::size_t last_body_line = 0;
+  bool internal = false;  // anonymous namespace or static linkage
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<TypeDecl> types;
+  std::vector<FunctionDef> functions;
+  /// line (1-based) -> rule ids allowed on that line.
+  std::map<std::size_t, std::vector<std::string>> allows;
+  /// line (1-based) -> type names named by snapshot(...) annotations.
+  std::map<std::size_t, std::vector<std::string>> snapshot_annotations;
+};
+
+/// Parse one file into its index (exposed for tests).
+FileIndex index_file(const std::string& path, const std::string& content);
+
+/// `file:line: [rule] message` lines, one per finding.
+std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable report: {"findings":[...],"count":N}.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace pamo::analyze

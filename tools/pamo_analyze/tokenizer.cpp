@@ -1,0 +1,333 @@
+#include "pamo_analyze/tokenizer.hpp"
+
+#include <cctype>
+
+namespace pamo::analyze {
+
+namespace {
+
+// Multi-character punctuators, longest first so maximal munch is a simple
+// prefix scan. Distinguishing `=` from `==` (and the compound assignments)
+// is what the capture-hygiene write detection depends on.
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+StripResult strip_source(const std::string& content) {
+  StripResult r;
+  r.code.reserve(content.size());
+  r.comments.reserve(content.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" closer of a raw string
+  const auto emit = [&r](char code_c, char comment_c) {
+    r.code += code_c;
+    r.comments += comment_c;
+  };
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          emit(' ', '/');
+          emit(' ', '/');
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          emit(' ', '/');
+          emit(' ', '*');
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_word_char(content[i - 1]))) {
+          const std::size_t open = content.find('(', i + 2);
+          if (open == std::string::npos) {
+            emit(c, ' ');
+            break;
+          }
+          raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
+          state = State::kRawString;
+          emit('R', ' ');
+          emit('"', ' ');
+          for (std::size_t k = i + 2; k <= open; ++k) emit(' ', ' ');
+          i = open;
+        } else if (c == '"') {
+          state = State::kString;
+          emit(c, ' ');
+        } else if (c == '\'' && (i == 0 || !is_word_char(content[i - 1]))) {
+          // The word-char guard keeps digit separators (1'000'000) from
+          // opening a phantom character literal.
+          state = State::kChar;
+          emit(c, ' ');
+        } else {
+          emit(c, c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\\' && next == '\n') {
+          // Backslash-newline splices the next physical line into this
+          // comment; the newline itself must survive for line geometry.
+          emit(' ', c);
+          emit('\n', '\n');
+          ++i;
+        } else if (c == '\n') {
+          state = State::kCode;
+          emit('\n', '\n');
+        } else {
+          emit(' ', c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          emit(' ', '*');
+          emit(' ', '/');
+          ++i;
+        } else if (c == '\n') {
+          emit('\n', '\n');
+        } else {
+          emit(' ', c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          emit(' ', ' ');
+          emit(next == '\n' ? '\n' : ' ', next == '\n' ? '\n' : ' ');
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          emit(c, ' ');
+        } else {
+          emit(c == '\n' ? '\n' : ' ', c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          emit(' ', ' ');
+          emit(' ', ' ');
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          emit(c, ' ');
+        } else {
+          emit(' ', ' ');
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) emit(' ', ' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          emit(c == '\n' ? '\n' : ' ', c == '\n' ? '\n' : ' ');
+        }
+        break;
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Consume a preprocessor directive starting at `p` (the '#') in the stripped
+/// code view: to end-of-line, following backslash continuations. Returns the
+/// offset one past the directive (the '\n' is not consumed).
+std::size_t skip_directive(const std::string& code, std::size_t p) {
+  while (p < code.size()) {
+    if (code[p] == '\n') {
+      // A continuation iff the last non-blank character before the newline
+      // is a backslash (comments are already blanked in this view).
+      std::size_t q = p;
+      while (q > 0 && (code[q - 1] == ' ' || code[q - 1] == '\t')) --q;
+      if (q > 0 && code[q - 1] == '\\') {
+        ++p;
+        continue;
+      }
+      return p;
+    }
+    ++p;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& content) {
+  const StripResult sr = strip_source(content);
+  const std::string& code = sr.code;
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  std::size_t i = 0;
+  const auto bump_lines = [&line](const std::string& text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consume the logical line without emitting
+      // tokens, so macro bodies cannot unbalance downstream scope tracking.
+      const std::size_t end = skip_directive(code, i);
+      bump_lines(code.substr(i, end - i));
+      i = end;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string: `R"` anchor in the code view, body recovered from content.
+    if (c == 'R' && i + 1 < code.size() && code[i + 1] == '"' &&
+        i + 1 < content.size() && content[i + 1] == '"') {
+      const std::size_t open = content.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string closer =
+            ")" + content.substr(i + 2, open - (i + 2)) + "\"";
+        const std::size_t close = content.find(closer, open + 1);
+        const std::size_t body_end =
+            close == std::string::npos ? content.size() : close;
+        const std::string body =
+            content.substr(open + 1, body_end - (open + 1));
+        tokens.push_back(Token{TokenKind::kString, body, line});
+        bump_lines(body);
+        i = close == std::string::npos ? content.size()
+                                       : close + closer.size();
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      // The stripped view blanks literal bodies (escaped quotes included),
+      // so the next matching quote character in `code` is the closer; the
+      // body text comes from the raw content at the same offsets.
+      const std::size_t close = code.find(c, i + 1);
+      const std::size_t end = close == std::string::npos ? code.size() : close;
+      const std::string body = content.substr(i + 1, end - (i + 1));
+      tokens.push_back(Token{
+          c == '"' ? TokenKind::kString : TokenKind::kCharLit, body, line});
+      bump_lines(body);
+      i = close == std::string::npos ? code.size() : close + 1;
+      continue;
+    }
+    if (is_word_char(c)) {
+      const bool number = std::isdigit(static_cast<unsigned char>(c)) != 0;
+      std::size_t j = i;
+      while (j < code.size() &&
+             (is_word_char(code[j]) ||
+              (number && (code[j] == '.' || code[j] == '\'')) ||
+              (number && (code[j] == '+' || code[j] == '-') && j > i &&
+               (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                code[j - 1] == 'p' || code[j - 1] == 'P')))) {
+        ++j;
+      }
+      tokens.push_back(Token{number ? TokenKind::kNumber : TokenKind::kIdentifier,
+                             code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == '.' && i + 1 < code.size() &&
+        std::isdigit(static_cast<unsigned char>(code[i + 1])) != 0) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (is_word_char(code[j]) || code[j] == '.' ||
+              ((code[j] == '+' || code[j] == '-') &&
+               (code[j - 1] == 'e' || code[j - 1] == 'E')))) {
+        ++j;
+      }
+      tokens.push_back(Token{TokenKind::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (code.compare(i, len, op) == 0) {
+        tokens.push_back(Token{TokenKind::kPunct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<IncludeDirective> parse_includes(const std::string& content) {
+  const StripResult sr = strip_source(content);
+  const std::string& code = sr.code;
+  std::vector<IncludeDirective> out;
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos < code.size()) {
+    const std::size_t eol = code.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? code.size() : eol;
+    std::size_t p = pos;
+    while (p < end && (code[p] == ' ' || code[p] == '\t')) ++p;
+    if (p < end && code[p] == '#') {
+      ++p;
+      while (p < end && (code[p] == ' ' || code[p] == '\t')) ++p;
+      if (code.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < end && (code[p] == ' ' || code[p] == '\t')) ++p;
+        IncludeDirective inc;
+        inc.line = line;
+        if (p < end && code[p] == '<') {
+          const std::size_t close = code.find('>', p + 1);
+          if (close != std::string::npos && close < end) {
+            inc.angled = true;
+            // Angled targets are plain code characters, preserved as-is.
+            inc.target = code.substr(p + 1, close - (p + 1));
+            out.push_back(inc);
+          }
+        } else if (p < end && code[p] == '"') {
+          const std::size_t close = code.find('"', p + 1);
+          if (close != std::string::npos && close < end) {
+            // The body is blanked in the code view; same offsets in the raw
+            // content hold the real path.
+            inc.target = content.substr(p + 1, close - (p + 1));
+            out.push_back(inc);
+          }
+        } else if (p < end && is_word_char(code[p])) {
+          std::size_t q = p;
+          while (q < end && is_word_char(code[q])) ++q;
+          inc.computed = true;
+          inc.target = code.substr(p, q - p);
+          out.push_back(inc);
+        }
+      }
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+}  // namespace pamo::analyze

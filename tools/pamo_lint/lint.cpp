@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "pamo_analyze/tokenizer.hpp"
+
 namespace pamo::lint {
 namespace {
 
@@ -48,13 +50,16 @@ std::vector<std::string> split_lines(const std::string& text) {
 }
 
 // Per-line sets of rule ids silenced by `pamo-lint: allow(a, b)` comments.
+// Scans the comment channel of the shared stripper, so the directive only
+// counts inside a real comment — a string literal that merely mentions the
+// allow syntax cannot silence a rule.
 std::vector<std::set<std::string>> parse_suppressions(
-    const std::vector<std::string>& raw_lines) {
-  std::vector<std::set<std::string>> allow(raw_lines.size());
+    const std::vector<std::string>& comment_lines) {
+  std::vector<std::set<std::string>> allow(comment_lines.size());
   static const std::regex kAllow(R"(pamo-lint:\s*allow\(([^)]*)\))");
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+  for (std::size_t i = 0; i < comment_lines.size(); ++i) {
     std::smatch m;
-    if (!std::regex_search(raw_lines[i], m, kAllow)) continue;
+    if (!std::regex_search(comment_lines[i], m, kAllow)) continue;
     std::stringstream list(m[1].str());
     std::string id;
     while (std::getline(list, id, ',')) {
@@ -74,7 +79,6 @@ bool is_word(char c) {
 struct Linter {
   const std::string& path;
   const std::vector<std::string>& code;   // comments/strings blanked
-  const std::vector<std::string>& raw;
   std::vector<Finding> findings;
 
   void add(std::size_t line_index, const char* rule, std::string message) {
@@ -458,116 +462,20 @@ bool is_scheduling_path(const std::string& path) {
 }
 
 std::string strip_comments_and_strings(const std::string& content) {
-  std::string out;
-  out.reserve(content.size());
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // the )delim" closer of a raw string
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_word(content[i - 1]))) {
-          std::size_t open = content.find('(', i + 2);
-          if (open == std::string::npos) {
-            out += c;
-            break;
-          }
-          raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
-          state = State::kRawString;
-          out += "R\"";
-          for (std::size_t k = i + 2; k <= open; ++k) out += ' ';
-          i = open;
-        } else if (c == '"') {
-          state = State::kString;
-          out += c;
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += c;
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += c;
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-          if (next == '\n') out.back() = '\n';
-        } else if (c == '"') {
-          state = State::kCode;
-          out += c;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += c;
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kRawString:
-        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  // The single stripper implementation lives in pamo_analyze; the lint rules
+  // consume its code channel (comments and literal bodies blanked, geometry
+  // preserved).
+  return analyze::strip_source(content).code;
 }
 
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content,
                                  const Options& options) {
-  const std::string stripped = strip_comments_and_strings(content);
-  const std::vector<std::string> code = split_lines(stripped);
-  const std::vector<std::string> raw = split_lines(content);
-  const auto allow = parse_suppressions(raw);
+  const analyze::StripResult stripped = analyze::strip_source(content);
+  const std::vector<std::string> code = split_lines(stripped.code);
+  const auto allow = parse_suppressions(split_lines(stripped.comments));
 
-  Linter linter{path, code, raw, {}};
+  Linter linter{path, code, {}};
   linter.rule_determinism_rng();
   linter.rule_time_seeded_rng();
   linter.rule_unordered_iter();

@@ -87,7 +87,9 @@ std::vector<Finding> lint_source(const std::string& path,
 
 /// Comment/string-literal stripping used by the rule pass (exposed for
 /// tests): comments and literal bodies are blanked to spaces, newlines and
-/// everything else kept, so line/column geometry survives.
+/// everything else kept, so line/column geometry survives. Thin wrapper over
+/// the shared pamo::analyze::strip_source code channel — there is exactly one
+/// stripper implementation in the repo.
 std::string strip_comments_and_strings(const std::string& content);
 
 /// True when `path` is a scheduling/simulation path where the determinism
