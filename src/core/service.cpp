@@ -319,30 +319,42 @@ SchedulingService::EpochReport SchedulingService::run_epoch(
   // — the service invariant is that no pamo::Error escapes run_epoch.
   PamoResult result;
   try {
-    PamoOptions options = epoch_ == 0 ? options_.initial : options_.steady;
-    if (!options.use_true_preference) {
-      ensure_learner(oracle);
-      options.shared_learner = &*learner_;
-    }
-    // Decorrelate epochs while keeping the service deterministic.
-    options.seed = options_.seed + 7919 * (epoch_ + 1);
-    if (telemetry_.has_value()) options.telemetry = &*telemetry_;
-    // Continual learning: steady-state epochs reuse the retained outcome
-    // bank instead of re-profiling init_profiles samples and re-running
-    // the hyperparameter MLE. The knobs-only GPs transfer across churn
-    // (they never key on stream identity).
-    if (options_.continual.warm_start && epoch_ > 0 &&
-        retained_models_.has_value() && retained_models_->is_fit()) {
-      options.warm_start = &*retained_models_;
-      options.warm_profiles = options_.continual.warm_profiles;
-    }
+    if (options_.fleet.enabled &&
+        active.num_streams() >= options_.fleet.min_streams) {
+      // Fleet-scale epoch: shard the workload and optimize per shard. The
+      // per-shard seed space is re-derived from the epoch the same way the
+      // flat path decorrelates epochs.
+      FleetOptions fleet = options_.fleet;
+      fleet.pamo.seed = options_.seed + 7919 * (epoch_ + 1);
+      if (telemetry_.has_value()) fleet.pamo.telemetry = &*telemetry_;
+      result = run_fleet_epoch(active, fleet, oracle);
+    } else {
+      PamoOptions options = epoch_ == 0 ? options_.initial : options_.steady;
+      if (!options.use_true_preference) {
+        ensure_learner(oracle);
+        options.shared_learner = &*learner_;
+      }
+      // Decorrelate epochs while keeping the service deterministic.
+      options.seed = options_.seed + 7919 * (epoch_ + 1);
+      if (telemetry_.has_value()) options.telemetry = &*telemetry_;
+      // Continual learning: steady-state epochs reuse the retained outcome
+      // bank instead of re-profiling init_profiles samples and re-running
+      // the hyperparameter MLE. The knobs-only GPs transfer across churn
+      // (they never key on stream identity).
+      if (options_.continual.warm_start && epoch_ > 0 &&
+          retained_models_.has_value() && retained_models_->is_fit()) {
+        options.warm_start = &*retained_models_;
+        options.warm_profiles = options_.continual.warm_profiles;
+      }
 
-    PamoScheduler scheduler(active, options);
-    result = scheduler.run(oracle);
-    if (options_.retain_outcome_models && scheduler.outcome_models().is_fit()) {
-      // Copy (never move — the scheduler still owns its run) so the
-      // fitted model bank rides along in snapshot(). No RNG is touched.
-      retained_models_ = scheduler.outcome_models();
+      PamoScheduler scheduler(active, options);
+      result = scheduler.run(oracle);
+      if (options_.retain_outcome_models &&
+          scheduler.outcome_models().is_fit()) {
+        // Copy (never move — the scheduler still owns its run) so the
+        // fitted model bank rides along in snapshot(). No RNG is touched.
+        retained_models_ = scheduler.outcome_models();
+      }
     }
   } catch (const Error& e) {
     result.feasible = false;

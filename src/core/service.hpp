@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "core/governor.hpp"
 #include "core/pamo.hpp"
 #include "eva/churn.hpp"
@@ -113,6 +114,16 @@ struct ServiceOptions {
   /// Admission/degradation governor over the offered stream set; disabled
   /// by default (every offered stream is scheduled, no actions logged).
   GovernorOptions governor;
+  /// Hierarchical (sharded) optimization for fleet-scale workloads.
+  /// Disabled by default: every epoch then runs the flat PamoScheduler,
+  /// bit-for-bit the pre-fleet service. When enabled, epochs whose active
+  /// workload has at least fleet.min_streams streams are partitioned by
+  /// the global allocator and optimized per shard (see core/fleet.hpp);
+  /// smaller epochs still run flat. Fleet epochs use fleet.pamo (its seed
+  /// re-derived per epoch and shard) instead of initial/steady, and skip
+  /// outcome-model retention/warm start — a per-shard bank is not
+  /// meaningful at the fleet level.
+  FleetOptions fleet;
   /// Keep a copy of the most recent epoch's fitted outcome models so they
   /// ride along in checkpoints (snapshot()). Costs one model-bank copy per
   /// feasible epoch and never touches any RNG stream.

@@ -1,5 +1,7 @@
 #include "eva/workload.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace pamo::eva {
@@ -18,6 +20,31 @@ Workload make_workload(std::size_t num_streams, std::size_t num_servers,
   w.uplink_mbps.reserve(num_servers);
   for (std::size_t i = 0; i < num_servers; ++i) {
     w.uplink_mbps.push_back(kUplinks[rng.uniform_index(6)]);
+  }
+  return w;
+}
+
+Workload make_fleet_workload(std::size_t num_streams, std::size_t num_servers,
+                             std::uint64_t seed, std::size_t clip_variety) {
+  PAMO_CHECK(num_streams > 0, "fleet workload requires at least one stream");
+  PAMO_CHECK(num_servers > 0, "fleet workload requires at least one server");
+  PAMO_CHECK(clip_variety > 0, "fleet workload requires clip variety >= 1");
+  Workload w;
+  const ClipLibrary library(std::min(clip_variety, num_streams), seed);
+  Rng pick = Rng(seed).fork(0xF1EE70u);
+  Rng load = Rng(seed).fork(0xF1EE71u);
+  w.clips.reserve(num_streams);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    const ClipProfile& base = library.clip(pick.uniform_index(library.size()));
+    w.clips.push_back(ClipProfile::scaled_load(base, load.uniform(0.7, 1.3)));
+  }
+  // Same §5.2 uplink protocol and stream-count-independent draw order as
+  // make_workload.
+  Rng uplinks = Rng(seed).fork(0x5EAFu);
+  static constexpr double kUplinks[] = {5, 10, 15, 20, 25, 30};
+  w.uplink_mbps.reserve(num_servers);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    w.uplink_mbps.push_back(kUplinks[uplinks.uniform_index(6)]);
   }
   return w;
 }

@@ -27,4 +27,17 @@ struct Workload {
 Workload make_workload(std::size_t num_streams, std::size_t num_servers,
                        std::uint64_t seed);
 
+/// Fleet-size workload generator (thousands of servers, tens of thousands
+/// of streams). A real fleet's cameras do not see `num_streams` unrelated
+/// scenes: content clusters. The generator draws from a `clip_variety`-
+/// profile library and perturbs each stream's *load* (scaled_load, factor
+/// in [0.7, 1.3]) so shards face similar-but-not-identical response
+/// surfaces — and profile generation stays O(variety), not O(streams).
+/// Uplinks follow the §5.2 protocol. Deterministic per (seed, counts):
+/// every draw comes from a dedicated fork of `seed`, so changing one count
+/// never perturbs the other draws.
+Workload make_fleet_workload(std::size_t num_streams, std::size_t num_servers,
+                             std::uint64_t seed,
+                             std::size_t clip_variety = 64);
+
 }  // namespace pamo::eva

@@ -102,10 +102,13 @@ void GpRegressor::fit(std::vector<std::vector<double>> x,
   for (const auto& row : x) {
     PAMO_CHECK(row.size() == dim_, "ragged input matrix");
   }
+  PAMO_CHECK(options_.backend == GpBackend::kExact || !options_.robust_noise,
+             "robust_noise requires the exact backend (the IRLS residuals "
+             "are defined against the full factorization)");
   x_raw_ = std::move(x);
   y_raw_ = std::move(y);
   rebuild(/*optimize_hyperparams=*/!options_.fixed_params.has_value());
-  PAMO_ENSURES(is_fit() && alpha_.size() == x_raw_.size(),
+  PAMO_ENSURES(is_fit() && solved_over_all_rows(),
                "fit leaves a solved system over every kept row");
 }
 
@@ -172,10 +175,18 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
                         !options_.robust_noise && chol_.has_value() &&
                         chol_->jitter() == 0.0 &&  // pamo-lint: allow(float-eq)
                         !xs.empty() && inside_box(xs);
+  // The sparse system's inducing set and input scaling are frozen across
+  // incremental updates; a drift fire or an out-of-box row re-solves (and
+  // re-selects the inducing set) from scratch instead.
+  const bool sparse_eligible = options_.incremental && !want_mle &&
+                               !drift_fired && sparse_.has_value() &&
+                               !xs.empty() && inside_box(xs);
   const std::size_t new_rows = xs.size();
   for (auto& row : xs) x_raw_.push_back(std::move(row));
   y_raw_.insert(y_raw_.end(), ys.begin(), ys.end());
   if (eligible && try_incremental_update(new_rows)) {
+    ++diagnostics_.incremental_updates;
+  } else if (sparse_eligible && try_sparse_update(new_rows)) {
     ++diagnostics_.incremental_updates;
   } else if (drift_fired && !want_mle) {
     // Selective forgetting: the inflated noise scales must survive, so a
@@ -185,7 +196,7 @@ void GpRegressor::update(const std::vector<std::vector<double>>& x,
     if (options_.incremental && !want_mle) ++diagnostics_.incremental_fallbacks;
     rebuild(want_mle);
   }
-  PAMO_ENSURES(alpha_.size() == x_raw_.size(),
+  PAMO_ENSURES(solved_over_all_rows(),
                "update leaves a solved system over every kept row");
 }
 
@@ -352,6 +363,10 @@ void GpRegressor::refit_keep_noise(std::size_t new_rows) {
 }
 
 void GpRegressor::solve_system() {
+  if (options_.backend == GpBackend::kInducing) {
+    solve_sparse();
+    return;
+  }
   la::Matrix k = kernel_matrix(options_.kernel, params_, x_);
   const double noise = std::exp(params_.log_noise_var);
   for (std::size_t i = 0; i < x_.size(); ++i) {
@@ -425,8 +440,15 @@ double GpRegressor::predict_mean(const std::vector<double>& x) const {
   PAMO_CHECK(is_fit(), "predict before fit");
   const std::vector<double> xs = scale_input(x);
   double sum = 0.0;
-  for (std::size_t i = 0; i < x_.size(); ++i) {
-    sum += kernel_value(options_.kernel, params_, xs, x_[i]) * alpha_[i];
+  if (sparse_.has_value()) {
+    for (std::size_t j = 0; j < sparse_->z.size(); ++j) {
+      sum += kernel_value(options_.kernel, params_, xs, sparse_->z[j]) *
+             sparse_->alpha[j];
+    }
+  } else {
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      sum += kernel_value(options_.kernel, params_, xs, x_[i]) * alpha_[i];
+    }
   }
   return y_mean_ + y_std_ * sum;
 }
@@ -434,12 +456,24 @@ double GpRegressor::predict_mean(const std::vector<double>& x) const {
 double GpRegressor::predict_var(const std::vector<double>& x) const {
   PAMO_CHECK(is_fit(), "predict before fit");
   const std::vector<double> xs = scale_input(x);
+  const double prior = std::exp(params_.log_signal_var);
+  if (sparse_.has_value()) {
+    const std::size_t m = sparse_->z.size();
+    la::Vector kstar(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      kstar[j] = kernel_value(options_.kernel, params_, xs, sparse_->z[j]);
+    }
+    // DTC: k** − k*ₘ Kmm⁻¹ kₘ* + k*ₘ B⁻¹ kₘ*.
+    const la::Vector v1 = sparse_->lm->solve_lower(kstar);
+    const la::Vector v2 = sparse_->lb->solve_lower(kstar);
+    const double var = prior - la::dot(v1, v1) + la::dot(v2, v2);
+    return std::max(0.0, var) * y_std_ * y_std_;
+  }
   la::Vector kstar(x_.size());
   for (std::size_t i = 0; i < x_.size(); ++i) {
     kstar[i] = kernel_value(options_.kernel, params_, xs, x_[i]);
   }
   const la::Vector v = chol_->solve_lower(kstar);
-  const double prior = std::exp(params_.log_signal_var);
   const double var = prior - la::dot(v, v);
   return std::max(0.0, var) * y_std_ * y_std_;
 }
@@ -508,6 +542,13 @@ Posterior GpRegressor::posterior(
   std::vector<std::vector<double>> xs;
   xs.reserve(m);
   for (const auto& row : x) xs.push_back(scale_input(row));
+  if (sparse_.has_value()) {
+    Posterior post = sparse_posterior(xs);
+    PAMO_ENSURES(post.mean.size() == m && post.covariance.rows() == m &&
+                     post.covariance.cols() == m,
+                 "posterior is square over the query set");
+    return post;
+  }
   refresh_posterior_workspace(std::move(xs));
   const PosteriorWorkspace& ws = workspace_;
 

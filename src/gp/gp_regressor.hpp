@@ -18,6 +18,24 @@
 
 namespace pamo::gp {
 
+/// Inference backend of a GpRegressor.
+enum class GpBackend {
+  /// Exact GP: O(n³) factorization (O(n²) incremental extension), the
+  /// paper's regressor. The default; every pre-existing code path is
+  /// bit-for-bit unchanged under it.
+  kExact,
+  /// Inducing-point approximation (Deterministic Training Conditional):
+  /// inference runs through m = min(GpOptions::inducing_points, n)
+  /// inducing inputs (a strided subset of the training rows), so the
+  /// per-prediction and per-update cost is bounded by m — O(m²n) for a
+  /// full solve, O(m² + mn) per incremental update — instead of growing
+  /// as n³. With m == n the DTC posterior coincides analytically with the
+  /// exact GP; with m < n it is an approximation whose error contract is
+  /// pinned by tests/gp/test_gp_sparse.cpp. Unsupported combinations
+  /// (robust_noise) are rejected at fit() time.
+  kInducing,
+};
+
 struct GpOptions {
   KernelType kernel = KernelType::kMatern52;
   /// Number of Nelder–Mead restarts for hyperparameter MLE.
@@ -60,6 +78,16 @@ struct GpOptions {
   /// it automatically whenever exactness cannot be guaranteed — see
   /// diagnostics().incremental_fallbacks for when that happens.
   bool incremental = true;
+  /// Inference backend (see GpBackend). Hyperparameter MLE is shared by
+  /// both backends: it always runs on the exact marginal likelihood of an
+  /// mle_subsample-strided subset, so switching the backend changes the
+  /// inference cost model, never the hyperparameter search.
+  GpBackend backend = GpBackend::kExact;
+  /// Inducing-point budget m for GpBackend::kInducing. The inducing set
+  /// is a deterministic strided subset of the (scaled) training rows,
+  /// re-selected on every full solve and frozen across incremental
+  /// updates (that freeze is what keeps updates O(m² + mn)).
+  std::size_t inducing_points = 64;
   /// Drift detection for continual learning: a CUSUM statistic over the
   /// standardized prediction residuals of incoming update() rows, scored
   /// against the posterior *before* they are incorporated. Each row
@@ -200,6 +228,20 @@ class GpRegressor {
     la::Matrix v;                         // n × m, V = L⁻¹ K*ᵀ
   };
 
+  /// Fitted state of the kInducing backend (absent under kExact). All of
+  /// it lives in standardized-target / scaled-input space, like the exact
+  /// factorization it replaces. D below is the per-row noise σ²·λ_i
+  /// (noise_scale_), so drift forgetting flows through the sparse solve
+  /// the same way it flows through the exact one.
+  struct SparseState {
+    std::vector<std::vector<double>> z;  // inducing rows (scaled inputs)
+    std::optional<la::Cholesky> lm;      // chol(Kmm [+ ladder jitter])
+    std::optional<la::Cholesky> lb;      // chol(B), B = Kmm_j + Kmn D⁻¹ Knm
+    la::Matrix kmn;                      // m × n cross-covariance
+    la::Vector b;                        // Kmn D⁻¹ y
+    la::Vector alpha;                    // B⁻¹ b
+  };
+
   void rebuild(bool optimize_hyperparams);
   /// O(n²) update: extend the cached factor by the last `new_rows` rows of
   /// x_raw_/y_raw_. Returns false when the extension would not be
@@ -210,7 +252,28 @@ class GpRegressor {
   void refresh_posterior_workspace(std::vector<std::vector<double>>&& xs) const;
   /// Factorize K(x_, x_) + σ²·diag(noise_scale_) and solve for alpha_,
   /// recovering from Cholesky failures by widening the jitter cap.
+  /// Routes to solve_sparse() under GpBackend::kInducing.
   void solve_system();
+  /// kInducing: select the inducing set from the current training rows and
+  /// solve the DTC system (Lm, B, b, alpha) from scratch in O(m²n).
+  void solve_sparse();
+  /// kInducing O(m² + mn) update: fold the last `new_rows` rows into the
+  /// frozen inducing system via rank-one factor updates of B. Returns
+  /// false when the sparse state is missing (callers then re-solve).
+  bool try_sparse_update(std::size_t new_rows);
+  /// DTC joint posterior over scaled query rows (standardized scale
+  /// handled by the caller-facing posterior()).
+  [[nodiscard]] Posterior sparse_posterior(
+      const std::vector<std::vector<double>>& xs) const;
+  /// Sparse-system snapshot codec (gp_snapshot.cpp).
+  static obs::json::Value sparse_to_json(const SparseState& s);
+  static SparseState sparse_from_json(const obs::json::Value& v);
+  /// The solved system covers every kept training row (postcondition of
+  /// fit()/update(), backend-independent).
+  [[nodiscard]] bool solved_over_all_rows() const {
+    return sparse_.has_value() ? sparse_->kmn.cols() == x_raw_.size()
+                               : alpha_.size() == x_raw_.size();
+  }
   /// One pass of iteratively reweighted noise: inflate noise_scale_ for
   /// points with large standardized residuals, then re-solve. Returns
   /// false (leaving the solve untouched, bit-for-bit) when no residual
@@ -249,6 +312,9 @@ class GpRegressor {
   KernelParams params_;
   std::optional<la::Cholesky> chol_;
   la::Vector alpha_;  // (K + σ²I)⁻¹ y
+  // kInducing backend state (absent under kExact; exactly one of
+  // chol_/alpha_ and sparse_ is populated after a fit).
+  std::optional<SparseState> sparse_;
 
   // Per-point noise-variance inflation factors (≥ 1; 1 when the robust
   // fit is off or the point is an inlier).

@@ -89,6 +89,30 @@ GpFitDiagnostics diagnostics_from_json(const json::Value& v) {
 
 }  // namespace
 
+// pamo-analyze: snapshot(SparseState)
+json::Value GpRegressor::sparse_to_json(const SparseState& s) {
+  json::Value obj = json::Value::object();
+  obj.set("z", codec::rows_to_json(s.z));
+  obj.set("lm", codec::cholesky_to_json(s.lm));
+  obj.set("lb", codec::cholesky_to_json(s.lb));
+  obj.set("kmn", codec::matrix_to_json(s.kmn));
+  obj.set("b", codec::doubles_to_json(s.b));
+  obj.set("alpha", codec::doubles_to_json(s.alpha));
+  return obj;
+}
+
+// pamo-analyze: snapshot(SparseState)
+GpRegressor::SparseState GpRegressor::sparse_from_json(const json::Value& v) {
+  SparseState s;
+  s.z = codec::rows_from_json(v.at("z"));
+  s.lm = codec::cholesky_from_json(v.at("lm"));
+  s.lb = codec::cholesky_from_json(v.at("lb"));
+  s.kmn = codec::matrix_from_json(v.at("kmn"));
+  s.b = codec::doubles_from_json(v.at("b"));
+  s.alpha = codec::doubles_from_json(v.at("alpha"));
+  return s;
+}
+
 // pamo-analyze: snapshot(GpRegressor)
 json::Value GpRegressor::snapshot() const {
   PAMO_CHECK(x_.size() == y_.size() && x_raw_.size() == y_raw_.size(),
@@ -110,6 +134,7 @@ json::Value GpRegressor::snapshot() const {
   obj.set("diagnostics", diagnostics_to_json(diagnostics_));
   obj.set("factor_epoch", json::Value(factor_epoch_));
   obj.set("drift_cusum", json::Value(drift_cusum_));
+  if (sparse_.has_value()) obj.set("sparse", sparse_to_json(*sparse_));
   return obj;
 }
 
@@ -133,10 +158,21 @@ void GpRegressor::restore(const json::Value& snap) {
   // Backward-readable addition: pre-drift snapshots carry no CUSUM state.
   const json::Value* cusum = snap.find("drift_cusum");
   drift_cusum_ = cusum ? cusum->as_double() : 0.0;
+  // Backward-readable addition: exact-backend snapshots carry no sparse
+  // system (the key is emitted only when the state exists).
+  const json::Value* sparse = snap.find("sparse");
+  sparse_ = sparse ? std::optional<SparseState>(sparse_from_json(*sparse))
+                   : std::nullopt;
   PAMO_CHECK(x_.size() == y_.size() && x_raw_.size() == y_raw_.size(),
              "GP snapshot is internally inconsistent");
-  PAMO_CHECK(!is_fit() || (chol_.has_value() && alpha_.size() == x_.size()),
+  PAMO_CHECK(!is_fit() || sparse_.has_value() ||
+                 (chol_.has_value() && alpha_.size() == x_.size()),
              "fitted GP snapshot must carry its factorization");
+  PAMO_CHECK(!sparse_.has_value() ||
+                 (sparse_->lm.has_value() && sparse_->lb.has_value() &&
+                  sparse_->kmn.cols() == x_.size() &&
+                  sparse_->alpha.size() == sparse_->z.size()),
+             "sparse GP snapshot must carry a complete inducing system");
   // The posterior workspace is a cache keyed to the live factor; drop it.
   workspace_ = PosteriorWorkspace{};
 }

@@ -1,0 +1,193 @@
+#include "sched/shard.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "obs/obs.hpp"
+
+namespace pamo::sched {
+
+namespace {
+
+/// Knob-floor demand proxy of one stream: per-frame processing time at the
+/// smallest resolution times the smallest frame rate — the same load
+/// estimate the admission governor plans with.
+double floor_demand(const eva::Workload& workload, std::size_t stream) {
+  const auto res =
+      static_cast<double>(workload.space.resolutions().front());
+  const auto fps = static_cast<double>(workload.space.fps_knobs().front());
+  return workload.clips[stream].proc_time(res) * fps;
+}
+
+}  // namespace
+
+ShardPlan make_shard_plan(const eva::Workload& workload,
+                          const ShardPlanOptions& options) {
+  PAMO_SPAN("sched.make_shard_plan");
+  const std::size_t m = workload.num_streams();
+  const std::size_t n = workload.num_servers();
+  PAMO_CHECK(m > 0 && n > 0, "shard plan over an empty workload");
+  PAMO_CHECK(options.target_streams > 0, "target_streams must be positive");
+
+  std::size_t shards =
+      (m + options.target_streams - 1) / options.target_streams;
+  shards = std::min({shards, m, n});
+  if (options.max_shards > 0) shards = std::min(shards, options.max_shards);
+  shards = std::max<std::size_t>(shards, 1);
+
+  // ---- Streams: LPT over the demand proxy. Ties break on the lower
+  // ---- stream id, so the packing is a pure function of the workload.
+  std::vector<double> demand(m);
+  for (std::size_t i = 0; i < m; ++i) demand[i] = floor_demand(workload, i);
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demand[a] > demand[b];
+                   });
+
+  ShardPlan plan;
+  plan.stream_ids.resize(shards);
+  plan.server_ids.resize(shards);
+  std::vector<double> shard_load(shards, 0.0);
+  for (const std::size_t stream : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (shard_load[s] < shard_load[best]) best = s;
+    }
+    plan.stream_ids[best].push_back(stream);
+    shard_load[best] += demand[stream];
+  }
+  for (auto& ids : plan.stream_ids) std::sort(ids.begin(), ids.end());
+
+  // ---- Servers: one guaranteed per shard, the rest by D'Hondt over the
+  // ---- shard loads (highest load-per-allocated-server next; ties to the
+  // ---- lower shard id).
+  std::vector<std::size_t> quota(shards, 1);
+  for (std::size_t extra = shards; extra < n; ++extra) {
+    std::size_t best = 0;
+    double best_score = shard_load[0] / static_cast<double>(quota[0] + 1);
+    for (std::size_t s = 1; s < shards; ++s) {
+      const double score =
+          shard_load[s] / static_cast<double>(quota[s] + 1);
+      if (score > best_score) {
+        best = s;
+        best_score = score;
+      }
+    }
+    ++quota[best];
+  }
+
+  // Deal servers in descending-uplink order to the shard with the largest
+  // unfilled quota, so the fattest uplinks spread across shards.
+  std::vector<std::size_t> server_order(n);
+  std::iota(server_order.begin(), server_order.end(), 0);
+  std::stable_sort(server_order.begin(), server_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return workload.uplink_mbps[a] > workload.uplink_mbps[b];
+                   });
+  for (const std::size_t server : server_order) {
+    std::size_t best = 0;
+    std::size_t best_deficit = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t deficit = quota[s] - plan.server_ids[s].size();
+      if (deficit > best_deficit) {
+        best = s;
+        best_deficit = deficit;
+      }
+    }
+    plan.server_ids[best].push_back(server);
+  }
+  for (auto& ids : plan.server_ids) std::sort(ids.begin(), ids.end());
+
+  PAMO_GAUGE("sched.shard_count", shards);
+  std::size_t streams_covered = 0;
+  std::size_t servers_covered = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    PAMO_ENSURES(!plan.stream_ids[s].empty() && !plan.server_ids[s].empty(),
+                 "every shard holds at least one stream and one server");
+    streams_covered += plan.stream_ids[s].size();
+    servers_covered += plan.server_ids[s].size();
+  }
+  PAMO_ENSURES(streams_covered == m && servers_covered == n,
+               "the shard plan partitions every stream and server exactly "
+               "once");
+  return plan;
+}
+
+eva::Workload shard_workload(const eva::Workload& workload,
+                             const ShardPlan& plan, std::size_t shard) {
+  PAMO_CHECK(shard < plan.num_shards(), "shard index out of range");
+  eva::Workload out;
+  out.space = workload.space;
+  out.clips.reserve(plan.stream_ids[shard].size());
+  for (const std::size_t stream : plan.stream_ids[shard]) {
+    PAMO_CHECK(stream < workload.num_streams(),
+               "shard plan references a stream outside the workload");
+    out.clips.push_back(workload.clips[stream]);
+  }
+  out.uplink_mbps.reserve(plan.server_ids[shard].size());
+  for (const std::size_t server : plan.server_ids[shard]) {
+    PAMO_CHECK(server < workload.num_servers(),
+               "shard plan references a server outside the workload");
+    out.uplink_mbps.push_back(workload.uplink_mbps[server]);
+  }
+  PAMO_ENSURES(out.num_streams() > 0 && out.num_servers() > 0,
+               "a shard workload is never empty");
+  return out;
+}
+
+ScheduleResult merge_shard_schedules(const ShardPlan& plan,
+                                     const std::vector<ScheduleResult>& shards,
+                                     std::size_t num_streams,
+                                     std::size_t num_servers) {
+  PAMO_CHECK(shards.size() == plan.num_shards(),
+             "one schedule per plan shard");
+  ScheduleResult merged;
+  merged.feasible = !shards.empty();
+  merged.uplink_per_parent.assign(num_streams, 0.0);
+  merged.latency_per_parent.assign(num_streams, 0.0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ScheduleResult& shard = shards[s];
+    if (!shard.feasible) {
+      merged.feasible = false;
+      continue;
+    }
+    const std::vector<std::size_t>& streams = plan.stream_ids[s];
+    const std::vector<std::size_t>& servers = plan.server_ids[s];
+    PAMO_CHECK(shard.assignment.size() == shard.streams.size() &&
+                   shard.phase.size() == shard.streams.size(),
+               "shard schedule is internally inconsistent");
+    PAMO_CHECK(shard.uplink_per_parent.size() == streams.size() &&
+                   shard.latency_per_parent.size() == streams.size(),
+               "shard schedule does not match its shard workload");
+    for (std::size_t k = 0; k < shard.streams.size(); ++k) {
+      PeriodicStream global = shard.streams[k];
+      PAMO_CHECK(global.parent < streams.size(),
+                 "shard schedule references a parent outside the shard");
+      PAMO_CHECK(shard.assignment[k] < servers.size(),
+                 "shard schedule references a server outside the shard");
+      global.parent = streams[global.parent];
+      merged.streams.push_back(global);
+      merged.assignment.push_back(servers[shard.assignment[k]]);
+      merged.phase.push_back(shard.phase[k]);
+    }
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+      merged.uplink_per_parent[streams[p]] = shard.uplink_per_parent[p];
+      merged.latency_per_parent[streams[p]] = shard.latency_per_parent[p];
+    }
+    merged.comm_cost += shard.comm_cost;
+  }
+  if (!merged.feasible) return ScheduleResult{};
+  for (const std::size_t server : merged.assignment) {
+    PAMO_CHECK(server < num_servers,
+               "merged schedule references a server outside the fleet");
+  }
+  PAMO_ENSURES(merged.assignment.size() == merged.streams.size() &&
+                   merged.phase.size() == merged.streams.size(),
+               "merge yields a complete flat schedule");
+  return merged;
+}
+
+}  // namespace pamo::sched

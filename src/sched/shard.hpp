@@ -1,0 +1,65 @@
+// Fleet-scale sharding: the global benefit allocator that partitions a
+// large workload into server shards small enough for per-shard BO.
+//
+// Algorithm 1 and the BO loop above it are sized for tens of streams; at
+// fleet scale (10k streams over 1k servers) the flat optimization is out
+// of reach — the candidate space is [0,1]^{2M} and every outcome-GP table
+// row costs a schedule. The allocator cuts the problem first: streams are
+// packed into shards by knob-floor demand (LPT), servers are apportioned
+// to shards by demand share (D'Hondt), and each shard is then optimized
+// independently. Both passes are pure functions of the workload — no RNG,
+// no wall clock — so the plan is bit-identical at any worker count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eva/workload.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pamo::sched {
+
+struct ShardPlanOptions {
+  /// Streams the allocator aims to place in one shard. The shard count is
+  /// ceil(M / target_streams), clamped so every shard gets >= 1 server.
+  std::size_t target_streams = 12;
+  /// Hard cap on the number of shards; 0 = no cap beyond the server count.
+  std::size_t max_shards = 0;
+};
+
+/// The partition: shard s optimizes streams `stream_ids[s]` on servers
+/// `server_ids[s]`, both in ascending global-id order. Every stream and
+/// every server appears in exactly one shard; no shard is empty.
+struct ShardPlan {
+  std::vector<std::vector<std::size_t>> stream_ids;
+  std::vector<std::vector<std::size_t>> server_ids;
+
+  [[nodiscard]] std::size_t num_shards() const { return stream_ids.size(); }
+};
+
+/// Deterministically partition `workload` into shards. Stream packing is
+/// LPT (longest processing time first) over the knob-floor demand proxy
+/// proc_time(r_min)·s_min — the admission governor's load estimate — so
+/// shard loads balance without fixing knob decisions the per-shard BO has
+/// not made yet. Servers go to shards by D'Hondt apportionment over shard
+/// demand (every shard gets at least one), dealt in descending-uplink
+/// order so fat uplinks spread across shards instead of clustering.
+ShardPlan make_shard_plan(const eva::Workload& workload,
+                          const ShardPlanOptions& options);
+
+/// Materialize shard `shard`'s private workload: its clips and uplinks in
+/// ascending global-id order, the config space shared.
+eva::Workload shard_workload(const eva::Workload& workload,
+                             const ShardPlan& plan, std::size_t shard);
+
+/// Stitch per-shard schedules back into the flat id space: split-stream
+/// parents and server assignments are mapped through the plan, per-parent
+/// uplink/latency vectors scatter into global positions, comm_cost sums.
+/// Feasible iff every shard is feasible. `shards` must have one schedule
+/// per plan shard, each over the matching shard_workload.
+ScheduleResult merge_shard_schedules(const ShardPlan& plan,
+                                     const std::vector<ScheduleResult>& shards,
+                                     std::size_t num_streams,
+                                     std::size_t num_servers);
+
+}  // namespace pamo::sched
