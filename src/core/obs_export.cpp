@@ -13,6 +13,7 @@ const char* repair_kind_name(RepairKind kind) {
     case RepairKind::kFullRepack: return "full_repack";
     case RepairKind::kRephase: return "rephase";
     case RepairKind::kKnobStepDown: return "knob_step_down";
+    case RepairKind::kExactReplaceOrphans: return "exact_replace_orphans";
   }
   return "?";
 }

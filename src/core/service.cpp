@@ -8,6 +8,7 @@
 #include "core/pareto.hpp"
 #include "eva/faults.hpp"
 #include "obs/obs.hpp"
+#include "sched/bnb.hpp"
 
 namespace pamo::core {
 
@@ -174,20 +175,60 @@ void SchedulingService::attempt_repair(EpochReport& report) {
   eva::JointConfig config = report.config;
   sched::ScheduleResult candidate;
   if (orphaned) {
-    candidate =
-        sched::reschedule_pinned(view, config, report.schedule, usable,
-                                 headroom);
-    if (candidate.feasible) {
-      std::ostringstream detail;
-      detail << "re-placed orphans of dead server(s) onto survivors "
-                "(pinned fast path)";
-      log(RepairKind::kReplaceOrphans, detail.str());
-    } else {
+    bool placement_decided = false;
+    const ExactRepairOptions& exact = policy.exact_repair;
+    if (exact.enabled) {
+      std::size_t orphans = 0;
+      for (std::size_t server : report.schedule.assignment) {
+        if (server >= num_servers || !usable[server]) ++orphans;
+      }
+      if (orphans <= exact.max_orphans) {
+        sched::BnbOptions bnb;
+        bnb.max_nodes = exact.max_nodes;
+        const sched::BnbResult optimal = sched::reschedule_bnb_pinned(
+            view, config, report.schedule, usable, headroom, bnb);
+        if (optimal.status == sched::BnbStatus::kOptimal ||
+            optimal.status == sched::BnbStatus::kFeasibleBudget) {
+          candidate = optimal.schedule;
+          placement_decided = true;
+          std::ostringstream detail;
+          detail << "re-placed " << orphans
+                 << " orphan(s) by branch-and-bound ("
+                 << sched::bnb_status_name(optimal.status) << ", "
+                 << optimal.nodes_expanded << " nodes)";
+          log(RepairKind::kExactReplaceOrphans, detail.str());
+        } else if (optimal.status == sched::BnbStatus::kInfeasible) {
+          // Proven: no pinned repair exists at all, so skip the greedy
+          // pinned attempt (it cannot succeed) and re-pack from scratch.
+          candidate = sched::schedule_zero_jitter_masked(view, config, usable,
+                                                         headroom);
+          placement_decided = true;
+          if (candidate.feasible) {
+            log(RepairKind::kFullRepack,
+                "pinned repair proven infeasible (branch-and-bound); "
+                "Algorithm 1 re-run on survivors");
+          }
+        }
+        // kUnknown: the node budget ran out before an answer. That proves
+        // nothing, so fall through to the greedy pinned path unchanged.
+      }
+    }
+    if (!placement_decided) {
       candidate =
-          sched::schedule_zero_jitter_masked(view, config, usable, headroom);
+          sched::reschedule_pinned(view, config, report.schedule, usable,
+                                   headroom);
       if (candidate.feasible) {
-        log(RepairKind::kFullRepack,
-            "pinned repair infeasible; Algorithm 1 re-run on survivors");
+        std::ostringstream detail;
+        detail << "re-placed orphans of dead server(s) onto survivors "
+                  "(pinned fast path)";
+        log(RepairKind::kReplaceOrphans, detail.str());
+      } else {
+        candidate =
+            sched::schedule_zero_jitter_masked(view, config, usable, headroom);
+        if (candidate.feasible) {
+          log(RepairKind::kFullRepack,
+              "pinned repair infeasible; Algorithm 1 re-run on survivors");
+        }
       }
     }
   } else {
@@ -205,6 +246,16 @@ void SchedulingService::attempt_repair(EpochReport& report) {
     if (candidate.feasible) {
       const sim::SimReport post = sim::simulate(view, candidate, validate);
       if (post.unserved_streams == 0 && post.slo_violations == 0) {
+        // Accounting contract: a successful repair leaves no orphan behind
+        // silently — every sub-stream sits on a usable server, and the
+        // action log records how the placement (or its knobs) changed.
+        for (std::size_t server : candidate.assignment) {
+          PAMO_ENSURES(server < usable.size() && usable[server],
+                       "repaired schedule must not place streams on "
+                       "unusable servers");
+        }
+        PAMO_ENSURES(!report.repairs.empty(),
+                     "a successful repair must record its actions");
         report.repaired = true;
         report.repaired_config = std::move(config);
         report.repaired_schedule = std::move(candidate);

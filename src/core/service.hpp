@@ -55,6 +55,22 @@ struct EpochHealth {
   bool fallback_taken = false;
 };
 
+/// Optional exact (branch-and-bound) orphan re-placement inside the
+/// repair path. Off by default, and a strict no-op when off: the repair
+/// decisions are then bit-for-bit identical to the greedy-only service.
+/// When on, small orphan sets are re-placed optimally by
+/// sched::reschedule_bnb_pinned; a proven-infeasible answer short-circuits
+/// to the full re-pack, and a budget breach (kUnknown/never-infeasible)
+/// falls back to the greedy reschedule_pinned exactly as before.
+struct ExactRepairOptions {
+  bool enabled = false;
+  /// Use the exact path only when at most this many sub-streams were
+  /// orphaned — the search cost is exponential in the orphan count.
+  std::size_t max_orphans = 8;
+  /// Deterministic node budget handed to the branch-and-bound engine.
+  std::size_t max_nodes = 50'000;
+};
+
 /// Graceful-degradation policy of the service's resilience loop.
 struct ResilienceOptions {
   /// Master switch; when off, epochs behave exactly like the fault-naive
@@ -68,6 +84,8 @@ struct ResilienceOptions {
   /// A server still slowed by at least this factor at the epoch boundary
   /// is routed around like a dead one instead of being padded for.
   double straggler_exclusion = 4.0;
+  /// Exact orphan re-placement (default-off; see ExactRepairOptions).
+  ExactRepairOptions exact_repair;
 };
 
 /// Continual-learning policy across epochs (requires
@@ -138,6 +156,9 @@ enum class RepairKind {
   kFullRepack,        // Algorithm 1 re-run on the surviving servers
   kRephase,           // schedule re-solved on the degraded network view
   kKnobStepDown,      // (resolution, fps) degraded to restore the SLO
+  // Appended last: RepairKind round-trips through daemon snapshots as a
+  // raw integer, so existing values must keep their encoding.
+  kExactReplaceOrphans,  // dead server: orphans re-placed optimally (B&B)
 };
 
 struct RepairAction {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "sched/constraints.hpp"
 #include "sched/hungarian.hpp"
@@ -29,7 +30,7 @@ struct Search {
   std::size_t nodes = 0;
   bool budget_exhausted = false;
   double best_cost = 1e300;
-  std::vector<std::size_t> best_assignment;  // group index per stream
+  std::vector<std::size_t> best_assignment;  // server index per stream
   bool found = false;
 
   std::vector<GroupState> groups;
@@ -121,11 +122,9 @@ struct Search {
   }
 };
 
-std::optional<Search> run_search(const eva::Workload& workload,
-                                 const eva::JointConfig& config,
-                                 const ExactOptions& options,
-                                 bool feasibility_only,
-                                 std::vector<PeriodicStream>& streams_out) {
+Search run_search(const eva::Workload& workload, const eva::JointConfig& config,
+                  const ExactOptions& options, bool feasibility_only,
+                  std::vector<PeriodicStream>& streams_out) {
   streams_out = split_streams(workload, config);
   // Largest processing times first: fails fast on tight instances.
   std::sort(streams_out.begin(), streams_out.end(),
@@ -143,78 +142,63 @@ std::optional<Search> run_search(const eva::Workload& workload,
   search.max_uplink = *std::max_element(workload.uplink_mbps.begin(),
                                         workload.uplink_mbps.end());
   search.recurse(0);
-  if (search.budget_exhausted && !search.found) return std::nullopt;
   return search;
 }
 
 }  // namespace
 
-std::optional<bool> exists_zero_jitter_schedule(const eva::Workload& workload,
-                                                const eva::JointConfig& config,
-                                                const ExactOptions& options) {
-  std::vector<PeriodicStream> streams;
-  const auto search = run_search(workload, config, options,
-                                 /*feasibility_only=*/true, streams);
-  if (!search.has_value()) return std::nullopt;
-  return search->found;
+const char* feasibility_name(Feasibility feasibility) {
+  switch (feasibility) {
+    case Feasibility::kFeasible:
+      return "feasible";
+    case Feasibility::kInfeasible:
+      return "infeasible";
+    case Feasibility::kUnknown:
+      return "unknown";
+  }
+  return "invalid";
 }
 
-std::optional<ScheduleResult> schedule_exact(const eva::Workload& workload,
-                                             const eva::JointConfig& config,
-                                             const ExactOptions& options) {
+Feasibility exists_zero_jitter_schedule(const eva::Workload& workload,
+                                        const eva::JointConfig& config,
+                                        const ExactOptions& options) {
   std::vector<PeriodicStream> streams;
-  auto search = run_search(workload, config, options,
-                           /*feasibility_only=*/false, streams);
-  if (!search.has_value() || !search->found) return std::nullopt;
+  const Search search = run_search(workload, config, options,
+                                   /*feasibility_only=*/true, streams);
+  // The feasibility search stops at its first solution, so `found` is a
+  // proof even when the budget ran out afterwards; `!found` is only a
+  // proof when the space was fully explored.
+  if (search.found) return Feasibility::kFeasible;
+  if (search.budget_exhausted) return Feasibility::kUnknown;
+  return Feasibility::kInfeasible;
+}
 
-  // Rebuild a full ScheduleResult through the fixed-assignment helper so
-  // phases/latencies/uplinks are consistent with the rest of the library.
-  // schedule_fixed_assignment works per parent, but an exact grouping can
-  // split a parent across servers, so assemble the result directly.
-  ScheduleResult result;
-  result.streams = streams;
-  result.assignment = search->best_assignment;
-  result.feasible = true;
-  // Stagger phases within each server (same Theorem-1 construction as
-  // Algorithm 1, including transfer compensation).
-  const std::size_t num_servers = workload.num_servers();
-  std::vector<double> offset(num_servers, 0.0);
-  std::vector<double> min_phase(num_servers, 0.0);
-  result.phase.assign(streams.size(), 0.0);
-  for (std::size_t i = 0; i < streams.size(); ++i) {
-    const std::size_t server = result.assignment[i];
-    const double transfer =
-        streams[i].bits_per_frame / (workload.uplink_mbps[server] * 1e6);
-    result.phase[i] = offset[server] - transfer;
-    min_phase[server] = std::min(min_phase[server], result.phase[i]);
-    offset[server] += streams[i].proc_time;
+ExactResult schedule_exact(const eva::Workload& workload,
+                           const eva::JointConfig& config,
+                           const ExactOptions& options) {
+  std::vector<PeriodicStream> streams;
+  const Search search = run_search(workload, config, options,
+                                   /*feasibility_only=*/false, streams);
+  ExactResult result;
+  if (!search.found) {
+    // Budget exhaustion is "we don't know", not "there is no schedule" —
+    // the two used to collapse into one nullopt, which let ablations count
+    // hard instances as infeasible.
+    result.status =
+        search.budget_exhausted ? BnbStatus::kUnknown : BnbStatus::kInfeasible;
+  } else {
+    result.status = search.budget_exhausted ? BnbStatus::kFeasibleBudget
+                                            : BnbStatus::kOptimal;
+    // An exact grouping can split a parent across servers, which the
+    // per-parent fixed-assignment helper cannot express — assemble the
+    // zero-jitter result (Theorem-1 stagger + bookkeeping) directly.
+    result.schedule = assemble_zero_jitter(workload, std::move(streams),
+                                           search.best_assignment);
   }
-  for (std::size_t i = 0; i < streams.size(); ++i) {
-    result.phase[i] -= min_phase[result.assignment[i]];
-  }
-  // Per-parent bookkeeping.
-  const std::size_t num_parents = workload.num_streams();
-  result.uplink_per_parent.assign(num_parents, 0.0);
-  result.latency_per_parent.assign(num_parents, 0.0);
-  std::vector<double> parts(num_parents, 0.0);
-  result.comm_cost = 0.0;
-  for (std::size_t i = 0; i < streams.size(); ++i) {
-    const double uplink = workload.uplink_mbps[result.assignment[i]];
-    const double net = streams[i].bits_per_frame / (uplink * 1e6);
-    result.uplink_per_parent[streams[i].parent] += uplink;
-    result.latency_per_parent[streams[i].parent] +=
-        streams[i].proc_time + net;
-    result.comm_cost += net;
-    parts[streams[i].parent] += 1.0;
-  }
-  for (std::size_t parent = 0; parent < num_parents; ++parent) {
-    PAMO_ASSERT(parts[parent] > 0, "parent lost in exact schedule");
-    result.uplink_per_parent[parent] /= parts[parent];
-    result.latency_per_parent[parent] /= parts[parent];
-  }
-  PAMO_ASSERT(const2_holds(result.streams, result.assignment, num_servers,
-                           workload.space.clock()),
-              "exact search produced a Const2-violating schedule");
+  PAMO_ENSURES(result.schedule.has_value() ==
+                   (result.status == BnbStatus::kOptimal ||
+                    result.status == BnbStatus::kFeasibleBudget),
+               "a schedule is returned exactly when the status is feasible");
   return result;
 }
 

@@ -1,4 +1,4 @@
-// Exact zero-jitter grouping by branch-and-bound.
+// Exact zero-jitter grouping by exhaustive depth-first search.
 //
 // The paper notes that non-preemptive periodic scheduling is strongly
 // NP-hard and is solved exactly in the literature with ILP/CP/SMT
@@ -7,33 +7,62 @@
 // assignments of streams to at most N groups subject to Const2
 // (Theorem 1's gcd condition per group), minimizing the same communication
 // objective as Algorithm 1's line 20. Used by tests and the ablation bench
-// to quantify the heuristic's feasibility and cost gap.
+// to quantify the heuristic's feasibility and cost gap; sched/bnb.hpp is
+// the best-first engine that scales further and must agree with this one
+// on proven-optimal instances.
+//
+// The search runs under a node budget, and the result type keeps budget
+// exhaustion distinguishable from proven infeasibility (BnbStatus — shared
+// with the branch-and-bound engine). Earlier revisions returned nullopt
+// for both, which let "we gave up" masquerade as "no schedule exists" in
+// feasibility ablations; that conflation is now unrepresentable.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "sched/bnb.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pamo::sched {
 
 struct ExactOptions {
-  /// Safety valve: give up after this many search nodes (the instance is
-  /// then treated as "unknown" — nullopt).
+  /// Safety valve: give up after this many search nodes. Exhausting the
+  /// budget yields kFeasibleBudget (best found so far, optimality
+  /// unproven) or kUnknown (nothing found, infeasibility unproven) —
+  /// never kInfeasible.
   std::size_t max_nodes = 2'000'000;
 };
 
-/// Exact minimum-communication-cost zero-jitter schedule, or nullopt if no
-/// feasible grouping exists (or the node budget is exhausted).
-/// `result->feasible` is always true on a returned value.
-std::optional<ScheduleResult> schedule_exact(const eva::Workload& workload,
-                                             const eva::JointConfig& config,
-                                             const ExactOptions& options = {});
+/// Result of the exact optimization search. `schedule` is engaged exactly
+/// when status is kOptimal or kFeasibleBudget, and is then a feasible
+/// zero-jitter schedule (proven minimum-cost only under kOptimal).
+struct ExactResult {
+  BnbStatus status = BnbStatus::kUnknown;
+  std::optional<ScheduleResult> schedule;
+};
+
+/// Tri-state feasibility answer: kUnknown means the node budget ran out
+/// before either a schedule was found or the space was exhausted — it is
+/// NOT evidence of infeasibility.
+enum class Feasibility {
+  kFeasible,
+  kInfeasible,
+  kUnknown,
+};
+
+/// Human-readable label (for benches and logs).
+const char* feasibility_name(Feasibility feasibility);
+
+/// Exact minimum-communication-cost zero-jitter schedule under a node
+/// budget. See ExactResult for the status/schedule contract.
+ExactResult schedule_exact(const eva::Workload& workload,
+                           const eva::JointConfig& config,
+                           const ExactOptions& options = {});
 
 /// Exact feasibility test only (cheaper: stops at the first solution).
-/// Returns nullopt when the node budget is exhausted before an answer.
-std::optional<bool> exists_zero_jitter_schedule(
-    const eva::Workload& workload, const eva::JointConfig& config,
-    const ExactOptions& options = {});
+Feasibility exists_zero_jitter_schedule(const eva::Workload& workload,
+                                        const eva::JointConfig& config,
+                                        const ExactOptions& options = {});
 
 }  // namespace pamo::sched

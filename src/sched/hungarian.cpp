@@ -1,7 +1,9 @@
 #include "sched/hungarian.hpp"
 
+#include <cmath>
 #include <limits>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace pamo::sched {
@@ -9,13 +11,28 @@ namespace pamo::sched {
 AssignmentResult solve_assignment(const la::Matrix& cost) {
   const std::size_t n = cost.rows();
   const std::size_t m = cost.cols();
-  PAMO_CHECK(n >= 1, "assignment requires at least one row");
   PAMO_CHECK(n <= m, "assignment requires rows <= cols");
+  AssignmentResult result;
+  if (n == 0) {
+    // Nothing to assign: the empty matching with an all-zero certificate.
+    // The B&B bound asks this question whenever a search node has no open
+    // anonymous group, so the empty shape is a contract, not an error.
+    result.col_potential.assign(m, 0.0);
+    return result;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      PAMO_CHECK(std::isfinite(cost(i, j)), "assignment costs must be finite");
+    }
+  }
 
   constexpr double kInf = std::numeric_limits<double>::max() / 4;
 
   // 1-indexed potentials over rows (u) and columns (v); p[j] = row matched
   // to column j (0 = none). Classic shortest-augmenting-path formulation.
+  // Ties in the Dijkstra step resolve to the lowest column index (the scan
+  // below only replaces the pivot on a strict improvement), which is what
+  // makes tied costs deterministic.
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
   std::vector<std::size_t> p(m + 1, 0), way(m + 1, 0);
 
@@ -59,7 +76,6 @@ AssignmentResult solve_assignment(const la::Matrix& cost) {
     } while (j0 != 0);
   }
 
-  AssignmentResult result;
   result.col_of.assign(n, 0);
   for (std::size_t j = 1; j <= m; ++j) {
     if (p[j] != 0) result.col_of[p[j] - 1] = j - 1;
@@ -67,6 +83,15 @@ AssignmentResult solve_assignment(const la::Matrix& cost) {
   for (std::size_t r = 0; r < n; ++r) {
     result.total_cost += cost(r, result.col_of[r]);
   }
+  // Strip the 1-indexing off the dual certificate. The virtual column 0
+  // accumulates the potential of each augmenting row's start, so only
+  // columns 1..m are part of the certificate.
+  result.row_potential.assign(u.begin() + 1, u.end());
+  result.col_potential.assign(v.begin() + 1, v.end());
+  PAMO_ENSURES(result.col_of.size() == n &&
+                   result.row_potential.size() == n &&
+                   result.col_potential.size() == m,
+               "assignment result vectors must align with the cost matrix");
   return result;
 }
 

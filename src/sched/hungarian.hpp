@@ -1,6 +1,10 @@
 // Hungarian algorithm (shortest-augmenting-path / Jonker–Volgenant form,
 // O(n²m)) for the minimum-cost assignment of stream groups to servers —
-// line 20 of Algorithm 1, minimizing total communication latency.
+// line 20 of Algorithm 1, minimizing total communication latency. Also the
+// assignment-relaxation lower bound of the branch-and-bound placement
+// engine (sched/bnb.hpp), which is why the rectangular and degenerate
+// shapes (0 rows, 1×n, ties) are part of the contract rather than
+// accidents of the implementation.
 #pragma once
 
 #include <vector>
@@ -10,13 +14,27 @@
 namespace pamo::sched {
 
 struct AssignmentResult {
-  /// col_of[r] = column assigned to row r.
+  /// col_of[r] = column assigned to row r. Empty for a 0-row problem.
   std::vector<std::size_t> col_of;
   double total_cost = 0.0;
+  /// LP dual certificate (see solve_assignment): row potential u and
+  /// column potential v with u[i] + v[j] <= cost(i, j) for every cell,
+  /// equality on every matched cell, and v[j] == 0 on unmatched columns.
+  /// Any feasible assignment A then costs at least Σ u + Σ_{j∈A} v[j]
+  /// >= total_cost, so the potentials *prove* optimality — the property
+  /// tests check exactly this reduced-cost certificate.
+  std::vector<double> row_potential;  // size rows
+  std::vector<double> col_potential;  // size cols
 };
 
-/// Minimum-cost assignment for a rows×cols cost matrix with rows <= cols.
-/// Every row is assigned a distinct column.
+/// Minimum-cost assignment for a rows×cols cost matrix with rows <= cols
+/// and finite, non-negative costs. Every row is assigned a distinct
+/// column. Degenerate shapes are well-defined: 0 rows returns an empty
+/// assignment of cost 0 (with zero potentials), and a 1×n matrix returns
+/// the cheapest column (lowest index on ties). Ties anywhere resolve
+/// deterministically — the scan order of the augmenting search prefers
+/// lower column indices, so identical inputs always produce identical
+/// assignments.
 AssignmentResult solve_assignment(const la::Matrix& cost);
 
 }  // namespace pamo::sched

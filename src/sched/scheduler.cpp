@@ -415,6 +415,27 @@ ScheduleResult schedule_worst_fit(const eva::Workload& workload,
   return result;
 }
 
+ScheduleResult assemble_zero_jitter(const eva::Workload& workload,
+                                    std::vector<PeriodicStream> streams,
+                                    std::vector<std::size_t> assignment,
+                                    double proc_headroom) {
+  PAMO_CHECK(proc_headroom >= 1.0, "processing headroom must be >= 1");
+  PAMO_CHECK(assignment.size() == streams.size(),
+             "one server per split stream");
+  for (std::size_t server : assignment) {
+    PAMO_CHECK(server < workload.num_servers(), "server index out of range");
+  }
+  ScheduleResult result;
+  result.streams = std::move(streams);
+  result.assignment = std::move(assignment);
+  result.feasible = true;
+  finalize(workload, result, /*stagger=*/true, proc_headroom);
+  PAMO_ASSERT(const2_holds(result.streams, result.assignment,
+                           workload.num_servers(), workload.space.clock()),
+              "assembled assignment violates Const2");
+  return result;
+}
+
 ScheduleResult schedule_fixed_assignment(
     const eva::Workload& workload, const eva::JointConfig& config,
     const std::vector<std::size_t>& server_per_parent) {

@@ -76,6 +76,19 @@ ScheduleResult schedule_first_fit(const eva::Workload& workload,
 ScheduleResult schedule_worst_fit(const eva::Workload& workload,
                                   const eva::JointConfig& config);
 
+/// Build a complete zero-jitter ScheduleResult from an explicit split-
+/// stream list and per-split-stream server assignment: Theorem-1 phase
+/// staggering (transfer-compensated, optionally headroom-inflated), the
+/// per-parent uplink/latency bookkeeping, and the communication cost —
+/// exactly the construction Algorithm 1 applies after its own grouping.
+/// The assignment must already satisfy Const2 per server (asserted); the
+/// exact and branch-and-bound searches use this to turn a raw assignment
+/// into a result consistent with the rest of the library.
+ScheduleResult assemble_zero_jitter(const eva::Workload& workload,
+                                    std::vector<PeriodicStream> streams,
+                                    std::vector<std::size_t> assignment,
+                                    double proc_headroom = 1.0);
+
 /// Build a schedule from an explicit per-parent server assignment (every
 /// sub-stream inherits its parent's server; phases are not staggered).
 /// Used by baselines that make their own placement decisions. The result

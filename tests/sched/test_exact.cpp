@@ -16,20 +16,22 @@ eva::Workload workload(std::size_t streams, std::size_t servers,
 TEST(ExactSchedule, FindsFeasibleLowLoadSchedule) {
   const eva::Workload w = workload(5, 3, 81);
   eva::JointConfig config(5, {720, 10});
-  const auto result = schedule_exact(w, config);
-  ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->feasible);
-  EXPECT_TRUE(const2_holds(result->streams, result->assignment,
-                           w.num_servers(), w.space.clock()));
+  const ExactResult result = schedule_exact(w, config);
+  EXPECT_EQ(result.status, BnbStatus::kOptimal);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_TRUE(result.schedule->feasible);
+  EXPECT_TRUE(const2_holds(result.schedule->streams,
+                           result.schedule->assignment, w.num_servers(),
+                           w.space.clock()));
 }
 
 TEST(ExactSchedule, InfeasibleWhenOverloaded) {
   const eva::Workload w = workload(10, 2, 82);
   eva::JointConfig config(10, {1920, 30});
-  const auto feasible = exists_zero_jitter_schedule(w, config);
-  ASSERT_TRUE(feasible.has_value());
-  EXPECT_FALSE(*feasible);
-  EXPECT_FALSE(schedule_exact(w, config).has_value());
+  EXPECT_EQ(exists_zero_jitter_schedule(w, config), Feasibility::kInfeasible);
+  const ExactResult result = schedule_exact(w, config);
+  EXPECT_EQ(result.status, BnbStatus::kInfeasible);
+  EXPECT_FALSE(result.schedule.has_value());
 }
 
 TEST(ExactSchedule, ExactCostNeverWorseThanHeuristic) {
@@ -44,10 +46,10 @@ TEST(ExactSchedule, ExactCostNeverWorseThanHeuristic) {
     }
     const ScheduleResult heuristic = schedule_zero_jitter(w, config);
     if (!heuristic.feasible) continue;
-    const auto exact = schedule_exact(w, config);
-    ASSERT_TRUE(exact.has_value())
+    const ExactResult exact = schedule_exact(w, config);
+    ASSERT_EQ(exact.status, BnbStatus::kOptimal)
         << "heuristic feasible but exact search found nothing";
-    EXPECT_LE(exact->comm_cost, heuristic.comm_cost + 1e-12);
+    EXPECT_LE(exact.schedule->comm_cost, heuristic.comm_cost + 1e-12);
     ++compared;
   }
   EXPECT_GT(compared, 5);
@@ -61,9 +63,7 @@ TEST(ExactSchedule, HeuristicFeasibleImpliesExactFeasible) {
     for (std::size_t i = 0; i < 5; ++i) config.push_back(w.space.sample(rng));
     const bool heuristic = schedule_zero_jitter(w, config).feasible;
     if (!heuristic) continue;
-    const auto exact = exists_zero_jitter_schedule(w, config);
-    ASSERT_TRUE(exact.has_value());
-    EXPECT_TRUE(*exact);
+    EXPECT_EQ(exists_zero_jitter_schedule(w, config), Feasibility::kFeasible);
   }
 }
 
@@ -82,11 +82,12 @@ TEST(ExactSchedule, CanBeatHeuristicFeasibility) {
                         w.space.fps_knobs()[rng.uniform_index(5)]});
     }
     const bool heuristic = schedule_zero_jitter(w, config).feasible;
-    const auto exact = exists_zero_jitter_schedule(w, config);
-    if (!exact.has_value()) continue;
-    if (*exact && !heuristic) ++heuristic_only_failures;
+    const Feasibility exact = exists_zero_jitter_schedule(w, config);
+    if (exact == Feasibility::kUnknown) continue;
+    const bool exact_feasible = exact == Feasibility::kFeasible;
+    if (exact_feasible && !heuristic) ++heuristic_only_failures;
     // The converse must never happen.
-    ASSERT_FALSE(heuristic && !*exact);
+    ASSERT_FALSE(heuristic && !exact_feasible);
   }
   EXPECT_GT(heuristic_only_failures, 0)
       << "expected at least one instance where only the exact search "
@@ -96,19 +97,57 @@ TEST(ExactSchedule, CanBeatHeuristicFeasibility) {
 TEST(ExactSchedule, SimulatesWithZeroJitter) {
   const eva::Workload w = workload(6, 3, 86);
   eva::JointConfig config(6, {960, 15});
-  const auto result = schedule_exact(w, config);
-  if (!result.has_value()) GTEST_SKIP() << "instance infeasible";
-  const sim::SimReport report = sim::simulate(w, *result);
+  const ExactResult result = schedule_exact(w, config);
+  if (!result.schedule.has_value()) GTEST_SKIP() << "instance infeasible";
+  const sim::SimReport report = sim::simulate(w, *result.schedule);
   EXPECT_NEAR(report.max_jitter, 0.0, 1e-9);
   EXPECT_NEAR(report.total_queue_delay, 0.0, 1e-9);
 }
 
-TEST(ExactSchedule, NodeBudgetReturnsNullopt) {
+// Regression: a starved node budget must read as "unknown", never as a
+// proof of infeasibility. This instance is feasible (see below), so any
+// kInfeasible answer under a tiny budget would be an outright lie.
+TEST(ExactSchedule, NodeBudgetReportsUnknownNotInfeasible) {
   const eva::Workload w = workload(8, 4, 87);
   eva::JointConfig config(8, {720, 10});
+  ASSERT_EQ(exists_zero_jitter_schedule(w, config), Feasibility::kFeasible);
+
   ExactOptions options;
   options.max_nodes = 3;  // absurdly small
-  EXPECT_FALSE(exists_zero_jitter_schedule(w, config, options).has_value());
+  EXPECT_EQ(exists_zero_jitter_schedule(w, config, options),
+            Feasibility::kUnknown);
+  const ExactResult starved = schedule_exact(w, config, options);
+  EXPECT_EQ(starved.status, BnbStatus::kUnknown);
+  EXPECT_FALSE(starved.schedule.has_value());
+}
+
+// Regression: a budget large enough to find *a* schedule but not to prove
+// optimality must come back as kFeasibleBudget — the old API silently
+// passed the unproven best-found off as the optimum.
+TEST(ExactSchedule, MidBudgetReportsFeasibleBudget) {
+  const eva::Workload w = workload(8, 4, 87);
+  eva::JointConfig config(8, {720, 10});
+  const ExactResult proven = schedule_exact(w, config);
+  ASSERT_EQ(proven.status, BnbStatus::kOptimal);
+
+  bool saw_feasible_budget = false;
+  for (std::size_t budget = 16; budget <= 4096 && !saw_feasible_budget;
+       budget *= 2) {
+    ExactOptions options;
+    options.max_nodes = budget;
+    const ExactResult partial = schedule_exact(w, config, options);
+    EXPECT_NE(partial.status, BnbStatus::kInfeasible);
+    if (partial.status == BnbStatus::kFeasibleBudget) {
+      saw_feasible_budget = true;
+      ASSERT_TRUE(partial.schedule.has_value());
+      EXPECT_TRUE(partial.schedule->feasible);
+      // Anytime contract: the partial answer is a real schedule, at worst
+      // costlier than the proven optimum.
+      EXPECT_GE(partial.schedule->comm_cost, proven.schedule->comm_cost - 1e-12);
+    }
+  }
+  EXPECT_TRUE(saw_feasible_budget)
+      << "no budget in the sweep caught the found-but-unproven window";
 }
 
 }  // namespace

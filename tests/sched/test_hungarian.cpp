@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -72,7 +73,119 @@ TEST(Hungarian, ColumnsAreDistinct) {
 
 TEST(Hungarian, RejectsMoreRowsThanCols) {
   EXPECT_THROW(solve_assignment(la::Matrix(3, 2)), Error);
-  EXPECT_THROW(solve_assignment(la::Matrix(0, 2)), Error);
+}
+
+TEST(Hungarian, RejectsNonFiniteCosts) {
+  la::Matrix cost(1, 2);
+  cost(0, 0) = 1.0;
+  cost(0, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(solve_assignment(cost), Error);
+}
+
+// 0 rows is a defined degenerate shape (the B&B bound asks it whenever a
+// search node has no open anonymous group), not an error.
+TEST(Hungarian, ZeroRowsIsEmptyAssignment) {
+  const AssignmentResult r = solve_assignment(la::Matrix(0, 3));
+  EXPECT_TRUE(r.col_of.empty());
+  EXPECT_TRUE(r.row_potential.empty());
+  ASSERT_EQ(r.col_potential.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  for (double v : r.col_potential) EXPECT_DOUBLE_EQ(v, 0.0);
+  // And 0x0, the fully empty problem.
+  const AssignmentResult empty = solve_assignment(la::Matrix(0, 0));
+  EXPECT_TRUE(empty.col_of.empty());
+  EXPECT_DOUBLE_EQ(empty.total_cost, 0.0);
+}
+
+TEST(Hungarian, OneRowPicksCheapestColumn) {
+  la::Matrix cost(1, 4);
+  const double values[4] = {5.0, 2.0, 7.0, 3.0};
+  for (std::size_t j = 0; j < 4; ++j) cost(0, j) = values[j];
+  const AssignmentResult r = solve_assignment(cost);
+  ASSERT_EQ(r.col_of.size(), 1u);
+  EXPECT_EQ(r.col_of[0], 1u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+}
+
+TEST(Hungarian, TiesResolveToLowestColumnDeterministically) {
+  // All-equal costs: the documented tie rule picks the lowest columns.
+  la::Matrix flat(3, 5, 1.0);
+  const AssignmentResult first = solve_assignment(flat);
+  EXPECT_DOUBLE_EQ(first.total_cost, 3.0);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const AssignmentResult again = solve_assignment(flat);
+    EXPECT_EQ(again.col_of, first.col_of);
+  }
+  la::Matrix single(1, 3);
+  single(0, 0) = 2.0;
+  single(0, 1) = 2.0;
+  single(0, 2) = 2.0;
+  EXPECT_EQ(solve_assignment(single).col_of[0], 0u);
+}
+
+/// Check the LP dual certificate the solver returns: u_i + v_j <= c_ij on
+/// every cell, equality on matched cells, v_j == 0 off the matching. Those
+/// three facts prove optimality of *any* claimed assignment (weak duality),
+/// so this is a per-instance optimality proof, not a spot check.
+void expect_valid_certificate(const la::Matrix& cost,
+                              const AssignmentResult& r) {
+  ASSERT_EQ(r.row_potential.size(), cost.rows());
+  ASSERT_EQ(r.col_potential.size(), cost.cols());
+  std::vector<bool> matched(cost.cols(), false);
+  double dual_value = 0.0;
+  for (std::size_t i = 0; i < cost.rows(); ++i) {
+    matched[r.col_of[i]] = true;
+    EXPECT_NEAR(r.row_potential[i] + r.col_potential[r.col_of[i]],
+                cost(i, r.col_of[i]), 1e-9)
+        << "matched cell must be tight";
+    dual_value += r.row_potential[i] + r.col_potential[r.col_of[i]];
+  }
+  for (std::size_t i = 0; i < cost.rows(); ++i) {
+    for (std::size_t j = 0; j < cost.cols(); ++j) {
+      EXPECT_LE(r.row_potential[i] + r.col_potential[j], cost(i, j) + 1e-9)
+          << "dual feasibility violated at (" << i << ", " << j << ")";
+    }
+  }
+  for (std::size_t j = 0; j < cost.cols(); ++j) {
+    if (!matched[j]) {
+      EXPECT_NEAR(r.col_potential[j], 0.0, 1e-9)
+          << "unmatched column potential must vanish";
+    }
+  }
+  EXPECT_NEAR(dual_value, r.total_cost, 1e-9);
+}
+
+TEST(Hungarian, CertificateProvesOptimalityOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(6);  // 1..6 rows
+    const std::size_t m = n + rng.uniform_index(4);  // up to 3 extra columns
+    la::Matrix cost(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) cost(i, j) = rng.uniform(0.0, 50.0);
+    }
+    const AssignmentResult r = solve_assignment(cost);
+    expect_valid_certificate(cost, r);
+    EXPECT_NEAR(r.total_cost, brute_force(cost), 1e-9);
+  }
+}
+
+TEST(Hungarian, CertificateHoldsOnDegenerateTiedInstances) {
+  // Heavily tied matrices stress the degenerate dual updates (delta == 0).
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(4);
+    const std::size_t m = n + rng.uniform_index(3);
+    la::Matrix cost(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        cost(i, j) = static_cast<double>(rng.uniform_index(3));  // {0, 1, 2}
+      }
+    }
+    const AssignmentResult r = solve_assignment(cost);
+    expect_valid_certificate(cost, r);
+    EXPECT_NEAR(r.total_cost, brute_force(cost), 1e-9);
+  }
 }
 
 TEST(Hungarian, TotalCostMatchesSelection) {
